@@ -1,0 +1,78 @@
+//! Criterion benches for the design-choice ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dtf_core::ids::RunId;
+use dtf_core::rngx::RunRng;
+use dtf_darshan::DxtConfig;
+use dtf_wms::sim::{SimCluster, SimConfig};
+use dtf_workflows::Workload;
+
+fn run_with(cfg: SimConfig, workload: Workload) -> dtf_wms::RunData {
+    let rr = RunRng::new(cfg.campaign_seed, cfg.run);
+    let workflow = workload.generate(&rr);
+    SimCluster::new(cfg).expect("cluster").run(workflow).expect("run")
+}
+
+/// Work stealing on vs off: full ImageProcessing run under each policy.
+fn bench_stealing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_stealing");
+    g.sample_size(10);
+    for enabled in [true, false] {
+        g.bench_function(if enabled { "on" } else { "off" }, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg =
+                    SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
+                Workload::ImageProcessing.adjust(&mut cfg);
+                cfg.scheduler.work_stealing = enabled;
+                black_box(run_with(cfg, Workload::ImageProcessing))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Mofka producer batch size: cost of streaming a full run's telemetry.
+fn bench_mofka_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mofka_batch");
+    g.sample_size(10);
+    for batch in [1usize, 64, 1024] {
+        g.bench_function(format!("batch_{batch}"), |b| {
+            let mut seed = 100;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg =
+                    SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
+                Workload::ImageProcessing.adjust(&mut cfg);
+                cfg.mofka_batch = batch;
+                black_box(run_with(cfg, Workload::ImageProcessing))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// DXT buffer limit: collection cost as the trace budget grows.
+fn bench_dxt_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dxt_buffer");
+    g.sample_size(10);
+    for buf in [256usize, 4096, 32768] {
+        g.bench_function(format!("buffer_{buf}"), |b| {
+            let mut seed = 200;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg =
+                    SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
+                cfg.dxt = DxtConfig::with_buffer(buf);
+                black_box(run_with(cfg, Workload::ResNet152))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, bench_stealing, bench_mofka_batch, bench_dxt_buffer);
+criterion_main!(ablations);

@@ -1,0 +1,113 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--seed N] [--runs N]
+//!
+//! experiments:
+//!   table1   fig3   fig4   fig5   fig6   fig7   fig8
+//!   ablation-stealing   ablation-dxt-buffer   ablation-dxt-threads
+//!   ablation-schedule-order   ablation-mofka-batch
+//!   all      (everything above, in order)
+//! ```
+//!
+//! `--runs` caps campaign sizes (default: the paper's 10/10/50).
+
+use dtf_bench::{ablations, experiments};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut seed = 42u64;
+    let mut runs: Option<u32> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--runs" => {
+                i += 1;
+                runs = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            c if cmd.is_none() => cmd = Some(c.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(cmd) = cmd else { usage() };
+    let ablation_runs = runs.unwrap_or(6);
+    let run_one = |name: &str| match name {
+        "table1" => experiments::table1(seed, runs),
+        "fig3" => experiments::fig3(seed, runs),
+        "fig4" => experiments::fig4(seed),
+        "fig5" => experiments::fig5(seed),
+        "fig6" => experiments::fig6(seed),
+        "fig7" => experiments::fig7(seed),
+        "fig8" => experiments::fig8(seed),
+        "ablation-stealing" => ablations::stealing(seed, ablation_runs),
+        "ablation-dxt-buffer" => ablations::dxt_buffer(seed),
+        "ablation-dxt-threads" => ablations::dxt_thread_ids(seed),
+        "ablation-schedule-order" => ablations::schedule_order_similarity(seed, ablation_runs),
+        "ablation-mofka-batch" => ablations::mofka_batch(seed),
+        "overhead" => ablations::instrumentation_overhead(ablation_runs.min(10)),
+        "category-variability" => {
+            ablations::category_variability(seed, ablation_runs, dtf_workflows::Workload::Xgboost)
+        }
+        "timeline" => {
+            ablations::utilization_timeline(seed, dtf_workflows::Workload::ImageProcessing)
+        }
+        "export-run" => {
+            use dtf_core::ids::RunId;
+            use dtf_core::rngx::RunRng;
+            use dtf_wms::sim::{SimCluster, SimConfig};
+            let workload = dtf_workflows::Workload::ImageProcessing;
+            let mut cfg = SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
+            workload.adjust(&mut cfg);
+            let rr = RunRng::new(seed, RunId(0));
+            let data = SimCluster::new(cfg)
+                .expect("cluster")
+                .run(workload.generate(&rr))
+                .expect("run");
+            let dir = std::path::PathBuf::from("dtf-run-export");
+            let n = dtf_perfrecup::export::export_run(&data, &dir).expect("export");
+            format!("exported {n} files to {}\n", dir.display())
+        }
+        "debug-comms-ip" => ablations::debug_comms(seed, dtf_workflows::Workload::ImageProcessing),
+        "debug-comms-rn" => ablations::debug_comms(seed, dtf_workflows::Workload::ResNet152),
+        "debug-comms-xgb" => ablations::debug_comms(seed, dtf_workflows::Workload::Xgboost),
+        _ => usage(),
+    };
+    if cmd == "all" {
+        for name in [
+            "table1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "ablation-stealing",
+            "ablation-dxt-buffer",
+            "ablation-dxt-threads",
+            "ablation-schedule-order",
+            "ablation-mofka-batch",
+            "overhead",
+            "category-variability",
+            "timeline",
+        ] {
+            println!("{}", run_one(name));
+        }
+    } else {
+        println!("{}", run_one(&cmd));
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|\\
+ablation-stealing|ablation-dxt-buffer|ablation-dxt-threads|\\
+ablation-schedule-order|ablation-mofka-batch|overhead|all> [--seed N] [--runs N]"
+    );
+    std::process::exit(2)
+}

@@ -1,0 +1,13 @@
+//! # dtf-bench
+//!
+//! The experiment harness: library functions that regenerate every table
+//! and figure of the paper's evaluation (plus the ablations DESIGN.md
+//! calls out), shared between the `repro` binary and the Criterion
+//! benches. Each function returns a plain-text report whose rows mirror
+//! what the paper reports, with the paper's own numbers printed alongside
+//! for comparison.
+
+pub mod ablations;
+pub mod experiments;
+
+pub use experiments::{fig3, fig4, fig5, fig6, fig7, fig8, table1};

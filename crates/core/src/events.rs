@@ -1,0 +1,630 @@
+//! The event schema of the characterization framework.
+//!
+//! These are the records the WMS plugins stream into the event service
+//! (paper §III-E2) and that the I/O layer logs (§III-E3). Each record type
+//! carries the shared identifiers (task key, worker address, pthread id,
+//! timestamps) that make multi-source joins possible at analysis time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClientId, FileId, GraphId, NodeId, TaskKey, ThreadId, WorkerId};
+use crate::table::{Tabular, Value};
+use crate::time::{Dur, Time};
+
+/// Scheduler-side task states, mirroring Dask's scheduler state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Known but not yet wanted (dependencies of the graph being built).
+    Released,
+    /// Waiting on one or more dependencies.
+    Waiting,
+    /// Runnable but no worker satisfies its restrictions / all saturated.
+    NoWorker,
+    /// Runnable and queued on the scheduler (no worker slot yet).
+    Queued,
+    /// Assigned to a worker and (about to be) executing.
+    Processing,
+    /// Finished; result resident in some worker's memory.
+    Memory,
+    /// Execution raised an error.
+    Erred,
+    /// All clients released it; removed from scheduler tables.
+    Forgotten,
+}
+
+impl TaskState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TaskState::Released => "released",
+            TaskState::Waiting => "waiting",
+            TaskState::NoWorker => "no-worker",
+            TaskState::Queued => "queued",
+            TaskState::Processing => "processing",
+            TaskState::Memory => "memory",
+            TaskState::Erred => "erred",
+            TaskState::Forgotten => "forgotten",
+        }
+    }
+
+    /// Whether `self -> to` is a legal transition of the scheduler state
+    /// machine. Mirrors `dask.distributed`'s allowed transition table.
+    pub fn can_transition_to(&self, to: TaskState) -> bool {
+        use TaskState::*;
+        matches!(
+            (*self, to),
+            (Released, Waiting)
+                | (Released, Forgotten)
+                | (Waiting, Queued)
+                | (Waiting, Processing)
+                | (Waiting, NoWorker)
+                | (Waiting, Released)
+                | (Waiting, Erred)
+                | (NoWorker, Processing)
+                | (NoWorker, Queued)
+                | (NoWorker, Released)
+                | (Queued, Processing)
+                | (Queued, Released)
+                | (Processing, Processing) // work stealing: reassigned to another worker
+                | (Processing, Memory)
+                | (Processing, Erred)
+                | (Processing, Released)
+                | (Processing, Waiting) // worker lost; must be rescheduled
+                | (Memory, Released)
+                | (Memory, Forgotten)
+                | (Erred, Released)
+                | (Erred, Forgotten)
+        )
+    }
+
+    /// Terminal states from the scheduler's perspective.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TaskState::Memory | TaskState::Erred | TaskState::Forgotten)
+    }
+}
+
+/// Worker-side task states, mirroring Dask's worker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerTaskState {
+    /// Arrived at the worker, dependencies not yet local.
+    Waiting,
+    /// Dependency data scheduled to be fetched from a peer.
+    Fetch,
+    /// Dependency data in flight from a peer.
+    Flight,
+    /// All inputs local; in the worker's ready heap.
+    Ready,
+    /// Running on a worker thread.
+    Executing,
+    /// Finished on this worker; output in worker memory.
+    Memory,
+    /// Raised during execution.
+    Error,
+    /// Released by the scheduler.
+    Released,
+}
+
+impl WorkerTaskState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WorkerTaskState::Waiting => "waiting",
+            WorkerTaskState::Fetch => "fetch",
+            WorkerTaskState::Flight => "flight",
+            WorkerTaskState::Ready => "ready",
+            WorkerTaskState::Executing => "executing",
+            WorkerTaskState::Memory => "memory",
+            WorkerTaskState::Error => "error",
+            WorkerTaskState::Released => "released",
+        }
+    }
+}
+
+impl WorkerTaskState {
+    /// Legal transitions of the worker-side machine.
+    pub fn can_transition_to(&self, to: WorkerTaskState) -> bool {
+        use WorkerTaskState::*;
+        matches!(
+            (*self, to),
+            (Waiting, Fetch)
+                | (Waiting, Ready)
+                | (Fetch, Flight)
+                | (Fetch, Ready)
+                | (Flight, Ready)
+                | (Ready, Executing)
+                | (Executing, Memory)
+                | (Executing, Error)
+                | (Waiting, Released)
+                | (Fetch, Released)
+                | (Flight, Released)
+                | (Ready, Released)
+                | (Memory, Released)
+        )
+    }
+}
+
+/// A worker-side task state transition (paper §III-E1: "we gather task
+/// state transitions in the worker to identify the time spent in a worker
+/// before execution").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerTransitionEvent {
+    pub key: TaskKey,
+    pub graph: GraphId,
+    pub worker: WorkerId,
+    pub from: WorkerTaskState,
+    pub to: WorkerTaskState,
+    pub time: Time,
+}
+
+impl Tabular for WorkerTransitionEvent {
+    fn schema() -> Vec<&'static str> {
+        vec!["key", "prefix", "graph", "worker", "from", "to", "time_s"]
+    }
+
+    fn row(&self) -> Vec<Value> {
+        vec![
+            Value::Str(self.key.to_string()),
+            Value::Str(self.key.prefix.clone()),
+            Value::U64(self.graph.0 as u64),
+            Value::Str(self.worker.address()),
+            Value::Str(self.from.as_str().to_string()),
+            Value::Str(self.to.as_str().to_string()),
+            Value::F64(self.time.as_secs_f64()),
+        ]
+    }
+}
+
+/// What caused a state transition — the "stimuli" captured by the plugins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stimulus {
+    /// Client submitted the graph containing this task.
+    GraphSubmitted,
+    /// The last outstanding dependency entered memory.
+    DependenciesMet,
+    /// Scheduler chose a worker and dispatched the task.
+    Dispatched,
+    /// A worker thread began executing.
+    ComputeStarted,
+    /// Worker reported successful completion.
+    ComputeFinished,
+    /// Worker reported an error.
+    ComputeErred,
+    /// An idle worker stole this task from a busy peer.
+    WorkStolen,
+    /// The worker running/holding this task died.
+    WorkerLost,
+    /// All clients released their interest.
+    ClientReleased,
+    /// Scheduler decided no worker can run it right now.
+    NoWorkerAvailable,
+    /// Scheduler queue admitted the task.
+    Queue,
+}
+
+impl Stimulus {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Stimulus::GraphSubmitted => "graph-submitted",
+            Stimulus::DependenciesMet => "dependencies-met",
+            Stimulus::Dispatched => "dispatched",
+            Stimulus::ComputeStarted => "compute-started",
+            Stimulus::ComputeFinished => "compute-finished",
+            Stimulus::ComputeErred => "compute-erred",
+            Stimulus::WorkStolen => "work-stolen",
+            Stimulus::WorkerLost => "worker-lost",
+            Stimulus::ClientReleased => "client-released",
+            Stimulus::NoWorkerAvailable => "no-worker-available",
+            Stimulus::Queue => "queued",
+        }
+    }
+}
+
+/// Where a transition was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    Scheduler,
+    Worker(WorkerId),
+}
+
+/// A task state transition, the core provenance record (paper §III-E2:
+/// "task key, group, prefix, initial state, final state, timestamp, and the
+/// stimuli that triggered this transition").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionEvent {
+    pub key: TaskKey,
+    pub graph: GraphId,
+    pub from: TaskState,
+    pub to: TaskState,
+    pub stimulus: Stimulus,
+    pub location: Location,
+    pub time: Time,
+}
+
+/// Emitted once per task when its graph arrives at the scheduler (paper
+/// §III-E1: "we extract all task-related data, such as task keys, groups,
+/// prefixes, and dependencies").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskMetaEvent {
+    pub key: TaskKey,
+    pub graph: GraphId,
+    pub client: ClientId,
+    pub deps: Vec<TaskKey>,
+    pub submitted: Time,
+}
+
+impl Tabular for TaskMetaEvent {
+    fn schema() -> Vec<&'static str> {
+        vec!["key", "group", "prefix", "graph", "client", "n_deps", "submitted_s"]
+    }
+
+    fn row(&self) -> Vec<Value> {
+        vec![
+            Value::Str(self.key.to_string()),
+            Value::Str(self.key.group()),
+            Value::Str(self.key.prefix.clone()),
+            Value::U64(self.graph.0 as u64),
+            Value::Str(self.client.to_string()),
+            Value::U64(self.deps.len() as u64),
+            Value::F64(self.submitted.as_secs_f64()),
+        ]
+    }
+}
+
+/// Emitted when a task completes on a worker (paper: "IP address of the
+/// worker where the task was executed, the thread ID, start and end times,
+/// and the size of the task result").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDoneEvent {
+    pub key: TaskKey,
+    pub graph: GraphId,
+    pub worker: WorkerId,
+    pub thread: ThreadId,
+    pub start: Time,
+    pub stop: Time,
+    /// Size of the task's output, in bytes (Dask's "nbytes").
+    pub nbytes: u64,
+}
+
+impl TaskDoneEvent {
+    pub fn duration(&self) -> Dur {
+        self.stop - self.start
+    }
+}
+
+/// An inter-worker data transfer (dependency fetch or steal movement).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommEvent {
+    /// The data item being moved (output of this task).
+    pub key: TaskKey,
+    pub from: WorkerId,
+    pub to: WorkerId,
+    pub nbytes: u64,
+    pub start: Time,
+    pub stop: Time,
+}
+
+impl CommEvent {
+    pub fn duration(&self) -> Dur {
+        self.stop - self.start
+    }
+
+    /// Whether the transfer stayed within one node (paper Fig. 5 colours).
+    pub fn same_node(&self) -> bool {
+        self.from.node == self.to.node
+    }
+}
+
+/// I/O operation type, as recorded by the DXT-analog tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOp {
+    Open,
+    Read,
+    Write,
+    Close,
+}
+
+impl IoOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IoOp::Open => "open",
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Close => "close",
+        }
+    }
+}
+
+/// One traced I/O operation. This is the record format shared between the
+/// Darshan-analog collector and the analysis engine; `host` + `thread` +
+/// timestamps are the join keys against task records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoRecord {
+    pub host: NodeId,
+    /// Worker process that issued the I/O.
+    pub worker: WorkerId,
+    /// POSIX thread id — the authors' DXT extension (§III-E3).
+    pub thread: ThreadId,
+    pub file: FileId,
+    pub op: IoOp,
+    pub offset: u64,
+    pub size: u64,
+    pub start: Time,
+    pub stop: Time,
+}
+
+impl IoRecord {
+    pub fn duration(&self) -> Dur {
+        self.stop - self.start
+    }
+}
+
+/// Kinds of runtime warnings mined from scheduler/worker logs (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WarningKind {
+    /// Tornado-style "event loop was unresponsive for X s".
+    UnresponsiveEventLoop,
+    /// "full garbage collections took X% CPU time recently".
+    GcPause,
+}
+
+impl WarningKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WarningKind::UnresponsiveEventLoop => "unresponsive-event-loop",
+            WarningKind::GcPause => "gc-pause",
+        }
+    }
+}
+
+/// A runtime warning emitted by a worker or the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarningEvent {
+    pub kind: WarningKind,
+    pub worker: Option<WorkerId>,
+    pub time: Time,
+    /// Duration of the stall/pause being warned about.
+    pub duration: Dur,
+}
+
+/// Log severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LogLevel {
+    Debug,
+    Info,
+    Warning,
+    Error,
+}
+
+/// Origin of a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogSource {
+    Client(ClientId),
+    Scheduler,
+    Worker(WorkerId),
+}
+
+/// One log line from any component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    pub time: Time,
+    pub level: LogLevel,
+    pub source: LogSource,
+    pub message: String,
+}
+
+// ---------------------------------------------------------------------------
+// Tabular projections: the "common tabular format" (§V).
+// ---------------------------------------------------------------------------
+
+impl Tabular for TransitionEvent {
+    fn schema() -> Vec<&'static str> {
+        vec!["key", "group", "prefix", "graph", "from", "to", "stimulus", "location", "time_s"]
+    }
+
+    fn row(&self) -> Vec<Value> {
+        vec![
+            Value::Str(self.key.to_string()),
+            Value::Str(self.key.group()),
+            Value::Str(self.key.prefix.clone()),
+            Value::U64(self.graph.0 as u64),
+            Value::Str(self.from.as_str().to_string()),
+            Value::Str(self.to.as_str().to_string()),
+            Value::Str(self.stimulus.as_str().to_string()),
+            Value::Str(match self.location {
+                Location::Scheduler => "scheduler".to_string(),
+                Location::Worker(w) => w.address(),
+            }),
+            Value::F64(self.time.as_secs_f64()),
+        ]
+    }
+}
+
+impl Tabular for TaskDoneEvent {
+    fn schema() -> Vec<&'static str> {
+        vec![
+            "key", "group", "prefix", "graph", "worker", "host", "thread", "start_s", "stop_s",
+            "duration_s", "nbytes",
+        ]
+    }
+
+    fn row(&self) -> Vec<Value> {
+        vec![
+            Value::Str(self.key.to_string()),
+            Value::Str(self.key.group()),
+            Value::Str(self.key.prefix.clone()),
+            Value::U64(self.graph.0 as u64),
+            Value::Str(self.worker.address()),
+            Value::Str(self.worker.node.hostname()),
+            Value::U64(self.thread.0),
+            Value::F64(self.start.as_secs_f64()),
+            Value::F64(self.stop.as_secs_f64()),
+            Value::F64(self.duration().as_secs_f64()),
+            Value::U64(self.nbytes),
+        ]
+    }
+}
+
+impl Tabular for CommEvent {
+    fn schema() -> Vec<&'static str> {
+        vec!["key", "from", "to", "same_node", "nbytes", "start_s", "stop_s", "duration_s"]
+    }
+
+    fn row(&self) -> Vec<Value> {
+        vec![
+            Value::Str(self.key.to_string()),
+            Value::Str(self.from.address()),
+            Value::Str(self.to.address()),
+            Value::Bool(self.same_node()),
+            Value::U64(self.nbytes),
+            Value::F64(self.start.as_secs_f64()),
+            Value::F64(self.stop.as_secs_f64()),
+            Value::F64(self.duration().as_secs_f64()),
+        ]
+    }
+}
+
+impl Tabular for IoRecord {
+    fn schema() -> Vec<&'static str> {
+        vec![
+            "host", "worker", "thread", "file", "op", "offset", "size", "start_s", "stop_s",
+            "duration_s",
+        ]
+    }
+
+    fn row(&self) -> Vec<Value> {
+        vec![
+            Value::Str(self.host.hostname()),
+            Value::Str(self.worker.address()),
+            Value::U64(self.thread.0),
+            Value::U64(self.file.0),
+            Value::Str(self.op.as_str().to_string()),
+            Value::U64(self.offset),
+            Value::U64(self.size),
+            Value::F64(self.start.as_secs_f64()),
+            Value::F64(self.stop.as_secs_f64()),
+            Value::F64(self.duration().as_secs_f64()),
+        ]
+    }
+}
+
+impl Tabular for WarningEvent {
+    fn schema() -> Vec<&'static str> {
+        vec!["kind", "worker", "time_s", "duration_s"]
+    }
+
+    fn row(&self) -> Vec<Value> {
+        vec![
+            Value::Str(self.kind.as_str().to_string()),
+            Value::Str(self.worker.map(|w| w.address()).unwrap_or_else(|| "scheduler".into())),
+            Value::F64(self.time.as_secs_f64()),
+            Value::F64(self.duration.as_secs_f64()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn key() -> TaskKey {
+        TaskKey::new("inc", 1, 0)
+    }
+
+    #[test]
+    fn legal_transitions_follow_dask_table() {
+        use TaskState::*;
+        assert!(Released.can_transition_to(Waiting));
+        assert!(Waiting.can_transition_to(Processing));
+        assert!(Processing.can_transition_to(Memory));
+        assert!(Memory.can_transition_to(Forgotten));
+        // illegal ones
+        assert!(!Memory.can_transition_to(Processing));
+        assert!(!Released.can_transition_to(Memory));
+        assert!(!Forgotten.can_transition_to(Waiting));
+        assert!(!Processing.can_transition_to(Queued));
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(TaskState::Memory.is_terminal());
+        assert!(TaskState::Erred.is_terminal());
+        assert!(!TaskState::Processing.is_terminal());
+    }
+
+    #[test]
+    fn comm_same_node_detection() {
+        let a = WorkerId::new(NodeId(0), 0);
+        let b = WorkerId::new(NodeId(0), 1);
+        let c = WorkerId::new(NodeId(1), 0);
+        let e1 = CommEvent { key: key(), from: a, to: b, nbytes: 10, start: Time(0), stop: Time(5) };
+        let e2 = CommEvent { key: key(), from: a, to: c, nbytes: 10, start: Time(0), stop: Time(5) };
+        assert!(e1.same_node());
+        assert!(!e2.same_node());
+    }
+
+    #[test]
+    fn durations() {
+        let a = WorkerId::new(NodeId(0), 0);
+        let done = TaskDoneEvent {
+            key: key(),
+            graph: GraphId(0),
+            worker: a,
+            thread: ThreadId(1),
+            start: Time::from_secs_f64(1.0),
+            stop: Time::from_secs_f64(3.5),
+            nbytes: 100,
+        };
+        assert_eq!(done.duration(), Dur::from_secs_f64(2.5));
+    }
+
+    #[test]
+    fn tabular_rows_match_schema_len() {
+        let a = WorkerId::new(NodeId(0), 0);
+        let tr = TransitionEvent {
+            key: key(),
+            graph: GraphId(0),
+            from: TaskState::Waiting,
+            to: TaskState::Processing,
+            stimulus: Stimulus::Dispatched,
+            location: Location::Scheduler,
+            time: Time(5),
+        };
+        assert_eq!(tr.row().len(), TransitionEvent::schema().len());
+
+        let io = IoRecord {
+            host: NodeId(0),
+            worker: a,
+            thread: ThreadId(7),
+            file: FileId(1),
+            op: IoOp::Read,
+            offset: 0,
+            size: 4096,
+            start: Time(0),
+            stop: Time(10),
+        };
+        assert_eq!(io.row().len(), IoRecord::schema().len());
+
+        let w = WarningEvent {
+            kind: WarningKind::GcPause,
+            worker: Some(a),
+            time: Time(9),
+            duration: Dur(100),
+        };
+        assert_eq!(w.row().len(), WarningEvent::schema().len());
+    }
+
+    #[test]
+    fn events_serde_roundtrip() {
+        let e = TransitionEvent {
+            key: key(),
+            graph: GraphId(2),
+            from: TaskState::Waiting,
+            to: TaskState::Processing,
+            stimulus: Stimulus::Dispatched,
+            location: Location::Worker(WorkerId::new(NodeId(1), 2)),
+            time: Time(123),
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        let back: TransitionEvent = serde_json::from_str(&s).unwrap();
+        assert_eq!(e, back);
+    }
+}

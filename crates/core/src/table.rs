@@ -1,0 +1,200 @@
+//! The *common tabular format* (paper §V).
+//!
+//! Every data source in the framework (task transitions, task completions,
+//! communications, I/O traces, warnings, job metadata) can project itself
+//! into rows of typed values under a named schema. The analysis engine
+//! (`dtf-perfrecup`) ingests these projections into DataFrames and joins
+//! them on the shared identifier columns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamically typed cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl Value {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "i64",
+            Value::U64(_) => "u64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Numeric view: any numeric variant as f64, `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Total ordering for sorting mixed columns: Null < Bool < numbers < Str.
+    /// Numeric variants compare by value; NaN sorts last among numbers.
+    pub fn cmp_total(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::I64(_) | Value::U64(_) | Value::F64(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.partial_cmp(&y).unwrap_or_else(|| {
+                    // NaN handling: NaN sorts after numbers
+                    match (x.is_nan(), y.is_nan()) {
+                        (true, true) => Equal,
+                        (true, false) => Greater,
+                        (false, true) => Less,
+                        _ => unreachable!(),
+                    }
+                })
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.6}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Types that project into the common tabular format.
+pub trait Tabular {
+    /// Column names, fixed per type.
+    fn schema() -> Vec<&'static str>;
+    /// One row; must have exactly `schema().len()` values.
+    fn row(&self) -> Vec<Value>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::I64(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::U64(7).as_f64(), Some(7.0));
+        assert_eq!(Value::F64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::I64(5).as_u64(), Some(5));
+        assert_eq!(Value::I64(-5).as_u64(), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_ordering() {
+        assert_eq!(Value::I64(2).cmp_total(&Value::F64(2.5)), Ordering::Less);
+        assert_eq!(Value::U64(3).cmp_total(&Value::I64(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn rank_ordering() {
+        assert_eq!(Value::Null.cmp_total(&Value::Bool(false)), Ordering::Less);
+        assert_eq!(Value::F64(1e9).cmp_total(&Value::Str("a".into())), Ordering::Less);
+        assert_eq!(Value::Str("a".into()).cmp_total(&Value::Str("b".into())), Ordering::Less);
+    }
+
+    #[test]
+    fn nan_sorts_last_among_numbers() {
+        assert_eq!(Value::F64(f64::NAN).cmp_total(&Value::F64(1.0)), Ordering::Greater);
+        assert_eq!(Value::F64(1.0).cmp_total(&Value::F64(f64::NAN)), Ordering::Less);
+        assert_eq!(Value::F64(f64::NAN).cmp_total(&Value::F64(f64::NAN)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::U64(5).to_string(), "5");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1i64), Value::I64(1));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+}

@@ -1,0 +1,30 @@
+//! # dtf-darshan
+//!
+//! A Darshan-analog application-level I/O characterization layer
+//! (paper §III-C, §III-E3):
+//!
+//! * [`counters`] — the POSIX counters module: per-file operation counts,
+//!   byte totals, cumulative times, and access-size histograms, aggregated
+//!   per worker process (what vanilla Darshan reports).
+//! * [`dxt`] — the DXT (eXtended Tracing) module: a full per-operation
+//!   trace, **extended with POSIX thread ids** the way the paper's authors
+//!   extended it, so traces can be joined with task records. DXT buffers
+//!   are bounded; overflow truncates the trace and flags it (the paper's
+//!   footnote 9 observed exactly this on ResNet152).
+//! * [`runtime`] — the per-process collection runtime that the instrumented
+//!   I/O path feeds, and the instrumented-PFS wrapper used by workers.
+//! * [`report`] — log-analysis helpers (the PyDarshan analog): per-file and
+//!   per-process summaries, size histograms, time-binned activity.
+//! * [`log`] — the binary log format written at process shutdown and the
+//!   reader that parses it back (the PyDarshan-analog entry point).
+
+pub mod counters;
+pub mod dxt;
+pub mod log;
+pub mod report;
+pub mod runtime;
+
+pub use counters::{FileCounters, PosixCounters, SizeBucket};
+pub use dxt::{DxtConfig, DxtModule};
+pub use log::{DarshanLog, LogHeader};
+pub use runtime::{DarshanRuntime, InstrumentedPfs};

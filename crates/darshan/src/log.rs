@@ -1,0 +1,213 @@
+//! The Darshan-analog binary log format and its reader.
+//!
+//! Real Darshan writes one compressed binary log per process at shutdown;
+//! PyDarshan parses it for analysis. Our format is a fixed header
+//! (magic + version + payload length) followed by a JSON payload — simple,
+//! versioned, and self-describing, which is what the analysis layer needs.
+//! A [`LogSet`] merges the per-worker logs of one run, the unit the
+//! analysis engine consumes.
+
+use serde::{Deserialize, Serialize};
+
+use dtf_core::error::{DtfError, Result};
+use dtf_core::events::IoRecord;
+use dtf_core::ids::{RunId, WorkerId};
+use dtf_core::time::Time;
+
+use crate::counters::PosixCounters;
+
+const MAGIC: &[u8; 8] = b"DTFDARSH";
+const VERSION: u32 = 1;
+
+/// Log header: identity of the process and trace-completeness flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHeader {
+    pub run: RunId,
+    pub job_id: u64,
+    pub worker: WorkerId,
+    pub hostname: String,
+    pub start: Time,
+    pub end: Time,
+    /// Whether the DXT trace overflowed its buffer (footnote-9 condition).
+    pub dxt_truncated: bool,
+    pub dxt_dropped: u64,
+}
+
+/// One per-process log: header + POSIX counters + DXT trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DarshanLog {
+    pub header: LogHeader,
+    pub counters: PosixCounters,
+    pub dxt: Vec<IoRecord>,
+}
+
+impl DarshanLog {
+    /// Serialize to the binary log format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = serde_json::to_vec(self).expect("log serializes");
+        let mut out = Vec::with_capacity(16 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parse a binary log.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 20 {
+            return Err(DtfError::Io("darshan log too short".into()));
+        }
+        if &bytes[0..8] != MAGIC {
+            return Err(DtfError::Io("bad darshan log magic".into()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(DtfError::Io(format!("unsupported darshan log version {version}")));
+        }
+        let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+        let payload = bytes
+            .get(20..20 + len)
+            .ok_or_else(|| DtfError::Io("truncated darshan log payload".into()))?;
+        Ok(serde_json::from_slice(payload)?)
+    }
+}
+
+/// All per-process logs of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogSet {
+    pub logs: Vec<DarshanLog>,
+}
+
+impl LogSet {
+    pub fn new(logs: Vec<DarshanLog>) -> Self {
+        Self { logs }
+    }
+
+    /// All DXT records of the run, across workers.
+    pub fn all_records(&self) -> impl Iterator<Item = &IoRecord> {
+        self.logs.iter().flat_map(|l| l.dxt.iter())
+    }
+
+    /// Total I/O operations (reads + writes) from the *counters* modules —
+    /// complete even when DXT truncated.
+    pub fn total_data_ops(&self) -> u64 {
+        self.logs.iter().map(|l| l.counters.totals().data_ops()).sum()
+    }
+
+    /// Total traced I/O operations in DXT (may undercount if truncated —
+    /// the footnote-9 effect is the gap between this and
+    /// [`Self::total_data_ops`]).
+    pub fn traced_data_ops(&self) -> u64 {
+        self.all_records()
+            .filter(|r| matches!(r.op, dtf_core::events::IoOp::Read | dtf_core::events::IoOp::Write))
+            .count() as u64
+    }
+
+    /// Distinct files touched across the run.
+    pub fn distinct_files(&self) -> usize {
+        let mut files: std::collections::HashSet<dtf_core::ids::FileId> =
+            std::collections::HashSet::new();
+        for l in &self.logs {
+            files.extend(l.counters.files().map(|(id, _)| *id));
+        }
+        files.len()
+    }
+
+    /// Total time spent in I/O, summed over workers (paper Fig. 3's I/O bar).
+    pub fn total_io_time(&self) -> dtf_core::time::Dur {
+        let mut total = dtf_core::time::Dur::ZERO;
+        for l in &self.logs {
+            total += l.counters.totals().total_time();
+        }
+        total
+    }
+
+    pub fn any_truncated(&self) -> bool {
+        self.logs.iter().any(|l| l.header.dxt_truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtf_core::events::IoOp;
+    use dtf_core::ids::{FileId, NodeId, ThreadId};
+
+    fn sample_log(truncated: bool) -> DarshanLog {
+        let worker = WorkerId::new(NodeId(0), 0);
+        let mut counters = PosixCounters::new();
+        let rec = IoRecord {
+            host: NodeId(0),
+            worker,
+            thread: ThreadId(42),
+            file: FileId(7),
+            op: IoOp::Read,
+            offset: 0,
+            size: 4096,
+            start: Time(100),
+            stop: Time(200),
+        };
+        counters.record(&rec);
+        DarshanLog {
+            header: LogHeader {
+                run: RunId(3),
+                job_id: 1001,
+                worker,
+                hostname: "nid0000".into(),
+                start: Time(100),
+                end: Time(200),
+                dxt_truncated: truncated,
+                dxt_dropped: u64::from(truncated) * 5,
+            },
+            counters,
+            dxt: vec![rec],
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let log = sample_log(false);
+        let bytes = log.to_bytes();
+        let back = DarshanLog::from_bytes(&bytes).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_rejected() {
+        let log = sample_log(false);
+        let mut bytes = log.to_bytes();
+        assert!(DarshanLog::from_bytes(&bytes[..10]).is_err());
+        assert!(DarshanLog::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        bytes[0] = b'X';
+        assert!(DarshanLog::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let log = sample_log(false);
+        let mut bytes = log.to_bytes();
+        bytes[8] = 99;
+        assert!(DarshanLog::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn logset_aggregates() {
+        let set = LogSet::new(vec![sample_log(false), sample_log(true)]);
+        assert_eq!(set.total_data_ops(), 2);
+        assert_eq!(set.traced_data_ops(), 2);
+        assert_eq!(set.distinct_files(), 1);
+        assert!(set.any_truncated());
+        assert!(set.total_io_time() > dtf_core::time::Dur::ZERO);
+    }
+
+    #[test]
+    fn truncation_gap_visible_between_counters_and_dxt() {
+        // counters see the op, DXT dropped it
+        let mut log = sample_log(true);
+        log.dxt.clear();
+        let set = LogSet::new(vec![log]);
+        assert_eq!(set.total_data_ops(), 1);
+        assert_eq!(set.traced_data_ops(), 0);
+    }
+}

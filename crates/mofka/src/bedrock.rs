@@ -1,0 +1,140 @@
+//! Bedrock-analog bootstrapping: assemble a Mofka service from a JSON
+//! deployment description, the way Mochi's Bedrock spins up a composed
+//! service from a configuration file.
+
+use serde::{Deserialize, Serialize};
+
+use dtf_core::error::{DtfError, Result};
+
+use crate::service::MofkaService;
+use crate::topic::TopicConfig;
+
+/// One topic in the deployment description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopicSpec {
+    pub name: String,
+    #[serde(default = "default_partitions")]
+    pub partitions: u32,
+}
+
+fn default_partitions() -> u32 {
+    4
+}
+
+/// Deployment description for one Mofka instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BedrockConfig {
+    pub topics: Vec<TopicSpec>,
+}
+
+impl BedrockConfig {
+    /// The deployment the WMS plugins expect: one topic per provenance
+    /// record family (§III-E2).
+    pub fn wms_default() -> Self {
+        Self {
+            topics: vec![
+                TopicSpec { name: "task-meta".into(), partitions: 4 },
+                TopicSpec { name: "task-transitions".into(), partitions: 4 },
+                TopicSpec { name: "worker-transitions".into(), partitions: 4 },
+                TopicSpec { name: "task-done".into(), partitions: 4 },
+                TopicSpec { name: "comm-events".into(), partitions: 4 },
+                TopicSpec { name: "io-records".into(), partitions: 4 },
+                TopicSpec { name: "warnings".into(), partitions: 1 },
+                TopicSpec { name: "logs".into(), partitions: 1 },
+            ],
+        }
+    }
+
+    pub fn from_json(json: &str) -> Result<Self> {
+        let cfg: BedrockConfig = serde_json::from_str(json)?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if self.topics.is_empty() {
+            return Err(DtfError::Config("bedrock config has no topics".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.topics {
+            if t.partitions == 0 {
+                return Err(DtfError::Config(format!("topic {} has zero partitions", t.name)));
+            }
+            if !seen.insert(&t.name) {
+                return Err(DtfError::Config(format!("duplicate topic {}", t.name)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Spin up a service per this description.
+    pub fn bootstrap(&self) -> Result<MofkaService> {
+        self.validate()?;
+        let svc = MofkaService::new();
+        for t in &self.topics {
+            svc.create_topic(&t.name, TopicConfig { partitions: t.partitions })?;
+        }
+        // record the deployment description itself (provenance of the
+        // provenance system)
+        svc.yokan().put("bedrock/config", serde_json::to_vec(self).expect("config serializes"));
+        Ok(svc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_deployment_bootstraps_all_topics() {
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        let names = svc.topic_names();
+        for expect in [
+            "task-meta",
+            "task-transitions",
+            "worker-transitions",
+            "task-done",
+            "comm-events",
+            "io-records",
+            "warnings",
+            "logs",
+        ] {
+            assert!(names.contains(&expect.to_string()), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_with_default_partitions() {
+        let cfg = BedrockConfig::from_json(
+            r#"{"topics": [{"name": "a"}, {"name": "b", "partitions": 2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.topics[0].partitions, 4);
+        assert_eq!(cfg.topics[1].partitions, 2);
+        let svc = cfg.bootstrap().unwrap();
+        assert_eq!(svc.topic("a").unwrap().num_partitions(), 4);
+        assert_eq!(svc.topic("b").unwrap().num_partitions(), 2);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(BedrockConfig::from_json(r#"{"topics": []}"#).is_err());
+        assert!(BedrockConfig::from_json(
+            r#"{"topics": [{"name": "a", "partitions": 0}]}"#
+        )
+        .is_err());
+        assert!(BedrockConfig::from_json(
+            r#"{"topics": [{"name": "a"}, {"name": "a"}]}"#
+        )
+        .is_err());
+        assert!(BedrockConfig::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn bootstrap_records_config_in_yokan() {
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        let raw = svc.yokan().get("bedrock/config").unwrap();
+        let cfg: BedrockConfig = serde_json::from_slice(&raw).unwrap();
+        assert_eq!(cfg, BedrockConfig::wms_default());
+    }
+}

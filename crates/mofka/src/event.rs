@@ -1,0 +1,100 @@
+//! Events: a JSON metadata part plus a raw data payload (paper §III-B:
+//! "Each event has two parts. The first is a data portion that contains the
+//! raw data payload. The second is metadata expressed in JSON format").
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a stored event: partition number and offset within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId {
+    pub partition: u32,
+    pub offset: u64,
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.partition, self.offset)
+    }
+}
+
+/// One event as produced/consumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// JSON metadata describing the payload.
+    pub metadata: serde_json::Value,
+    /// Raw data payload (may be empty; provenance events typically carry
+    /// everything in metadata).
+    pub data: Bytes,
+}
+
+impl Event {
+    pub fn new(metadata: serde_json::Value, data: Bytes) -> Self {
+        Self { metadata, data }
+    }
+
+    /// Event with metadata only (the common case for provenance records).
+    pub fn meta_only(metadata: serde_json::Value) -> Self {
+        Self { metadata, data: Bytes::new() }
+    }
+
+    /// Serialize any `Serialize` value into a metadata-only event.
+    pub fn from_serializable<T: Serialize>(value: &T) -> Result<Self, serde_json::Error> {
+        Ok(Self::meta_only(serde_json::to_value(value)?))
+    }
+
+    /// Approximate wire size of the event, bytes (metadata rendered as JSON
+    /// plus payload length). Used for batching thresholds and stats.
+    pub fn wire_size(&self) -> usize {
+        // serde_json::to_string on a Value cannot fail
+        serde_json::to_string(&self.metadata).map(|s| s.len()).unwrap_or(0) + self.data.len()
+    }
+}
+
+/// A stored event: the event plus its assigned id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEvent {
+    pub id: EventId,
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn meta_only_has_empty_payload() {
+        let e = Event::meta_only(json!({"k": 1}));
+        assert!(e.data.is_empty());
+        assert_eq!(e.metadata["k"], 1);
+    }
+
+    #[test]
+    fn from_serializable_roundtrip() {
+        #[derive(Serialize)]
+        struct S {
+            a: u32,
+            b: String,
+        }
+        let e = Event::from_serializable(&S { a: 7, b: "x".into() }).unwrap();
+        assert_eq!(e.metadata["a"], 7);
+        assert_eq!(e.metadata["b"], "x");
+    }
+
+    #[test]
+    fn wire_size_counts_both_parts() {
+        let e = Event::new(json!({"k": "v"}), Bytes::from_static(b"12345"));
+        // {"k":"v"} is 9 bytes + 5 payload
+        assert_eq!(e.wire_size(), 14);
+    }
+
+    #[test]
+    fn event_id_ordering_and_display() {
+        let a = EventId { partition: 0, offset: 5 };
+        let b = EventId { partition: 1, offset: 0 };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "0:5");
+    }
+}

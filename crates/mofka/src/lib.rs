@@ -1,0 +1,35 @@
+//! # dtf-mofka
+//!
+//! An event-streaming service analogous to Mofka (paper §III-B): a
+//! Kafka-like model optimized for ingesting large volumes of small, highly
+//! concurrent events from instrumented workflows.
+//!
+//! * Events carry a JSON *metadata* part and a raw *data* payload (§III-B).
+//! * Producers push into **topics**, batched to amortize synchronization;
+//!   consumers in **consumer groups** pull with prefetch, each group seeing
+//!   every event exactly once, in per-partition order.
+//! * Event streams are persistent: the same consumer API serves in-situ
+//!   analysis (tail the stream during the run) and post-processing (replay
+//!   from offset zero after the run).
+//!
+//! Like Mofka, the service is assembled from reusable micro-services:
+//! [`yokan`] (key/value), [`warabi`] (blob store), [`bedrock`] (deployment
+//! and bootstrapping), and [`ssg`] (group membership and fault detection).
+//! The topic log is itself stored in a Warabi blob region with its metadata
+//! in Yokan, mirroring Mofka's composition.
+
+pub mod bedrock;
+pub mod consumer;
+pub mod event;
+pub mod producer;
+pub mod service;
+pub mod ssg;
+pub mod topic;
+pub mod warabi;
+pub mod yokan;
+
+pub use consumer::{Consumer, ConsumerConfig};
+pub use event::{Event, EventId};
+pub use producer::{Producer, ProducerConfig};
+pub use service::MofkaService;
+pub use topic::TopicConfig;

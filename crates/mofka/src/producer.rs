@@ -1,0 +1,240 @@
+//! Producers: batched, partitioned event injection.
+//!
+//! Producers buffer events locally and append them to partitions in
+//! batches, amortizing synchronization — Mofka's "batching strategies"
+//! (§III-B). Partition selection is either round-robin or by hashing a
+//! metadata key field, which keeps all events of one task in one partition
+//! (preserving per-task ordering for consumers).
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use dtf_core::error::Result;
+
+use crate::event::Event;
+use crate::topic::Topic;
+
+/// How a producer assigns events to partitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Cycle through partitions.
+    RoundRobin,
+    /// Hash the given metadata field (stringified); events with equal key
+    /// values land in the same partition, preserving their relative order.
+    HashKey(String),
+}
+
+/// Producer tuning parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProducerConfig {
+    /// Flush when this many events are buffered. 1 disables batching.
+    pub batch_size: usize,
+    pub strategy: PartitionStrategy,
+}
+
+impl Default for ProducerConfig {
+    fn default() -> Self {
+        Self { batch_size: 64, strategy: PartitionStrategy::RoundRobin }
+    }
+}
+
+/// Producer-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProducerStats {
+    pub events: u64,
+    pub batches: u64,
+    pub bytes: u64,
+}
+
+/// A producer handle bound to one topic. Not `Sync`: each producing thread
+/// owns its producer (Mofka's nonblocking client model); the topic itself
+/// is thread-safe.
+#[derive(Debug)]
+pub struct Producer {
+    topic: Arc<Topic>,
+    cfg: ProducerConfig,
+    /// Per-partition pending buffers.
+    pending: Vec<Vec<Event>>,
+    pending_count: usize,
+    rr_next: u32,
+    stats: ProducerStats,
+}
+
+impl Producer {
+    pub(crate) fn new(topic: Arc<Topic>, cfg: ProducerConfig) -> Self {
+        assert!(cfg.batch_size >= 1, "batch_size must be >= 1");
+        let parts = topic.num_partitions() as usize;
+        Self {
+            topic,
+            cfg,
+            pending: (0..parts).map(|_| Vec::new()).collect(),
+            pending_count: 0,
+            rr_next: 0,
+            stats: ProducerStats::default(),
+        }
+    }
+
+    fn select_partition(&mut self, event: &Event) -> u32 {
+        match &self.cfg.strategy {
+            PartitionStrategy::RoundRobin => {
+                let p = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.topic.num_partitions();
+                p
+            }
+            PartitionStrategy::HashKey(field) => {
+                let keystr = event
+                    .metadata
+                    .get(field)
+                    .map(|v| v.to_string())
+                    .unwrap_or_default();
+                let mut h = DefaultHasher::new();
+                keystr.hash(&mut h);
+                (h.finish() % self.topic.num_partitions() as u64) as u32
+            }
+        }
+    }
+
+    /// Buffer one event; flushes automatically when the batch fills.
+    pub fn push(&mut self, event: Event) -> Result<()> {
+        self.stats.events += 1;
+        self.stats.bytes += event.wire_size() as u64;
+        let p = self.select_partition(&event);
+        self.pending[p as usize].push(event);
+        self.pending_count += 1;
+        if self.pending_count >= self.cfg.batch_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Append all buffered events to their partitions.
+    pub fn flush(&mut self) -> Result<()> {
+        for (p, buf) in self.pending.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(buf);
+            self.topic.append_batch(p as u32, batch)?;
+            self.stats.batches += 1;
+        }
+        self.pending_count = 0;
+        Ok(())
+    }
+
+    pub fn stats(&self) -> ProducerStats {
+        self.stats
+    }
+
+    pub fn pending_events(&self) -> usize {
+        self.pending_count
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        // best-effort flush so dropped producers do not lose events
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicConfig;
+    use crate::warabi::Warabi;
+    use serde_json::json;
+
+    fn topic(parts: u32) -> Arc<Topic> {
+        Arc::new(Topic::new("t", &TopicConfig { partitions: parts }, Arc::new(Warabi::new())))
+    }
+
+    #[test]
+    fn batching_defers_appends_until_batch_full() {
+        let t = topic(1);
+        let mut p = Producer::new(t.clone(), ProducerConfig {
+            batch_size: 4,
+            strategy: PartitionStrategy::RoundRobin,
+        });
+        for i in 0..3 {
+            p.push(Event::meta_only(json!(i))).unwrap();
+        }
+        assert_eq!(t.total_len(), 0, "nothing flushed yet");
+        assert_eq!(p.pending_events(), 3);
+        p.push(Event::meta_only(json!(3))).unwrap();
+        assert_eq!(t.total_len(), 4, "batch flushed at threshold");
+        assert_eq!(p.pending_events(), 0);
+        assert_eq!(p.stats().batches, 1);
+        assert_eq!(p.stats().events, 4);
+    }
+
+    #[test]
+    fn explicit_flush_drains_partial_batch() {
+        let t = topic(1);
+        let mut p = Producer::new(t.clone(), ProducerConfig::default());
+        p.push(Event::meta_only(json!(1))).unwrap();
+        p.flush().unwrap();
+        assert_eq!(t.total_len(), 1);
+    }
+
+    #[test]
+    fn drop_flushes_pending() {
+        let t = topic(1);
+        {
+            let mut p = Producer::new(t.clone(), ProducerConfig::default());
+            p.push(Event::meta_only(json!(1))).unwrap();
+        }
+        assert_eq!(t.total_len(), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_events() {
+        let t = topic(4);
+        let mut p = Producer::new(t.clone(), ProducerConfig {
+            batch_size: 1,
+            strategy: PartitionStrategy::RoundRobin,
+        });
+        for i in 0..8 {
+            p.push(Event::meta_only(json!(i))).unwrap();
+        }
+        for part in 0..4 {
+            assert_eq!(t.partition_len(part).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn hash_key_keeps_same_key_in_same_partition() {
+        let t = topic(4);
+        let mut p = Producer::new(t.clone(), ProducerConfig {
+            batch_size: 1,
+            strategy: PartitionStrategy::HashKey("task".into()),
+        });
+        for i in 0..20 {
+            p.push(Event::meta_only(json!({ "task": "A", "i": i }))).unwrap();
+            p.push(Event::meta_only(json!({ "task": "B", "i": i }))).unwrap();
+        }
+        // each key's events all in exactly one partition
+        let mut parts_a = vec![];
+        for part in 0..4 {
+            let evs = t.read(part, 0, 1000).unwrap();
+            let a: Vec<_> = evs.iter().filter(|e| e.event.metadata["task"] == "A").collect();
+            if !a.is_empty() {
+                parts_a.push(part);
+                // and in order
+                let idx: Vec<u64> =
+                    a.iter().map(|e| e.event.metadata["i"].as_u64().unwrap()).collect();
+                assert!(idx.windows(2).all(|w| w[0] < w[1]), "per-key order preserved");
+            }
+        }
+        assert_eq!(parts_a.len(), 1, "key A must map to exactly one partition");
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let t = topic(1);
+        let mut p = Producer::new(t, ProducerConfig::default());
+        p.push(Event::meta_only(json!({ "k": "v" }))).unwrap();
+        assert!(p.stats().bytes >= 9);
+    }
+}

@@ -1,0 +1,156 @@
+//! The assembled Mofka service: topics + micro-services, thread-safe.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dtf_core::error::{DtfError, Result};
+
+use crate::consumer::{Consumer, ConsumerConfig};
+use crate::producer::{Producer, ProducerConfig};
+use crate::topic::{Topic, TopicConfig};
+use crate::warabi::Warabi;
+use crate::yokan::Yokan;
+
+/// A running Mofka service instance. Cloneable handle semantics via `Arc`
+/// are left to the caller; the service itself is `Send + Sync`.
+///
+/// ```
+/// use dtf_mofka::{Event, MofkaService, TopicConfig, ConsumerConfig};
+/// use dtf_mofka::producer::ProducerConfig;
+///
+/// let svc = MofkaService::new();
+/// svc.create_topic("metrics", TopicConfig { partitions: 2 }).unwrap();
+/// let mut producer = svc.producer("metrics", ProducerConfig::default()).unwrap();
+/// producer.push(Event::meta_only(serde_json::json!({"sample": 1}))).unwrap();
+/// producer.flush().unwrap();
+///
+/// let mut consumer = svc.consumer("metrics", ConsumerConfig::default()).unwrap();
+/// let events = consumer.drain_all().unwrap();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].event.metadata["sample"], 1);
+/// ```
+#[derive(Debug)]
+pub struct MofkaService {
+    yokan: Arc<Yokan>,
+    warabi: Arc<Warabi>,
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+}
+
+impl Default for MofkaService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MofkaService {
+    pub fn new() -> Self {
+        Self {
+            yokan: Arc::new(Yokan::new()),
+            warabi: Arc::new(Warabi::new()),
+            topics: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Create a topic. Errors if it already exists.
+    pub fn create_topic(&self, name: &str, cfg: TopicConfig) -> Result<()> {
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(DtfError::IllegalState(format!("topic {name} already exists")));
+        }
+        // record the topic config in Yokan, as Mofka does
+        self.yokan.put(
+            format!("topic-config/{name}"),
+            serde_json::to_vec(&cfg).expect("topic config serializes"),
+        );
+        topics.insert(name.to_string(), Arc::new(Topic::new(name, &cfg, self.warabi.clone())));
+        Ok(())
+    }
+
+    pub fn topic(&self, name: &str) -> Result<Arc<Topic>> {
+        self.topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DtfError::NotFound(format!("topic {name}")))
+    }
+
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Open a producer on `topic`.
+    pub fn producer(&self, topic: &str, cfg: ProducerConfig) -> Result<Producer> {
+        Ok(Producer::new(self.topic(topic)?, cfg))
+    }
+
+    /// Open a consumer on `topic`.
+    pub fn consumer(&self, topic: &str, cfg: ConsumerConfig) -> Result<Consumer> {
+        Ok(Consumer::new(self.topic(topic)?, self.yokan.clone(), cfg))
+    }
+
+    /// The shared KV micro-service (exposed for group-offset inspection and
+    /// for components that need durable metadata, e.g. Bedrock).
+    pub fn yokan(&self) -> &Arc<Yokan> {
+        &self.yokan
+    }
+
+    /// The shared blob micro-service.
+    pub fn warabi(&self) -> &Arc<Warabi> {
+        &self.warabi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use serde_json::json;
+
+    #[test]
+    fn create_produce_consume_roundtrip() {
+        let svc = MofkaService::new();
+        svc.create_topic("task-events", TopicConfig { partitions: 2 }).unwrap();
+        let mut p = svc.producer("task-events", ProducerConfig::default()).unwrap();
+        for i in 0..10 {
+            p.push(Event::meta_only(json!({ "i": i }))).unwrap();
+        }
+        p.flush().unwrap();
+        let mut c = svc.consumer("task-events", ConsumerConfig::default()).unwrap();
+        assert_eq!(c.drain_all().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let svc = MofkaService::new();
+        svc.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(svc.create_topic("t", TopicConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unknown_topic_errors() {
+        let svc = MofkaService::new();
+        assert!(svc.producer("nope", ProducerConfig::default()).is_err());
+        assert!(svc.consumer("nope", ConsumerConfig::default()).is_err());
+        assert!(svc.topic("nope").is_err());
+    }
+
+    #[test]
+    fn topic_config_recorded_in_yokan() {
+        let svc = MofkaService::new();
+        svc.create_topic("t", TopicConfig { partitions: 7 }).unwrap();
+        let raw = svc.yokan().get("topic-config/t").unwrap();
+        let cfg: TopicConfig = serde_json::from_slice(&raw).unwrap();
+        assert_eq!(cfg.partitions, 7);
+    }
+
+    #[test]
+    fn topic_names_sorted() {
+        let svc = MofkaService::new();
+        svc.create_topic("b", TopicConfig::default()).unwrap();
+        svc.create_topic("a", TopicConfig::default()).unwrap();
+        assert_eq!(svc.topic_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Warabi-analog blob-store micro-service.
+//!
+//! Mofka stores raw event payloads in Warabi regions. Blobs are immutable
+//! once written; readers get cheap `Bytes` clones (reference-counted), which
+//! is what makes high-fan-out consumption of the same payload inexpensive.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a stored blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlobId(pub u64);
+
+impl fmt::Display for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blob-{}", self.0)
+    }
+}
+
+/// An append-only blob store.
+#[derive(Debug, Default)]
+pub struct Warabi {
+    blobs: RwLock<Vec<Bytes>>,
+}
+
+impl Warabi {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a blob, returning its id.
+    pub fn put(&self, data: impl Into<Bytes>) -> BlobId {
+        let mut blobs = self.blobs.write();
+        let id = BlobId(blobs.len() as u64);
+        blobs.push(data.into());
+        id
+    }
+
+    /// Fetch a blob (cheap clone of a refcounted buffer).
+    pub fn get(&self, id: BlobId) -> Option<Bytes> {
+        self.blobs.read().get(id.0 as usize).cloned()
+    }
+
+    /// Read a byte range of a blob.
+    pub fn get_range(&self, id: BlobId, offset: usize, len: usize) -> Option<Bytes> {
+        let blobs = self.blobs.read();
+        let blob = blobs.get(id.0 as usize)?;
+        if offset.checked_add(len)? > blob.len() {
+            return None;
+        }
+        Some(blob.slice(offset..offset + len))
+    }
+
+    pub fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blobs.read().is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.read().iter().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let w = Warabi::new();
+        let id = w.put(Bytes::from_static(b"hello"));
+        assert_eq!(w.get(id).unwrap().as_ref(), b"hello");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.total_bytes(), 5);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let w = Warabi::new();
+        let a = w.put(Bytes::from_static(b"a"));
+        let b = w.put(Bytes::from_static(b"b"));
+        assert_eq!(a, BlobId(0));
+        assert_eq!(b, BlobId(1));
+    }
+
+    #[test]
+    fn missing_blob_is_none() {
+        let w = Warabi::new();
+        assert!(w.get(BlobId(0)).is_none());
+    }
+
+    #[test]
+    fn range_reads() {
+        let w = Warabi::new();
+        let id = w.put(Bytes::from_static(b"0123456789"));
+        assert_eq!(w.get_range(id, 2, 3).unwrap().as_ref(), b"234");
+        assert_eq!(w.get_range(id, 0, 10).unwrap().as_ref(), b"0123456789");
+        assert!(w.get_range(id, 8, 3).is_none(), "past end");
+        assert!(w.get_range(id, usize::MAX, 1).is_none(), "overflow");
+    }
+
+    #[test]
+    fn concurrent_puts_all_retrievable() {
+        use std::sync::Arc;
+        let w = Arc::new(Warabi::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let w = w.clone();
+                std::thread::spawn(move || {
+                    (0..50).map(|j| (w.put(Bytes::from(vec![i, j])), vec![i, j])).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (id, expect) in h.join().unwrap() {
+                assert_eq!(w.get(id).unwrap().as_ref(), expect.as_slice());
+            }
+        }
+        assert_eq!(w.len(), 200);
+    }
+}

@@ -1,0 +1,138 @@
+//! Yokan-analog key/value micro-service.
+//!
+//! Mofka stores topic and consumer-group metadata in Yokan; so do we. The
+//! store is a sorted map guarded by an `RwLock`, supporting point ops and
+//! prefix listing (the operations Mofka's metadata layer uses).
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// An in-memory sorted KV store with prefix queries.
+#[derive(Debug, Default)]
+pub struct Yokan {
+    map: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl Yokan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put(&self, key: impl Into<String>, value: impl Into<Bytes>) {
+        self.map.write().insert(key.into(), value.into());
+    }
+
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.map.read().get(key).cloned()
+    }
+
+    pub fn delete(&self, key: &str) -> bool {
+        self.map.write().remove(key).is_some()
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.read().contains_key(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in key order.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<(String, Bytes)> {
+        self.map
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Atomically update the value at `key` with `f` (insert if absent,
+    /// starting from `None`).
+    pub fn update<F: FnOnce(Option<&Bytes>) -> Bytes>(&self, key: &str, f: F) {
+        let mut map = self.map.write();
+        let new = f(map.get(key));
+        map.insert(key.to_string(), new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let kv = Yokan::new();
+        assert!(kv.is_empty());
+        kv.put("a", Bytes::from_static(b"1"));
+        assert_eq!(kv.get("a"), Some(Bytes::from_static(b"1")));
+        assert!(kv.contains("a"));
+        assert!(kv.delete("a"));
+        assert!(!kv.delete("a"));
+        assert_eq!(kv.get("a"), None);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let kv = Yokan::new();
+        kv.put("k", Bytes::from_static(b"old"));
+        kv.put("k", Bytes::from_static(b"new"));
+        assert_eq!(kv.get("k"), Some(Bytes::from_static(b"new")));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn prefix_listing_is_ordered_and_exact() {
+        let kv = Yokan::new();
+        kv.put("topic/a/0", Bytes::from_static(b"x"));
+        kv.put("topic/a/1", Bytes::from_static(b"y"));
+        kv.put("topic/b/0", Bytes::from_static(b"z"));
+        kv.put("topiz", Bytes::from_static(b"w"));
+        let got = kv.list_prefix("topic/a/");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, "topic/a/0");
+        assert_eq!(got[1].0, "topic/a/1");
+        assert!(kv.list_prefix("nope").is_empty());
+    }
+
+    #[test]
+    fn update_inserts_and_mutates() {
+        let kv = Yokan::new();
+        kv.update("ctr", |old| {
+            assert!(old.is_none());
+            Bytes::from_static(b"1")
+        });
+        kv.update("ctr", |old| {
+            assert_eq!(old.unwrap().as_ref(), b"1");
+            Bytes::from_static(b"2")
+        });
+        assert_eq!(kv.get("ctr"), Some(Bytes::from_static(b"2")));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let kv = Arc::new(Yokan::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let kv = kv.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        kv.put(format!("t{i}/{j}"), Bytes::from(vec![i as u8]));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.len(), 800);
+        assert_eq!(kv.list_prefix("t3/").len(), 100);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the streaming service against naive models.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dtf_mofka::consumer::ConsumerConfig;
+use dtf_mofka::producer::{PartitionStrategy, ProducerConfig};
+use dtf_mofka::topic::TopicConfig;
+use dtf_mofka::yokan::Yokan;
+use dtf_mofka::{Event, MofkaService};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yokan behaves exactly like a BTreeMap for any operation sequence.
+    #[test]
+    fn yokan_matches_btreemap_model(
+        ops in proptest::collection::vec((0u8..4, 0u8..16, any::<u8>()), 0..120)
+    ) {
+        let kv = Yokan::new();
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for (op, k, v) in ops {
+            let key = format!("k{k:02}");
+            match op {
+                0 => {
+                    kv.put(key.clone(), vec![v]);
+                    model.insert(key, vec![v]);
+                }
+                1 => {
+                    let got = kv.get(&key).map(|b| b.to_vec());
+                    prop_assert_eq!(got, model.get(&key).cloned());
+                }
+                2 => {
+                    let removed = kv.delete(&key);
+                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                }
+                _ => {
+                    let prefix = format!("k{:01}", k % 2);
+                    let got: Vec<String> =
+                        kv.list_prefix(&prefix).into_iter().map(|(k, _)| k).collect();
+                    let expect: Vec<String> = model
+                        .range(prefix.clone()..)
+                        .take_while(|(k, _)| k.starts_with(&prefix))
+                        .map(|(k, _)| k.clone())
+                        .collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(kv.len(), model.len());
+        }
+    }
+
+    /// Concurrent producers with key-hash partitioning: per-key order is
+    /// preserved end to end, regardless of thread interleaving.
+    #[test]
+    fn per_key_order_survives_concurrency(
+        n_keys in 1usize..6,
+        per_key in 1usize..40,
+        partitions in 1u32..5,
+    ) {
+        let svc = Arc::new(MofkaService::new());
+        svc.create_topic("t", TopicConfig { partitions }).unwrap();
+        let handles: Vec<_> = (0..n_keys)
+            .map(|key| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let mut p = svc
+                        .producer("t", ProducerConfig {
+                            batch_size: 4,
+                            strategy: PartitionStrategy::HashKey("key".into()),
+                        })
+                        .unwrap();
+                    for seq in 0..per_key {
+                        p.push(Event::meta_only(serde_json::json!({
+                            "key": key, "seq": seq
+                        })))
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut consumer = svc
+            .consumer("t", ConsumerConfig { group: "g".into(), prefetch: 8 })
+            .unwrap();
+        let events = consumer.drain_all().unwrap();
+        prop_assert_eq!(events.len(), n_keys * per_key);
+        // per key, seq numbers arrive in increasing order
+        let mut last: std::collections::HashMap<u64, i64> = Default::default();
+        for e in events {
+            let key = e.event.metadata["key"].as_u64().unwrap();
+            let seq = e.event.metadata["seq"].as_i64().unwrap();
+            let prev = last.insert(key, seq).unwrap_or(-1);
+            prop_assert!(seq > prev, "key {key}: seq {seq} after {prev}");
+        }
+    }
+
+    /// Offsets are dense and unique per partition whatever the batch sizes.
+    #[test]
+    fn offsets_dense_per_partition(batches in proptest::collection::vec(1usize..20, 1..20)) {
+        let svc = MofkaService::new();
+        svc.create_topic("t", TopicConfig { partitions: 3 }).unwrap();
+        let mut total = 0usize;
+        for batch in &batches {
+            let mut p = svc
+                .producer("t", ProducerConfig {
+                    batch_size: *batch,
+                    strategy: PartitionStrategy::RoundRobin,
+                })
+                .unwrap();
+            for i in 0..*batch {
+                p.push(Event::meta_only(serde_json::json!(i))).unwrap();
+            }
+            p.flush().unwrap();
+            total += batch;
+        }
+        let topic = svc.topic("t").unwrap();
+        let mut sum = 0;
+        for part in 0..3 {
+            let len = topic.partition_len(part).unwrap();
+            sum += len;
+            let events = topic.read(part, 0, usize::MAX >> 1).unwrap();
+            prop_assert_eq!(events.len() as u64, len);
+            for (i, e) in events.iter().enumerate() {
+                prop_assert_eq!(e.id.offset, i as u64, "offsets are dense");
+            }
+        }
+        prop_assert_eq!(sum, total as u64);
+    }
+}

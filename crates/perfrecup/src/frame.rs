@@ -1,0 +1,466 @@
+//! A small typed columnar DataFrame — the pandas substitute underneath the
+//! analysis views. Supports projection, filtering, sorting, inner joins on
+//! shared identifier columns, and grouped aggregation; exactly the
+//! operations the paper's analyses need.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dtf_core::error::{DtfError, Result};
+use dtf_core::table::{Tabular, Value};
+
+/// Column-major table with string column names.
+///
+/// ```
+/// use dtf_perfrecup::frame::{Agg, DataFrame};
+/// use dtf_core::table::Value;
+///
+/// let mut df = DataFrame::new(vec!["worker".into(), "duration".into()]);
+/// df.push_row(vec![Value::Str("w0".into()), Value::F64(1.5)]).unwrap();
+/// df.push_row(vec![Value::Str("w0".into()), Value::F64(2.5)]).unwrap();
+/// df.push_row(vec![Value::Str("w1".into()), Value::F64(4.0)]).unwrap();
+///
+/// let by_worker = df.group_by("worker", "duration", Agg::Mean).unwrap();
+/// assert_eq!(by_worker.col_f64("duration_mean").unwrap(), vec![2.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Vec<Value>>,
+}
+
+/// Aggregations for [`DataFrame::group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    Count,
+    Sum,
+    Mean,
+    Min,
+    Max,
+}
+
+impl DataFrame {
+    pub fn new(names: Vec<String>) -> Self {
+        let columns = names.iter().map(|_| Vec::new()).collect();
+        Self { names, columns }
+    }
+
+    /// Build from any slice of records in the common tabular format.
+    pub fn from_tabular<T: Tabular>(records: &[T]) -> Self {
+        let names: Vec<String> = T::schema().into_iter().map(str::to_string).collect();
+        let mut df = DataFrame::new(names);
+        for r in records {
+            df.push_row(r.row()).expect("schema-conforming row");
+        }
+        df
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_rows() == 0
+    }
+
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.names.len() {
+            return Err(DtfError::Config(format!(
+                "row width {} != {} columns",
+                row.len(),
+                self.names.len()
+            )));
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    fn col_index(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| DtfError::NotFound(format!("column {name}")))
+    }
+
+    /// A column by name.
+    pub fn col(&self, name: &str) -> Result<&[Value]> {
+        Ok(&self.columns[self.col_index(name)?])
+    }
+
+    /// Numeric view of a column (non-numeric cells skipped).
+    pub fn col_f64(&self, name: &str) -> Result<Vec<f64>> {
+        Ok(self.col(name)?.iter().filter_map(Value::as_f64).collect())
+    }
+
+    /// One row by index.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[i].clone()).collect()
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut out = DataFrame::new(names.iter().map(|s| s.to_string()).collect());
+        let idx: Vec<usize> =
+            names.iter().map(|n| self.col_index(n)).collect::<Result<_>>()?;
+        out.columns = idx.iter().map(|&i| self.columns[i].clone()).collect();
+        Ok(out)
+    }
+
+    /// Rows where `pred(row_value_of(col))` holds.
+    pub fn filter<F: Fn(&Value) -> bool>(&self, col: &str, pred: F) -> Result<DataFrame> {
+        let ci = self.col_index(col)?;
+        let keep: Vec<usize> = self.columns[ci]
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| pred(v))
+            .map(|(i, _)| i)
+            .collect();
+        Ok(self.take(&keep))
+    }
+
+    fn take(&self, rows: &[usize]) -> DataFrame {
+        DataFrame {
+            names: self.names.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| rows.iter().map(|&i| c[i].clone()).collect())
+                .collect(),
+        }
+    }
+
+    /// Stable sort by a column, ascending.
+    pub fn sort_by(&self, col: &str) -> Result<DataFrame> {
+        let ci = self.col_index(col)?;
+        let mut order: Vec<usize> = (0..self.n_rows()).collect();
+        order.sort_by(|&a, &b| self.columns[ci][a].cmp_total(&self.columns[ci][b]));
+        Ok(self.take(&order))
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let rows: Vec<usize> = (0..self.n_rows().min(n)).collect();
+        self.take(&rows)
+    }
+
+    /// Inner join on `self[left_on] == other[right_on]`. Columns of `other`
+    /// are suffixed with `_r` when they collide.
+    pub fn inner_join(&self, other: &DataFrame, left_on: &str, right_on: &str) -> Result<DataFrame> {
+        let li = self.col_index(left_on)?;
+        let ri = other.col_index(right_on)?;
+        // hash the right side by the join key's display form (Value is not
+        // Hash; display form is injective for our identifier columns)
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, v) in other.columns[ri].iter().enumerate() {
+            index.entry(v.to_string()).or_default().push(i);
+        }
+        let mut names = self.names.clone();
+        for (j, n) in other.names.iter().enumerate() {
+            if j == ri {
+                continue;
+            }
+            if names.contains(n) {
+                names.push(format!("{n}_r"));
+            } else {
+                names.push(n.clone());
+            }
+        }
+        let mut out = DataFrame::new(names);
+        for i in 0..self.n_rows() {
+            if let Some(matches) = index.get(&self.columns[li][i].to_string()) {
+                for &j in matches {
+                    let mut row = self.row(i);
+                    for (cj, c) in other.columns.iter().enumerate() {
+                        if cj != ri {
+                            row.push(c[j].clone());
+                        }
+                    }
+                    out.push_row(row)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Group by a key column and aggregate a value column.
+    /// Returns a frame with columns `[key, agg]`, ordered by key.
+    pub fn group_by(&self, key: &str, value: &str, agg: Agg) -> Result<DataFrame> {
+        let ki = self.col_index(key)?;
+        let vi = self.col_index(value)?;
+        let mut groups: HashMap<String, (Value, Vec<f64>)> = HashMap::new();
+        for i in 0..self.n_rows() {
+            let k = self.columns[ki][i].to_string();
+            let entry = groups
+                .entry(k)
+                .or_insert_with(|| (self.columns[ki][i].clone(), Vec::new()));
+            if let Some(x) = self.columns[vi][i].as_f64() {
+                entry.1.push(x);
+            } else if agg == Agg::Count {
+                entry.1.push(0.0); // counting non-numeric rows still counts
+            }
+        }
+        let mut keys: Vec<&String> = groups.keys().collect();
+        keys.sort();
+        let agg_name = match agg {
+            Agg::Count => "count",
+            Agg::Sum => "sum",
+            Agg::Mean => "mean",
+            Agg::Min => "min",
+            Agg::Max => "max",
+        };
+        let mut out = DataFrame::new(vec![key.to_string(), format!("{value}_{agg_name}")]);
+        for k in keys {
+            let (kv, vals) = &groups[k];
+            let v = match agg {
+                Agg::Count => Value::U64(vals.len() as u64),
+                Agg::Sum => Value::F64(vals.iter().sum()),
+                Agg::Mean => Value::F64(if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }),
+                Agg::Min => Value::F64(vals.iter().copied().fold(f64::INFINITY, f64::min)),
+                Agg::Max => Value::F64(vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            };
+            out.push_row(vec![kv.clone(), v])?;
+        }
+        Ok(out)
+    }
+
+    /// Append another frame with the same schema.
+    pub fn concat(&mut self, other: &DataFrame) -> Result<()> {
+        if self.names != other.names {
+            return Err(DtfError::Config("concat schema mismatch".into()));
+        }
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.extend(b.iter().cloned());
+        }
+        Ok(())
+    }
+
+    /// Add a computed column.
+    pub fn with_column<F: Fn(usize) -> Value>(&mut self, name: &str, f: F) {
+        let vals: Vec<Value> = (0..self.n_rows()).map(f).collect();
+        self.names.push(name.to_string());
+        self.columns.push(vals);
+    }
+
+    /// Render as CSV (RFC-4180-style quoting) — the archival form of the
+    /// common tabular format.
+    pub fn to_csv(&self) -> String {
+        fn field(s: String) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self.names.iter().map(|n| field(n.clone())).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for i in 0..self.n_rows() {
+            let row: Vec<String> =
+                self.row(i).iter().map(|v| field(v.to_string())).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for DataFrame {
+    /// Render the first 20 rows as an aligned text table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows = self.n_rows().min(20);
+        let mut widths: Vec<usize> = self.names.iter().map(|n| n.len()).collect();
+        let mut cells: Vec<Vec<String>> = Vec::new();
+        for i in 0..rows {
+            let row: Vec<String> = self.row(i).iter().map(|v| v.to_string()).collect();
+            for (w, c) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(c.len());
+            }
+            cells.push(row);
+        }
+        for (n, w) in self.names.iter().zip(&widths) {
+            write!(f, "{n:>w$}  ")?;
+        }
+        writeln!(f)?;
+        for row in cells {
+            for (c, w) in row.iter().zip(&widths) {
+                write!(f, "{c:>w$}  ")?;
+            }
+            writeln!(f)?;
+        }
+        if self.n_rows() > rows {
+            writeln!(f, "... ({} rows total)", self.n_rows())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        let mut d = DataFrame::new(vec!["k".into(), "x".into(), "tag".into()]);
+        d.push_row(vec![Value::U64(1), Value::F64(10.0), Value::Str("a".into())]).unwrap();
+        d.push_row(vec![Value::U64(2), Value::F64(20.0), Value::Str("b".into())]).unwrap();
+        d.push_row(vec![Value::U64(3), Value::F64(30.0), Value::Str("a".into())]).unwrap();
+        d
+    }
+
+    #[test]
+    fn push_and_shape() {
+        let d = df();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.n_cols(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let mut d = df();
+        assert!(d.push_row(vec![Value::U64(1)]).is_err());
+    }
+
+    #[test]
+    fn select_and_col() {
+        let d = df().select(&["x", "k"]).unwrap();
+        assert_eq!(d.names(), &["x".to_string(), "k".to_string()]);
+        assert_eq!(d.col_f64("x").unwrap(), vec![10.0, 20.0, 30.0]);
+        assert!(d.col("tag").is_err());
+    }
+
+    #[test]
+    fn filter_rows() {
+        let d = df().filter("tag", |v| v.as_str() == Some("a")).unwrap();
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(d.col_f64("x").unwrap(), vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn sort_descending_input() {
+        let mut d = DataFrame::new(vec!["x".into()]);
+        for v in [3.0, 1.0, 2.0] {
+            d.push_row(vec![Value::F64(v)]).unwrap();
+        }
+        let s = d.sort_by("x").unwrap();
+        assert_eq!(s.col_f64("x").unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn inner_join_on_key() {
+        let left = df();
+        let mut right = DataFrame::new(vec!["k".into(), "y".into()]);
+        right.push_row(vec![Value::U64(1), Value::Str("one".into())]).unwrap();
+        right.push_row(vec![Value::U64(3), Value::Str("three".into())]).unwrap();
+        right.push_row(vec![Value::U64(3), Value::Str("tres".into())]).unwrap();
+        let j = left.inner_join(&right, "k", "k").unwrap();
+        // k=1 matches once, k=3 matches twice, k=2 drops
+        assert_eq!(j.n_rows(), 3);
+        assert_eq!(j.names(), &["k", "x", "tag", "y"]);
+        let ys: Vec<String> =
+            j.col("y").unwrap().iter().map(|v| v.to_string()).collect();
+        assert!(ys.contains(&"one".to_string()));
+        assert!(ys.contains(&"tres".to_string()));
+    }
+
+    #[test]
+    fn join_suffixes_colliding_columns() {
+        let left = df();
+        let right = df();
+        let j = left.inner_join(&right, "k", "k").unwrap();
+        assert!(j.names().contains(&"x_r".to_string()));
+        assert!(j.names().contains(&"tag_r".to_string()));
+    }
+
+    #[test]
+    fn group_by_aggregations() {
+        let d = df();
+        let g = d.group_by("tag", "x", Agg::Sum).unwrap();
+        assert_eq!(g.n_rows(), 2);
+        // keys ordered: a, b
+        assert_eq!(g.col("tag").unwrap()[0].to_string(), "a");
+        assert_eq!(g.col_f64("x_sum").unwrap(), vec![40.0, 20.0]);
+        let g = d.group_by("tag", "x", Agg::Count).unwrap();
+        assert_eq!(g.col("x_count").unwrap()[0].as_u64(), Some(2));
+        let g = d.group_by("tag", "x", Agg::Mean).unwrap();
+        assert_eq!(g.col_f64("x_mean").unwrap()[0], 20.0);
+        let g = d.group_by("tag", "x", Agg::Max).unwrap();
+        assert_eq!(g.col_f64("x_max").unwrap(), vec![30.0, 20.0]);
+    }
+
+    #[test]
+    fn concat_same_schema() {
+        let mut a = df();
+        let b = df();
+        a.concat(&b).unwrap();
+        assert_eq!(a.n_rows(), 6);
+        let bad = DataFrame::new(vec!["z".into()]);
+        assert!(a.concat(&bad).is_err());
+    }
+
+    #[test]
+    fn with_column_computes() {
+        let mut d = df();
+        let xs = d.col_f64("x").unwrap();
+        d.with_column("x2", |i| Value::F64(xs[i] * 2.0));
+        assert_eq!(d.col_f64("x2").unwrap(), vec![20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn from_tabular_uses_schema() {
+        use dtf_core::events::{IoOp, IoRecord};
+        use dtf_core::ids::{FileId, NodeId, ThreadId, WorkerId};
+        use dtf_core::time::Time;
+        let recs = vec![IoRecord {
+            host: NodeId(0),
+            worker: WorkerId::new(NodeId(0), 0),
+            thread: ThreadId(7),
+            file: FileId(0),
+            op: IoOp::Read,
+            offset: 0,
+            size: 4096,
+            start: Time(0),
+            stop: Time(100),
+        }];
+        let d = DataFrame::from_tabular(&recs);
+        assert_eq!(d.n_rows(), 1);
+        assert!(d.names().contains(&"thread".to_string()));
+        assert_eq!(d.col("op").unwrap()[0].as_str(), Some("read"));
+    }
+
+    #[test]
+    fn display_renders_header() {
+        let s = df().to_string();
+        assert!(s.contains('k'));
+        assert!(s.contains("20.0"));
+    }
+
+    #[test]
+    fn csv_export_quotes_and_rows() {
+        let mut d = DataFrame::new(vec!["name".into(), "x".into()]);
+        d.push_row(vec![Value::Str("plain".into()), Value::U64(1)]).unwrap();
+        d.push_row(vec![Value::Str("with,comma".into()), Value::U64(2)]).unwrap();
+        d.push_row(vec![Value::Str("with\"quote".into()), Value::U64(3)]).unwrap();
+        let csv = d.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "name,x");
+        assert_eq!(lines[2], "\"with,comma\",2");
+        assert_eq!(lines[3], "\"with\"\"quote\",3");
+    }
+}

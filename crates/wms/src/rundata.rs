@@ -1,0 +1,294 @@
+//! Everything collected from one run, fused from its sources.
+//!
+//! The paper's data path is: WMS plugins → Mofka topics (in situ), Darshan →
+//! per-process binary logs (at shutdown), job/system metadata → provenance
+//! chart. [`RunData::drain_from_mofka`] replays the Mofka topics after the
+//! run — the post-processing consumer mode — and fuses them with the
+//! Darshan log set into one record the analysis engine consumes.
+
+use serde::{Deserialize, Serialize};
+
+use dtf_core::events::{
+    CommEvent, IoRecord, LogEntry, TaskDoneEvent, TaskMetaEvent, TransitionEvent,
+    WarningEvent, WorkerTransitionEvent,
+};
+use dtf_core::ids::{RunId, TaskKey};
+use dtf_core::provenance::ProvenanceChart;
+use dtf_core::time::{Dur, Time};
+use dtf_darshan::log::LogSet;
+use dtf_mofka::{ConsumerConfig, MofkaService};
+
+/// All data collected from a single run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunData {
+    pub run: RunId,
+    pub workflow: String,
+    pub chart: ProvenanceChart,
+    pub meta: Vec<TaskMetaEvent>,
+    pub transitions: Vec<TransitionEvent>,
+    pub worker_transitions: Vec<WorkerTransitionEvent>,
+    pub task_done: Vec<TaskDoneEvent>,
+    pub comms: Vec<CommEvent>,
+    pub warnings: Vec<WarningEvent>,
+    pub logs: Vec<LogEntry>,
+    pub darshan: LogSet,
+    /// I/O records streamed online through Mofka (empty unless the run was
+    /// configured with `online_darshan`; never subject to DXT truncation).
+    pub online_io: Vec<IoRecord>,
+    /// End-to-end wall time of the workflow (incl. coordination).
+    pub wall_time: Dur,
+    /// Order in which tasks began executing.
+    pub start_order: Vec<(TaskKey, Time)>,
+    /// Number of work-stealing moves during the run.
+    pub steals: u64,
+}
+
+impl RunData {
+    /// Drain the standard WMS topics of `svc` (consumer group
+    /// `"analysis-<run>"`) into typed event vectors, sorted by time.
+    #[allow(clippy::too_many_arguments)] // one parameter per fused data source
+    pub fn drain_from_mofka(
+        svc: &MofkaService,
+        run: RunId,
+        workflow: String,
+        chart: ProvenanceChart,
+        darshan: LogSet,
+        wall_time: Dur,
+        start_order: Vec<(TaskKey, Time)>,
+        steals: u64,
+    ) -> dtf_core::Result<Self> {
+        let group = format!("analysis-{run}");
+        fn drain<T: for<'de> serde::Deserialize<'de>>(
+            svc: &MofkaService,
+            topic: &str,
+            group: &str,
+        ) -> dtf_core::Result<Vec<T>> {
+            let mut consumer = svc.consumer(
+                topic,
+                ConsumerConfig { group: group.to_string(), prefetch: 4096 },
+            )?;
+            let mut out = Vec::new();
+            for stored in consumer.drain_all()? {
+                out.push(serde_json::from_value(stored.event.metadata)?);
+            }
+            Ok(out)
+        }
+        let mut meta: Vec<TaskMetaEvent> = drain(svc, "task-meta", &group)?;
+        let mut transitions: Vec<TransitionEvent> = drain(svc, "task-transitions", &group)?;
+        let mut worker_transitions: Vec<WorkerTransitionEvent> =
+            drain(svc, "worker-transitions", &group)?;
+        let mut task_done: Vec<TaskDoneEvent> = drain(svc, "task-done", &group)?;
+        let mut comms: Vec<CommEvent> = drain(svc, "comm-events", &group)?;
+        let mut warnings: Vec<WarningEvent> = drain(svc, "warnings", &group)?;
+        let mut logs: Vec<LogEntry> = drain(svc, "logs", &group)?;
+        let mut online_io: Vec<IoRecord> = drain(svc, "io-records", &group)?;
+        meta.sort_by_key(|e| (e.submitted, e.key.clone()));
+        transitions.sort_by_key(|e| e.time);
+        worker_transitions.sort_by_key(|e| (e.time, e.key.clone()));
+        task_done.sort_by_key(|e| (e.stop, e.start));
+        comms.sort_by_key(|e| e.start);
+        warnings.sort_by_key(|e| e.time);
+        logs.sort_by_key(|e| e.time);
+        online_io.sort_by_key(|e| (e.start, e.thread));
+        Ok(Self {
+            run,
+            workflow,
+            chart,
+            meta,
+            transitions,
+            worker_transitions,
+            task_done,
+            comms,
+            warnings,
+            logs,
+            darshan,
+            online_io,
+            wall_time,
+            start_order,
+            steals,
+        })
+    }
+
+    /// Number of distinct tasks that completed at least once.
+    pub fn distinct_tasks(&self) -> usize {
+        let keys: std::collections::HashSet<&TaskKey> =
+            self.task_done.iter().map(|d| &d.key).collect();
+        keys.len()
+    }
+
+    /// Distinct task graphs observed.
+    pub fn task_graphs(&self) -> usize {
+        let ids: std::collections::HashSet<u32> =
+            self.task_done.iter().map(|d| d.graph.0).collect();
+        ids.len()
+    }
+
+    /// Distinct files touched (from Darshan counters — complete even under
+    /// DXT truncation).
+    pub fn distinct_files(&self) -> usize {
+        self.darshan.distinct_files()
+    }
+
+    /// I/O operations traced by DXT (the quantity the paper's Table I
+    /// reports; undercounts when buffers truncated — footnote 9).
+    pub fn io_ops(&self) -> u64 {
+        self.darshan.traced_data_ops()
+    }
+
+    /// Complete I/O operation count from the counters module.
+    pub fn io_ops_complete(&self) -> u64 {
+        self.darshan.total_data_ops()
+    }
+
+    /// Number of inter-worker communications.
+    pub fn comm_count(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// Sum of time spent in I/O operations (Fig. 3 "I/O" bar).
+    pub fn io_time(&self) -> Dur {
+        self.darshan.total_io_time()
+    }
+
+    /// Sum of time spent in incoming communications (Fig. 3 "comm" bar).
+    pub fn comm_time(&self) -> Dur {
+        let mut t = Dur::ZERO;
+        for c in &self.comms {
+            t += c.duration();
+        }
+        t
+    }
+
+    /// Per-task wait between becoming ready on a worker and starting to
+    /// execute (the "time spent in a worker before execution" the paper
+    /// collects worker-side transitions for).
+    pub fn queue_waits(&self) -> Vec<(TaskKey, Dur)> {
+        use dtf_core::events::WorkerTaskState as W;
+        let mut ready_at: std::collections::HashMap<&TaskKey, Time> = Default::default();
+        let mut waits = Vec::new();
+        for t in &self.worker_transitions {
+            match (t.from, t.to) {
+                (_, W::Ready) => {
+                    ready_at.insert(&t.key, t.time);
+                }
+                (W::Ready, W::Executing) => {
+                    if let Some(r) = ready_at.get(&t.key) {
+                        waits.push((t.key.clone(), t.time - *r));
+                    }
+                }
+                _ => {}
+            }
+        }
+        waits
+    }
+
+    /// Sum of task execution time (Fig. 3 "compute" bar). Task execution
+    /// includes its in-task I/O; the paper notes the phases are
+    /// non-exclusive and may overlap.
+    pub fn compute_time(&self) -> Dur {
+        let mut t = Dur::ZERO;
+        for d in &self.task_done {
+            t += d.duration();
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtf_core::events::{Location, Stimulus, TaskState};
+    use dtf_core::ids::{GraphId, NodeId, ThreadId, WorkerId};
+    use dtf_core::provenance::{HardwareInfo, JobInfo, SystemInfo, WmsConfig};
+    use dtf_mofka::bedrock::BedrockConfig;
+    use dtf_mofka::producer::ProducerConfig;
+
+    fn chart() -> ProvenanceChart {
+        ProvenanceChart {
+            hardware: HardwareInfo::polaris_like(2),
+            system: SystemInfo::synthetic(),
+            job: JobInfo {
+                job_id: 1,
+                script: String::new(),
+                queue: "q".into(),
+                nodes_requested: 2,
+                allocated_nodes: vec![NodeId(0), NodeId(1)],
+                submit_time: Time::ZERO,
+                start_time: Time::ZERO,
+                walltime_limit_s: 60,
+            },
+            wms_config: WmsConfig::default(),
+            client_code_hash: 0,
+            workflow_name: "test".into(),
+        }
+    }
+
+    #[test]
+    fn drain_from_mofka_fuses_and_sorts() {
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        {
+            use crate::plugins::{MofkaPlugin, WmsPlugin};
+            let mut plugin = MofkaPlugin::new(&svc, ProducerConfig::default()).unwrap();
+            let w = WorkerId::new(NodeId(0), 0);
+            for (i, t) in [5u64, 2, 9].iter().enumerate() {
+                plugin.on_transition(&TransitionEvent {
+                    key: TaskKey::new("x", 0, i as u32),
+                    graph: GraphId(0),
+                    from: TaskState::Released,
+                    to: TaskState::Waiting,
+                    stimulus: Stimulus::GraphSubmitted,
+                    location: Location::Scheduler,
+                    time: Time(*t),
+                });
+            }
+            plugin.on_task_done(&TaskDoneEvent {
+                key: TaskKey::new("x", 0, 0),
+                graph: GraphId(0),
+                worker: w,
+                thread: ThreadId(1),
+                start: Time(0),
+                stop: Time(10),
+                nbytes: 4,
+            });
+            plugin.flush();
+        }
+        let data = RunData::drain_from_mofka(
+            &svc,
+            RunId(0),
+            "test".into(),
+            chart(),
+            LogSet::default(),
+            Dur::from_secs_f64(1.0),
+            vec![],
+            0,
+        )
+        .unwrap();
+        assert_eq!(data.transitions.len(), 3);
+        let times: Vec<u64> = data.transitions.iter().map(|t| t.time.0).collect();
+        assert_eq!(times, vec![2, 5, 9], "sorted by time");
+        assert_eq!(data.task_done.len(), 1);
+        assert_eq!(data.distinct_tasks(), 1);
+        assert_eq!(data.task_graphs(), 1);
+        assert!(data.compute_time() > Dur::ZERO);
+    }
+
+    #[test]
+    fn metrics_on_empty_run_are_zero() {
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        let data = RunData::drain_from_mofka(
+            &svc,
+            RunId(1),
+            "empty".into(),
+            chart(),
+            LogSet::default(),
+            Dur::ZERO,
+            vec![],
+            0,
+        )
+        .unwrap();
+        assert_eq!(data.distinct_tasks(), 0);
+        assert_eq!(data.io_ops(), 0);
+        assert_eq!(data.comm_count(), 0);
+        assert_eq!(data.comm_time(), Dur::ZERO);
+    }
+}

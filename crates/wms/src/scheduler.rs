@@ -1,0 +1,1123 @@
+//! The dynamic scheduler: Dask's scheduler state machine as pure logic.
+//!
+//! The scheduler owns the task table (states, dependencies, placement,
+//! replica locations), the worker table (thread occupancy, ready backlogs,
+//! resident data), the placement heuristic, scheduler-side queuing, and
+//! work stealing. It is *engine-agnostic*: it never advances time or draws
+//! randomness — the discrete-event simulator ([`crate::sim`]) and the real
+//! executor ([`crate::exec`]) drive it and carry out the [`Action`]s it
+//! returns. That separation is what lets both modes share one scheduling
+//! behaviour (and one instrumentation surface).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use dtf_core::error::{DtfError, Result};
+use dtf_core::events::{
+    Location, Stimulus, TaskDoneEvent, TaskMetaEvent, TaskState, TransitionEvent,
+    WorkerTaskState, WorkerTransitionEvent,
+};
+use dtf_core::ids::{ClientId, GraphId, TaskKey, ThreadId, WorkerId};
+use dtf_core::time::Time;
+
+use crate::graph::{Payload, TaskGraph};
+use crate::plugins::{PluginSet, WmsPlugin};
+
+/// Scheduler tuning (the `distributed.yaml` analog surface that matters to
+/// scheduling behaviour).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Enable idle workers stealing ready tasks from busy ones.
+    pub work_stealing: bool,
+    /// Keep runnable tasks on the scheduler (state `queued`) once every
+    /// worker already has `threads * queue_factor` tasks, instead of
+    /// dispatching everything eagerly.
+    pub queue_factor: f64,
+    /// A worker is a stealing victim if its ready backlog exceeds this many
+    /// tasks per thread.
+    pub steal_backlog_per_thread: f64,
+    /// Estimated task duration used by the placement heuristic to price a
+    /// worker's occupancy, seconds (Dask keeps a measured per-prefix
+    /// average; a constant estimate reproduces the same spill-vs-locality
+    /// trade-off).
+    pub est_task_duration_s: f64,
+    /// Bandwidth assumed when pricing missing dependency transfers, B/s
+    /// (Dask's `scheduler.bandwidth`, set to the Slingshot-class 1 GB/s).
+    pub assumed_bandwidth: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            work_stealing: true,
+            queue_factor: 1.5,
+            steal_backlog_per_thread: 1.0,
+            est_task_duration_s: 0.5,
+            assumed_bandwidth: 400e6,
+        }
+    }
+}
+
+/// Work the engine must carry out on behalf of the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Move `key`'s dependency data `dep` from `from` to `to` (the engine
+    /// charges network cost, then calls [`Scheduler::fetch_done`]).
+    Fetch { dep: TaskKey, from: WorkerId, to: WorkerId, nbytes: u64 },
+}
+
+#[derive(Debug)]
+struct TaskRecord {
+    graph: GraphId,
+    payload: Payload,
+    state: TaskState,
+    deps: Vec<TaskKey>,
+    dependents: Vec<TaskKey>,
+    unfinished_deps: usize,
+    /// Worker the task is assigned to while processing.
+    assigned: Option<usize>,
+    /// Dependency data still in flight to the assigned worker.
+    pending_fetches: usize,
+    /// Priority: lower runs earlier (submission order).
+    priority: u64,
+    nbytes: Option<u64>,
+    /// Workers holding this task's output.
+    who_has: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct WorkerEntry {
+    id: WorkerId,
+    threads: u32,
+    /// Tasks currently executing on a thread.
+    executing: BTreeSet<TaskKey>,
+    /// Dispatched tasks whose inputs are all local, ordered by priority.
+    ready: VecDeque<TaskKey>,
+    /// Dispatched tasks still waiting for dependency fetches.
+    fetching: BTreeSet<TaskKey>,
+    /// Output data resident on this worker: key -> nbytes.
+    has_data: BTreeMap<TaskKey, u64>,
+    alive: bool,
+}
+
+impl WorkerEntry {
+    fn occupancy(&self) -> usize {
+        self.executing.len() + self.ready.len() + self.fetching.len()
+    }
+
+    fn has_free_thread(&self) -> bool {
+        self.alive && (self.executing.len() as u32) < self.threads
+    }
+}
+
+/// The scheduler state machine.
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    tasks: HashMap<TaskKey, TaskRecord>,
+    workers: Vec<WorkerEntry>,
+    /// Runnable tasks held on the scheduler (state `queued`), FIFO by
+    /// priority.
+    queued: VecDeque<TaskKey>,
+    plugins: PluginSet,
+    next_priority: u64,
+    /// Keys of all tasks ever submitted, for cross-graph dependency checks.
+    known_keys: HashSet<TaskKey>,
+    /// Order in which tasks started executing (for schedule-order analysis).
+    start_order: Vec<(TaskKey, Time)>,
+    /// Runnable tasks parked because no live worker existed (`no-worker`).
+    no_worker: Vec<TaskKey>,
+    graphs_submitted: u32,
+    steals: u64,
+}
+
+impl Scheduler {
+    pub fn new(cfg: SchedulerConfig, plugins: PluginSet) -> Self {
+        Self {
+            cfg,
+            tasks: HashMap::new(),
+            workers: Vec::new(),
+            queued: VecDeque::new(),
+            plugins,
+            next_priority: 0,
+            known_keys: HashSet::new(),
+            start_order: Vec::new(),
+            no_worker: Vec::new(),
+            graphs_submitted: 0,
+            steals: 0,
+        }
+    }
+
+    /// Register a worker (connection). Returns its internal index.
+    pub fn add_worker(&mut self, id: WorkerId, threads: u32) -> usize {
+        assert!(threads >= 1);
+        self.workers.push(WorkerEntry {
+            id,
+            threads,
+            executing: BTreeSet::new(),
+            ready: VecDeque::new(),
+            fetching: BTreeSet::new(),
+            has_data: BTreeMap::new(),
+            alive: true,
+        });
+        self.workers.len() - 1
+    }
+
+    pub fn worker_ids(&self) -> Vec<WorkerId> {
+        self.workers.iter().map(|w| w.id).collect()
+    }
+
+    pub fn plugins_mut(&mut self) -> &mut PluginSet {
+        &mut self.plugins
+    }
+
+    pub fn graphs_submitted(&self) -> u32 {
+        self.graphs_submitted
+    }
+
+    pub fn steal_count(&self) -> u64 {
+        self.steals
+    }
+
+    /// Order in which tasks began executing.
+    pub fn start_order(&self) -> &[(TaskKey, Time)] {
+        &self.start_order
+    }
+
+    /// Number of tasks not yet in a terminal state.
+    pub fn unfinished(&self) -> usize {
+        self.tasks.values().filter(|t| !t.state.is_terminal()).count()
+    }
+
+    pub fn task_state(&self, key: &TaskKey) -> Option<TaskState> {
+        self.tasks.get(key).map(|t| t.state)
+    }
+
+    pub fn payload(&self, key: &TaskKey) -> Option<&Payload> {
+        self.tasks.get(key).map(|t| &t.payload)
+    }
+
+    /// Graph a task belongs to.
+    pub fn task_graph(&self, key: &TaskKey) -> Option<GraphId> {
+        self.tasks.get(key).map(|t| t.graph)
+    }
+
+    /// Dependency keys of a task, in declaration order.
+    pub fn task_deps(&self, key: &TaskKey) -> Option<Vec<TaskKey>> {
+        self.tasks.get(key).map(|t| t.deps.clone())
+    }
+
+    fn emit_transition(
+        &mut self,
+        key: &TaskKey,
+        to: TaskState,
+        stimulus: Stimulus,
+        location: Location,
+        now: Time,
+    ) {
+        let rec = self.tasks.get_mut(key).expect("transition of known task");
+        let from = rec.state;
+        debug_assert!(
+            from.can_transition_to(to),
+            "illegal transition {} -> {} for {key}",
+            from.as_str(),
+            to.as_str()
+        );
+        rec.state = to;
+        let graph = rec.graph;
+        self.plugins.on_transition(&TransitionEvent {
+            key: key.clone(),
+            graph,
+            from,
+            to,
+            stimulus,
+            location,
+            time: now,
+        });
+    }
+
+    fn emit_worker_transition(
+        &mut self,
+        key: &TaskKey,
+        widx: usize,
+        from: WorkerTaskState,
+        to: WorkerTaskState,
+        now: Time,
+    ) {
+        debug_assert!(
+            from.can_transition_to(to),
+            "illegal worker transition {} -> {} for {key}",
+            from.as_str(),
+            to.as_str()
+        );
+        let graph = self.tasks[key].graph;
+        let worker = self.workers[widx].id;
+        self.plugins.on_worker_transition(&WorkerTransitionEvent {
+            key: key.clone(),
+            graph,
+            worker,
+            from,
+            to,
+            time: now,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Graph submission
+    // ------------------------------------------------------------------
+
+    /// Submit a validated graph. Returns fetch actions for the engine.
+    pub fn submit_graph(&mut self, graph: TaskGraph, now: Time) -> Result<Vec<Action>> {
+        graph.validate(&self.known_keys).map_err(|e| {
+            DtfError::InvalidGraph(format!("graph {}: {e}", graph.id))
+        })?;
+        if self.workers.is_empty() {
+            return Err(DtfError::IllegalState("no workers connected".into()));
+        }
+        self.graphs_submitted += 1;
+        let mut new_keys = Vec::with_capacity(graph.tasks.len());
+        for spec in graph.tasks {
+            let priority = self.next_priority;
+            self.next_priority += 1;
+            let unfinished = spec
+                .deps
+                .iter()
+                .filter(|d| {
+                    self.tasks
+                        .get(*d)
+                        .map(|t| t.state != TaskState::Memory)
+                        .unwrap_or(true)
+                })
+                .count();
+            for d in &spec.deps {
+                if let Some(dep) = self.tasks.get_mut(d) {
+                    dep.dependents.push(spec.key.clone());
+                }
+            }
+            self.known_keys.insert(spec.key.clone());
+            self.tasks.insert(
+                spec.key.clone(),
+                TaskRecord {
+                    graph: graph.id,
+                    payload: spec.payload,
+                    state: TaskState::Released,
+                    deps: spec.deps,
+                    dependents: Vec::new(),
+                    unfinished_deps: unfinished,
+                    assigned: None,
+                    pending_fetches: 0,
+                    priority,
+                    nbytes: None,
+                    who_has: Vec::new(),
+                },
+            );
+            new_keys.push(spec.key.clone());
+        }
+        let mut actions = Vec::new();
+        for key in new_keys {
+            let meta = TaskMetaEvent {
+                key: key.clone(),
+                graph: self.tasks[&key].graph,
+                client: ClientId(0),
+                deps: self.tasks[&key].deps.clone(),
+                submitted: now,
+            };
+            self.plugins.on_task_meta(&meta);
+            self.emit_transition(
+                &key,
+                TaskState::Waiting,
+                Stimulus::GraphSubmitted,
+                Location::Scheduler,
+                now,
+            );
+            if self.tasks[&key].unfinished_deps == 0 {
+                actions.extend(self.make_runnable(&key, now));
+            }
+        }
+        Ok(actions)
+    }
+
+    // ------------------------------------------------------------------
+    // Placement
+    // ------------------------------------------------------------------
+
+    /// Dask-like placement: minimize estimated start time —
+    /// `occupancy(w) + transfer_time(missing dependency bytes)` — pricing
+    /// occupancy with a constant per-task duration estimate and transfers
+    /// with the scheduler's assumed bandwidth. Workers with busy threads
+    /// spill work to peers when the transfer is cheaper than the wait,
+    /// which is where most inter-worker communications come from.
+    /// Returns `None` if no worker is alive.
+    fn decide_worker(&self, key: &TaskKey) -> Option<usize> {
+        let rec = &self.tasks[key];
+        let mut best_score = f64::INFINITY;
+        let mut best_idx = None;
+        for (i, w) in self.workers.iter().enumerate() {
+            if !w.alive {
+                continue;
+            }
+            let missing_bytes: u64 = rec
+                .deps
+                .iter()
+                .filter(|d| !w.has_data.contains_key(*d))
+                .filter_map(|d| self.tasks[d].nbytes)
+                .sum();
+            // threads drain occupancy in parallel
+            let backlog = w.occupancy() as f64 / w.threads.max(1) as f64;
+            let score = backlog * self.cfg.est_task_duration_s
+                + missing_bytes as f64 / self.cfg.assumed_bandwidth;
+            if score < best_score {
+                best_score = score;
+                best_idx = Some(i);
+            }
+        }
+        best_idx
+    }
+
+    /// Whether every worker is saturated per the queuing policy. With no
+    /// live workers at all the question is moot: dispatch proceeds and the
+    /// task lands in `no-worker` (Dask's semantics).
+    fn all_saturated(&self) -> bool {
+        let mut any = false;
+        for w in self.workers.iter().filter(|w| w.alive) {
+            any = true;
+            if (w.occupancy() as f64) < w.threads as f64 * self.cfg.queue_factor {
+                return false;
+            }
+        }
+        any
+    }
+
+    /// A task's dependencies are met: queue it or dispatch it.
+    fn make_runnable(&mut self, key: &TaskKey, now: Time) -> Vec<Action> {
+        if self.all_saturated() {
+            self.emit_transition(
+                key,
+                TaskState::Queued,
+                Stimulus::Queue,
+                Location::Scheduler,
+                now,
+            );
+            let p = self.tasks[key].priority;
+            let pos = self
+                .queued
+                .iter()
+                .position(|k| self.tasks[k].priority > p)
+                .unwrap_or(self.queued.len());
+            self.queued.insert(pos, key.clone());
+            Vec::new()
+        } else {
+            self.dispatch(key, now)
+        }
+    }
+
+    /// Assign `key` to a worker; generate fetches for missing inputs.
+    fn dispatch(&mut self, key: &TaskKey, now: Time) -> Vec<Action> {
+        let Some(widx) = self.decide_worker(key) else {
+            self.emit_transition(
+                key,
+                TaskState::NoWorker,
+                Stimulus::NoWorkerAvailable,
+                Location::Scheduler,
+                now,
+            );
+            self.no_worker.push(key.clone());
+            return Vec::new();
+        };
+        self.emit_transition(key, TaskState::Processing, Stimulus::Dispatched, Location::Scheduler, now);
+        self.place_on_worker(key, widx, now)
+    }
+
+    /// Common path of dispatch and steal: set assignment, compute fetches.
+    fn place_on_worker(&mut self, key: &TaskKey, widx: usize, now: Time) -> Vec<Action> {
+        let deps = self.tasks[key].deps.clone();
+        let to = self.workers[widx].id;
+        let mut actions = Vec::new();
+        let mut pending = 0;
+        for dep in &deps {
+            if self.workers[widx].has_data.contains_key(dep) {
+                continue;
+            }
+            let dep_rec = &self.tasks[dep];
+            // choose the lowest-indexed live holder
+            let holder = dep_rec
+                .who_has
+                .iter()
+                .copied()
+                .find(|&h| self.workers[h].alive)
+                .expect("runnable task has all inputs somewhere");
+            pending += 1;
+            actions.push(Action::Fetch {
+                dep: dep.clone(),
+                from: self.workers[holder].id,
+                to,
+                nbytes: dep_rec.nbytes.unwrap_or(0),
+            });
+        }
+        {
+            let rec = self.tasks.get_mut(key).expect("known task");
+            rec.assigned = Some(widx);
+            rec.pending_fetches = pending;
+        }
+        if pending == 0 {
+            let p = self.tasks[key].priority;
+            {
+                let tasks = &self.tasks;
+                let w = &mut self.workers[widx];
+                let pos =
+                    w.ready.iter().position(|k| tasks[k].priority > p).unwrap_or(w.ready.len());
+                w.ready.insert(pos, key.clone());
+            }
+            self.emit_worker_transition(key, widx, WorkerTaskState::Waiting, WorkerTaskState::Ready, now);
+        } else {
+            self.workers[widx].fetching.insert(key.clone());
+            self.emit_worker_transition(key, widx, WorkerTaskState::Waiting, WorkerTaskState::Fetch, now);
+            self.emit_worker_transition(key, widx, WorkerTaskState::Fetch, WorkerTaskState::Flight, now);
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Engine callbacks
+    // ------------------------------------------------------------------
+
+    /// A dependency transfer finished: `dep`'s data is now also on `to`.
+    /// Returns tasks on `to` that became ready to execute.
+    pub fn fetch_done(&mut self, dep: &TaskKey, to: WorkerId, _now: Time) {
+        let widx = self.worker_index(to).expect("fetch target exists");
+        let nbytes = self.tasks[dep].nbytes.unwrap_or(0);
+        self.workers[widx].has_data.insert(dep.clone(), nbytes);
+        if !self.tasks[dep].who_has.contains(&widx) {
+            self.tasks.get_mut(dep).expect("dep known").who_has.push(widx);
+        }
+        // any fetching task on this worker whose inputs are now all local?
+        let candidates: Vec<TaskKey> = self.workers[widx]
+            .fetching
+            .iter()
+            .filter(|k| self.tasks[*k].deps.contains(dep))
+            .cloned()
+            .collect();
+        for key in candidates {
+            let rec = self.tasks.get_mut(&key).expect("fetching task known");
+            rec.pending_fetches = rec.pending_fetches.saturating_sub(1);
+            if rec.pending_fetches == 0 {
+                let p = rec.priority;
+                {
+                    let w = &mut self.workers[widx];
+                    w.fetching.remove(&key);
+                    let pos = {
+                        let tasks = &self.tasks;
+                        w.ready
+                            .iter()
+                            .position(|k| tasks[k].priority > p)
+                            .unwrap_or(w.ready.len())
+                    };
+                    w.ready.insert(pos, key.clone());
+                }
+                self.emit_worker_transition(
+                    &key,
+                    widx,
+                    WorkerTaskState::Flight,
+                    WorkerTaskState::Ready,
+                    _now,
+                );
+            }
+        }
+    }
+
+    /// If `worker` has a free thread and a ready task, start it: returns the
+    /// task to execute. The engine charges its duration and later calls
+    /// [`Self::task_finished`].
+    pub fn try_start(&mut self, worker: WorkerId, now: Time) -> Option<TaskKey> {
+        let widx = self.worker_index(worker)?;
+        if !self.workers[widx].has_free_thread() {
+            return None;
+        }
+        let key = self.workers[widx].ready.pop_front()?;
+        self.workers[widx].executing.insert(key.clone());
+        self.start_order.push((key.clone(), now));
+        self.emit_worker_transition(&key, widx, WorkerTaskState::Ready, WorkerTaskState::Executing, now);
+        // worker-side observation of compute start
+        let graph = self.tasks[&key].graph;
+        let state = self.tasks[&key].state;
+        self.plugins.on_transition(&TransitionEvent {
+            key: key.clone(),
+            graph,
+            from: state,
+            to: state,
+            stimulus: Stimulus::ComputeStarted,
+            location: Location::Worker(worker),
+            time: now,
+        });
+        Some(key)
+    }
+
+    /// Task finished executing on `worker`. Emits Memory transition and the
+    /// completion record; unlocks dependents; refills from the scheduler
+    /// queue. Returns new fetch actions.
+    pub fn task_finished(
+        &mut self,
+        key: &TaskKey,
+        worker: WorkerId,
+        thread: ThreadId,
+        start: Time,
+        now: Time,
+        nbytes: u64,
+    ) -> Vec<Action> {
+        let widx = self.worker_index(worker).expect("worker exists");
+        let removed = self.workers[widx].executing.remove(key);
+        debug_assert!(removed, "finished task {key} was not executing");
+        self.workers[widx].has_data.insert(key.clone(), nbytes);
+        {
+            let rec = self.tasks.get_mut(key).expect("known task");
+            rec.nbytes = Some(nbytes);
+            rec.who_has.push(widx);
+            rec.assigned = None;
+        }
+        self.emit_worker_transition(key, widx, WorkerTaskState::Executing, WorkerTaskState::Memory, now);
+        self.emit_transition(key, TaskState::Memory, Stimulus::ComputeFinished, Location::Worker(worker), now);
+        let graph = self.tasks[key].graph;
+        self.plugins.on_task_done(&TaskDoneEvent {
+            key: key.clone(),
+            graph,
+            worker,
+            thread,
+            start,
+            stop: now,
+            nbytes,
+        });
+
+        let mut actions = Vec::new();
+        // dependents may become runnable
+        let dependents = self.tasks[key].dependents.clone();
+        for dep in dependents {
+            let rec = self.tasks.get_mut(&dep).expect("dependent known");
+            rec.unfinished_deps = rec.unfinished_deps.saturating_sub(1);
+            if rec.unfinished_deps == 0 && rec.state == TaskState::Waiting {
+                actions.extend(self.make_runnable(&dep, now));
+            }
+        }
+        // refill workers from the scheduler-side queue
+        actions.extend(self.refill_from_queue(now));
+        actions
+    }
+
+    fn refill_from_queue(&mut self, now: Time) -> Vec<Action> {
+        let mut actions = Vec::new();
+        while !self.queued.is_empty() && !self.all_saturated() {
+            let key = self.queued.pop_front().expect("nonempty queue");
+            actions.extend(self.dispatch(&key, now));
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Work stealing
+    // ------------------------------------------------------------------
+
+    /// Rebalance ready backlogs: idle workers steal from saturated ones,
+    /// and tasks parked in `no-worker` are re-dispatched once a live worker
+    /// exists again.
+    pub fn rebalance(&mut self, now: Time) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if !self.no_worker.is_empty() && self.workers.iter().any(|w| w.alive) {
+            let parked = std::mem::take(&mut self.no_worker);
+            for key in parked {
+                if self.task_state(&key) == Some(TaskState::NoWorker) {
+                    self.emit_transition(
+                        &key,
+                        TaskState::Processing,
+                        Stimulus::Dispatched,
+                        Location::Scheduler,
+                        now,
+                    );
+                    let widx = self.decide_worker(&key).expect("a live worker exists");
+                    actions.extend(self.place_on_worker(&key, widx, now));
+                }
+            }
+        }
+        // a periodic refill also unsticks the scheduler queue when worker
+        // capacity changed outside the task_finished path (e.g. new worker)
+        actions.extend(self.refill_from_queue(now));
+        if !self.cfg.work_stealing {
+            return actions;
+        }
+        loop {
+            // thief: the most under-committed live worker (fewer queued and
+            // running tasks than threads)
+            let thief = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.alive && w.occupancy() < w.threads as usize)
+                .min_by_key(|(_, w)| w.ready.len() + w.fetching.len())
+                .map(|(i, _)| i);
+            // victim: live worker with the largest backlog above threshold
+            let victim = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| {
+                    w.alive
+                        && w.ready.len() as f64
+                            > (w.threads as f64 * self.cfg.steal_backlog_per_thread).max(1.0)
+                })
+                .max_by_key(|(_, w)| w.ready.len())
+                .map(|(i, _)| i);
+            let (Some(thief), Some(victim)) = (thief, victim) else { break };
+            if thief == victim {
+                break;
+            }
+            // steal the lowest-priority (latest) ready task from the victim
+            let Some(key) = self.workers[victim].ready.pop_back() else { break };
+            self.steals += 1;
+            let thief_id = self.workers[thief].id;
+            self.emit_transition(
+                &key,
+                TaskState::Processing,
+                Stimulus::WorkStolen,
+                Location::Worker(thief_id),
+                now,
+            );
+            actions.extend(self.place_on_worker(&key, thief, now));
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling
+    // ------------------------------------------------------------------
+
+    /// A worker died: re-plan everything it was running or holding.
+    /// Returns actions (fetches for re-dispatched tasks).
+    pub fn worker_died(&mut self, worker: WorkerId, now: Time) -> Vec<Action> {
+        let Some(widx) = self.worker_index(worker) else { return Vec::new() };
+        self.workers[widx].alive = false;
+        let executing: Vec<TaskKey> = std::mem::take(&mut self.workers[widx].executing).into_iter().collect();
+        let ready: Vec<TaskKey> = self.workers[widx].ready.drain(..).collect();
+        let fetching: Vec<TaskKey> = std::mem::take(&mut self.workers[widx].fetching).into_iter().collect();
+        let held: Vec<TaskKey> = std::mem::take(&mut self.workers[widx].has_data).into_keys().collect();
+
+        // outputs lost: remove replica; if it was the only one and the data
+        // is still needed, the task must be recomputed
+        let mut to_recompute = Vec::new();
+        for key in held {
+            {
+                let rec = self.tasks.get_mut(&key).expect("held task known");
+                rec.who_has.retain(|&w| w != widx);
+            }
+            let rec = &self.tasks[&key];
+            if rec.who_has.is_empty() && rec.state == TaskState::Memory {
+                let needed =
+                    rec.dependents.iter().any(|d| !self.tasks[d].state.is_terminal());
+                if needed {
+                    to_recompute.push(key);
+                }
+            }
+        }
+        let mut actions = Vec::new();
+        for key in to_recompute {
+            // Memory -> Released -> Waiting, then runnable again
+            self.emit_transition(&key, TaskState::Released, Stimulus::WorkerLost, Location::Scheduler, now);
+            self.emit_transition(&key, TaskState::Waiting, Stimulus::WorkerLost, Location::Scheduler, now);
+            {
+                let rec = self.tasks.get_mut(&key).expect("known");
+                rec.nbytes = None;
+                rec.assigned = None;
+                rec.pending_fetches = 0;
+                // recompute its unfinished deps (inputs may also be gone)
+                rec.unfinished_deps = 0;
+            }
+            let deps = self.tasks[&key].deps.clone();
+            let mut unfinished = 0;
+            for d in &deps {
+                if self.tasks[d].state != TaskState::Memory {
+                    unfinished += 1;
+                }
+            }
+            self.tasks.get_mut(&key).expect("known").unfinished_deps = unfinished;
+            // bump dependents' unfinished counts: their input went away
+            let dependents = self.tasks[&key].dependents.clone();
+            for d in dependents {
+                let drec = self.tasks.get_mut(&d).expect("dependent known");
+                if !drec.state.is_terminal() {
+                    drec.unfinished_deps += 1;
+                }
+            }
+            if unfinished == 0 {
+                actions.extend(self.make_runnable(&key, now));
+            }
+        }
+        // in-flight work on the dead worker goes back to waiting and is
+        // re-planned
+        for key in executing.into_iter().chain(ready).chain(fetching) {
+            self.emit_transition(&key, TaskState::Waiting, Stimulus::WorkerLost, Location::Scheduler, now);
+            {
+                let rec = self.tasks.get_mut(&key).expect("known");
+                rec.assigned = None;
+                rec.pending_fetches = 0;
+            }
+            let ready_now = self.tasks[&key]
+                .deps
+                .iter()
+                .all(|d| self.tasks[d].state == TaskState::Memory);
+            if ready_now {
+                actions.extend(self.make_runnable(&key, now));
+            }
+        }
+        actions
+    }
+
+    fn worker_index(&self, id: WorkerId) -> Option<usize> {
+        self.workers.iter().position(|w| w.id == id)
+    }
+
+    /// Consume the scheduler, returning its plugin set (end of run).
+    pub fn into_plugins(self) -> PluginSet {
+        self.plugins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, SimAction};
+    use crate::plugins::CollectorPlugin;
+    use dtf_core::ids::NodeId;
+    use dtf_core::time::Dur;
+    use std::collections::HashSet as Set;
+
+    fn worker(i: u32) -> WorkerId {
+        WorkerId::new(NodeId(i / 4), i % 4)
+    }
+
+    fn sched(n_workers: u32, threads: u32, cfg: SchedulerConfig) -> (Scheduler, CollectorPlugin) {
+        let collector = CollectorPlugin::new();
+        let mut plugins = PluginSet::new();
+        plugins.register(Box::new(collector.clone()));
+        let mut s = Scheduler::new(cfg, plugins);
+        for i in 0..n_workers {
+            s.add_worker(worker(i), threads);
+        }
+        (s, collector)
+    }
+
+    fn chain_graph(n: usize) -> TaskGraph {
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        let mut prev: Option<TaskKey> = None;
+        for i in 0..n {
+            let deps = prev.iter().cloned().collect();
+            prev = Some(b.add_sim(
+                "step",
+                tok,
+                i as u32,
+                deps,
+                SimAction::compute_only(Dur::from_millis_f64(1.0), 100),
+            ));
+        }
+        b.build(&Set::new()).unwrap()
+    }
+
+    /// Drive a scheduler to completion with a trivial engine that performs
+    /// fetches instantly and runs one task at a time per free thread.
+    fn drive(s: &mut Scheduler, mut actions: Vec<Action>) {
+        let mut t = 0u64;
+        loop {
+            // complete all fetches instantly
+            while let Some(Action::Fetch { dep, to, .. }) = actions.pop() {
+                s.fetch_done(&dep, to, Time(t));
+            }
+            // start and instantly finish any startable task
+            let mut progressed = false;
+            for w in s.worker_ids() {
+                while let Some(key) = s.try_start(w, Time(t)) {
+                    progressed = true;
+                    t += 1;
+                    let more =
+                        s.task_finished(&key, w, ThreadId(1), Time(t - 1), Time(t), 100);
+                    actions.extend(more);
+                }
+            }
+            actions.extend(s.rebalance(Time(t)));
+            if !progressed && actions.is_empty() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn chain_executes_in_dependency_order() {
+        let (mut s, collector) = sched(2, 2, SchedulerConfig::default());
+        let actions = s.submit_graph(chain_graph(5), Time::ZERO).unwrap();
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0);
+        let order = s.start_order();
+        assert_eq!(order.len(), 5);
+        for i in 0..4 {
+            assert!(order[i].0.index < order[i + 1].0.index, "chain order violated");
+        }
+        let events = collector.take();
+        // every task: Released->Waiting, ->Processing, ->Memory at least
+        assert!(events.transitions.len() >= 15);
+        assert_eq!(events.task_done.len(), 5);
+    }
+
+    #[test]
+    fn all_transitions_are_legal() {
+        let (mut s, collector) = sched(2, 2, SchedulerConfig::default());
+        let actions = s.submit_graph(chain_graph(20), Time::ZERO).unwrap();
+        drive(&mut s, actions);
+        for tr in collector.take().transitions {
+            assert!(
+                tr.from.can_transition_to(tr.to) || tr.from == tr.to,
+                "illegal {} -> {}",
+                tr.from.as_str(),
+                tr.to.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn wide_graph_spreads_across_workers() {
+        let (mut s, collector) = sched(4, 2, SchedulerConfig::default());
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        for i in 0..40 {
+            b.add_sim("leaf", tok, i, vec![], SimAction::compute_only(Dur(1), 10));
+        }
+        let actions = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0);
+        let done = collector.take().task_done;
+        let workers_used: Set<WorkerId> = done.iter().map(|d| d.worker).collect();
+        assert!(workers_used.len() >= 3, "only {} workers used", workers_used.len());
+    }
+
+    #[test]
+    fn dependency_on_remote_data_generates_fetch() {
+        let (mut s, collector) = sched(2, 1, SchedulerConfig { work_stealing: false, ..Default::default() });
+        // two roots land on different workers, join needs a fetch
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        let a = b.add_sim("rootA", tok, 0, vec![], SimAction::compute_only(Dur(1), 1000));
+        let c = b.add_sim("rootB", tok, 1, vec![], SimAction::compute_only(Dur(1), 2000));
+        b.add_sim("join", tok, 0, vec![a, c], SimAction::compute_only(Dur(1), 10));
+        let mut actions = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        assert!(actions.is_empty(), "roots have no deps to fetch");
+        // run the two roots
+        let w0 = s.worker_ids()[0];
+        let w1 = s.worker_ids()[1];
+        let k0 = s.try_start(w0, Time(0)).unwrap();
+        let k1 = s.try_start(w1, Time(0)).unwrap();
+        actions.extend(s.task_finished(&k0, w0, ThreadId(1), Time(0), Time(1), 1000));
+        actions.extend(s.task_finished(&k1, w1, ThreadId(1), Time(0), Time(1), 2000));
+        // join was dispatched somewhere; one dep must be fetched
+        let fetches: Vec<&Action> = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Fetch { .. }))
+            .collect();
+        assert_eq!(fetches.len(), 1, "exactly one remote dependency: {actions:?}");
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0);
+        assert_eq!(collector.take().task_done.len(), 3);
+    }
+
+    #[test]
+    fn placement_prefers_data_locality_for_heavy_outputs() {
+        let (mut s, _c) = sched(2, 4, SchedulerConfig { work_stealing: false, ..Default::default() });
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        // 16 GB output: moving it costs far more than queueing behind peers
+        let big = 16u64 << 30;
+        let root = b.add_sim("root", tok, 0, vec![], SimAction::compute_only(Dur(1), big));
+        for i in 0..4 {
+            b.add_sim("child", tok, i, vec![root.clone()], SimAction::compute_only(Dur(1), 10));
+        }
+        let _ = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        let w0 = s.worker_ids()[0];
+        let k = s.try_start(w0, Time(0)).unwrap();
+        let actions = s.task_finished(&k, w0, ThreadId(1), Time(0), Time(1), big);
+        // all children should be placed on w0 (data is there): no fetches
+        assert!(actions.is_empty(), "locality placement should avoid fetches: {actions:?}");
+    }
+
+    #[test]
+    fn placement_spills_cheap_data_to_idle_workers() {
+        let (mut s, collector) =
+            sched(2, 1, SchedulerConfig { work_stealing: false, ..Default::default() });
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        // 1 MB output: transferring it (~10 ms at assumed bandwidth) beats
+        // waiting ~0.5 s behind the sibling on the same worker
+        let root = b.add_sim("root", tok, 0, vec![], SimAction::compute_only(Dur(1), 1 << 20));
+        for i in 0..4 {
+            b.add_sim("child", tok, i, vec![root.clone()], SimAction::compute_only(Dur(1), 10));
+        }
+        let _ = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        let w0 = s.worker_ids()[0];
+        let k = s.try_start(w0, Time(0)).unwrap();
+        let actions = s.task_finished(&k, w0, ThreadId(1), Time(0), Time(1), 1 << 20);
+        let fetches = actions.iter().filter(|a| matches!(a, Action::Fetch { .. })).count();
+        assert!(fetches > 0, "children should spill to the idle worker");
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0);
+        let w1 = s.worker_ids()[1];
+        assert!(
+            collector.take().task_done.iter().any(|d| d.worker == w1),
+            "the idle worker should have executed spilled children"
+        );
+    }
+
+    #[test]
+    fn queuing_holds_tasks_when_saturated() {
+        let (mut s, collector) =
+            sched(1, 1, SchedulerConfig { queue_factor: 1.0, work_stealing: false, ..Default::default() });
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        for i in 0..5 {
+            b.add_sim("leaf", tok, i, vec![], SimAction::compute_only(Dur(1), 10));
+        }
+        let actions = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        assert!(actions.is_empty());
+        let events = collector.take();
+        let queued = events
+            .transitions
+            .iter()
+            .filter(|t| t.to == TaskState::Queued)
+            .count();
+        assert_eq!(queued, 4, "1 dispatched, 4 queued");
+        drive(&mut s, Vec::new());
+        assert_eq!(s.unfinished(), 0);
+    }
+
+    #[test]
+    fn stealing_moves_backlog_to_idle_worker() {
+        let (mut s, collector) = sched(2, 1, SchedulerConfig {
+            work_stealing: true,
+            queue_factor: 100.0, // no scheduler-side queuing: eager dispatch
+            steal_backlog_per_thread: 1.0,
+            ..Default::default()
+        });
+        // a root chain pinned by locality to worker 0, then many children
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        // 32 GB output: locality pins every child to w0 first
+        let big = 32u64 << 30;
+        let root = b.add_sim("root", tok, 0, vec![], SimAction::compute_only(Dur(1), big));
+        for i in 0..12 {
+            b.add_sim("child", tok, i, vec![root.clone()], SimAction::compute_only(Dur(1), 10));
+        }
+        let _ = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        let w0 = s.worker_ids()[0];
+        let k = s.try_start(w0, Time(0)).unwrap();
+        let mut actions = s.task_finished(&k, w0, ThreadId(1), Time(0), Time(1), big);
+        // all 12 children piled onto w0 by locality; rebalance steals some
+        actions.extend(s.rebalance(Time(2)));
+        assert!(s.steal_count() > 0, "stealing should trigger");
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0);
+        let done = collector.take().task_done;
+        let w1 = s.worker_ids()[1];
+        assert!(done.iter().any(|d| d.worker == w1), "thief executed stolen work");
+    }
+
+    #[test]
+    fn stealing_disabled_keeps_backlog() {
+        let (mut s, _c) = sched(2, 1, SchedulerConfig {
+            work_stealing: false,
+            queue_factor: 100.0,
+            steal_backlog_per_thread: 1.0,
+            ..Default::default()
+        });
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        let big = 32u64 << 30;
+        let root = b.add_sim("root", tok, 0, vec![], SimAction::compute_only(Dur(1), big));
+        for i in 0..12 {
+            b.add_sim("child", tok, i, vec![root.clone()], SimAction::compute_only(Dur(1), 10));
+        }
+        let _ = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        let w0 = s.worker_ids()[0];
+        let k = s.try_start(w0, Time(0)).unwrap();
+        let actions = s.task_finished(&k, w0, ThreadId(1), Time(0), Time(1), big);
+        assert!(s.rebalance(Time(2)).is_empty());
+        assert_eq!(s.steal_count(), 0);
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0);
+    }
+
+    #[test]
+    fn worker_death_recovers_lost_outputs() {
+        let (mut s, collector) = sched(2, 2, SchedulerConfig { work_stealing: false, ..Default::default() });
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        let root = b.add_sim("root", tok, 0, vec![], SimAction::compute_only(Dur(1), 1 << 20));
+        b.add_sim("child", tok, 0, vec![root.clone()], SimAction::compute_only(Dur(1), 10));
+        let _ = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        let w0 = s.worker_ids()[0];
+        let k = s.try_start(w0, Time(0)).unwrap();
+        assert_eq!(k, root);
+        let _ = s.task_finished(&k, w0, ThreadId(1), Time(0), Time(1), 1 << 20);
+        // the child is now on w0 (locality); kill w0 before it runs
+        let actions = s.worker_died(w0, Time(2));
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0, "workflow completes despite death");
+        // the root must have been recomputed: two TaskDone events for it
+        let done = collector.take().task_done;
+        let root_runs = done.iter().filter(|d| d.key == root).count();
+        assert_eq!(root_runs, 2, "root recomputed after its output was lost");
+        // and everything ran on the surviving worker
+        let w1 = s.worker_ids()[1];
+        assert!(done.iter().filter(|d| d.stop > Time(2)).all(|d| d.worker == w1));
+    }
+
+    #[test]
+    fn no_worker_tasks_recover_when_capacity_returns() {
+        let (mut s, collector) = sched(1, 2, SchedulerConfig::default());
+        let w_dead = s.worker_ids()[0];
+        // kill the only worker, then submit: tasks park in no-worker
+        let _ = s.worker_died(w_dead, Time::ZERO);
+        let actions = s.submit_graph(chain_graph(3), Time(1)).unwrap();
+        assert!(actions.is_empty());
+        assert_eq!(s.task_state(&TaskKey::new("step", 1, 0)), Some(TaskState::NoWorker));
+        // a replacement worker connects; the periodic rebalance re-plans
+        s.add_worker(worker(9), 2);
+        let actions = s.rebalance(Time(2));
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0, "parked tasks recovered");
+        let events = collector.take();
+        assert!(events
+            .transitions
+            .iter()
+            .any(|t| t.to == TaskState::NoWorker), "no-worker observed");
+        assert_eq!(events.task_done.len(), 3);
+    }
+
+    #[test]
+    fn submit_requires_workers() {
+        let collector = CollectorPlugin::new();
+        let mut plugins = PluginSet::new();
+        plugins.register(Box::new(collector));
+        let mut s = Scheduler::new(SchedulerConfig::default(), plugins);
+        assert!(s.submit_graph(chain_graph(1), Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn cross_graph_dependencies_resolve() {
+        let (mut s, _c) = sched(2, 2, SchedulerConfig::default());
+        let g0 = chain_graph(3);
+        let last = g0.tasks.last().unwrap().key.clone();
+        let actions = s.submit_graph(g0, Time::ZERO).unwrap();
+        drive(&mut s, actions);
+        // second graph depends on first graph's last task
+        let mut b = GraphBuilder::new(GraphId(1));
+        let tok = b.new_token();
+        b.add_sim("follow", tok, 0, vec![last.clone()], SimAction::compute_only(Dur(1), 10));
+        let mut ext = Set::new();
+        ext.insert(last);
+        let actions = s.submit_graph(b.build(&ext).unwrap(), Time(100)).unwrap();
+        drive(&mut s, actions);
+        assert_eq!(s.unfinished(), 0);
+    }
+}

@@ -1,0 +1,946 @@
+//! The discrete-event cluster simulator.
+//!
+//! Drives the [`Scheduler`](crate::scheduler::Scheduler) under virtual time
+//! against the `dtf-platform` cost models: task compute times (node profile
+//! × stochastic jitter), in-task I/O through the Darshan-instrumented PFS,
+//! dependency transfers through the network model, work-stealing
+//! rebalances, heartbeat-based fault detection, and the event-loop /GC
+//! stall process that produces the paper's Fig. 7 warnings.
+//!
+//! One [`SimCluster::run`] call executes one complete workflow run — job
+//! allocation, worker startup, graph submission (all-at-once or
+//! sequential), execution, shutdown — and returns the fused [`RunData`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use dtf_core::dist::{Exponential, Jitter, LogNormal, Sample};
+use dtf_core::error::{DtfError, Result};
+use dtf_core::events::{
+    CommEvent, LogEntry, LogLevel, LogSource, WarningEvent, WarningKind,
+};
+use dtf_core::ids::{ClientId, RunId, TaskKey, ThreadId, WorkerId};
+use dtf_core::provenance::WmsConfig;
+use dtf_core::rngx::RunRng;
+use dtf_core::time::{Dur, Time};
+use dtf_darshan::log::LogSet;
+use dtf_darshan::{DarshanRuntime, DxtConfig, InstrumentedPfs};
+use dtf_mofka::bedrock::BedrockConfig;
+use dtf_mofka::producer::ProducerConfig;
+use dtf_mofka::MofkaService;
+use dtf_mofka::ssg::SsgGroup;
+use dtf_platform::job::{AllocPolicy, JobRequest, JobScheduler};
+use dtf_platform::{ClusterTopology, LoadProcess, NetworkConfig, NetworkModel, Pfs, PfsConfig};
+
+use crate::graph::{Payload, SimAction, TaskGraph};
+use crate::plugins::{MofkaPlugin, PluginSet, WmsPlugin};
+use crate::rundata::RunData;
+use crate::scheduler::{Action, Scheduler, SchedulerConfig};
+
+/// How the client submits its graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitPolicy {
+    /// Everything up front (ResNet152 — one graph; XGBoost could too).
+    AllAtOnce,
+    /// Next graph only after the previous completed (ImageProcessing's
+    /// step-by-step pipeline; XGBoost's 74 chained graphs).
+    Sequential,
+}
+
+/// A workflow handed to the simulator: graphs + dataset + client behaviour.
+#[derive(Debug, Clone)]
+pub struct SimWorkflow {
+    pub name: String,
+    pub graphs: Vec<TaskGraph>,
+    pub submit: SubmitPolicy,
+    /// Coordination before the first submission (connect to scheduler,
+    /// wait for workers, build the first graph).
+    pub startup: Dur,
+    /// Client-side graph-construction time between sequential graphs.
+    pub inter_graph: Dur,
+    /// Teardown after the last task completes.
+    pub shutdown: Dur,
+    /// Files created on the PFS before the run: `(path, size, stripes)`.
+    /// `FileId`s are assigned in order (0, 1, 2, …), so generators can
+    /// reference them by index.
+    pub dataset: Vec<(String, u64, u32)>,
+}
+
+/// Simulator configuration (platform + WMS + instrumentation).
+///
+/// Serializable: this is the `distributed.yaml`-analog surface the paper
+/// collects as provenance (timeouts, heartbeat intervals, communication
+/// settings, §III-E1); [`SimConfig::from_json`] loads one from a config
+/// document and [`SimConfig::to_json`] archives it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SimConfig {
+    pub campaign_seed: u64,
+    pub run: RunId,
+    /// Worker nodes requested (scheduler/client live on an extra node).
+    pub worker_nodes: u32,
+    pub wms: WmsConfig,
+    pub scheduler: SchedulerConfig,
+    pub dxt: DxtConfig,
+    pub network: NetworkConfig,
+    pub pfs: PfsConfig,
+    /// Background interference on PFS and network (off for ablations).
+    pub interference: bool,
+    /// Log-scale sigma of per-task compute jitter.
+    pub compute_jitter_sigma: f64,
+    /// Work-stealing rebalance period.
+    pub steal_interval: Dur,
+    /// Heartbeat period and fault-detection timeout.
+    pub heartbeat_interval: Dur,
+    pub heartbeat_timeout: Dur,
+    /// Kill worker ordinal `.0` at time `.1` (failure injection).
+    pub worker_death: Option<(u32, Time)>,
+    /// Mofka producer batch size (ablation knob).
+    pub mofka_batch: usize,
+    /// Stream every Darshan record into the Mofka `io-records` topic at
+    /// record time (the paper's future-work "fully online system"). Online
+    /// records bypass DXT buffer limits.
+    pub online_darshan: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            campaign_seed: 0,
+            run: RunId(0),
+            worker_nodes: 2,
+            wms: WmsConfig::default(),
+            scheduler: SchedulerConfig::default(),
+            dxt: DxtConfig::default(),
+            network: NetworkConfig::default(),
+            pfs: PfsConfig::default(),
+            interference: true,
+            compute_jitter_sigma: 0.08,
+            steal_interval: Dur::from_millis_f64(100.0),
+            heartbeat_interval: Dur::from_millis_f64(500.0),
+            heartbeat_timeout: Dur::from_secs_f64(3.0),
+            worker_death: None,
+            mofka_batch: 64,
+            online_darshan: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Parse a configuration document (JSON).
+    pub fn from_json(json: &str) -> Result<Self> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Archive the configuration (pretty JSON).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Submit(usize),
+    FetchDone { dep: TaskKey, from: WorkerId, to: WorkerId, nbytes: u64, start: Time },
+    TaskDone { key: TaskKey, worker: usize, slot: usize, start: Time, nbytes: u64 },
+    Rebalance,
+    Heartbeat { worker: usize },
+    FaultCheck,
+    Kill { worker: usize },
+}
+
+struct Queued {
+    time: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulated cluster. Build once per run; call [`Self::run`].
+///
+/// ```
+/// use dtf_wms::sim::{SimCluster, SimConfig, SimWorkflow, SubmitPolicy};
+/// use dtf_wms::{GraphBuilder, SimAction};
+/// use dtf_core::ids::GraphId;
+/// use dtf_core::time::Dur;
+///
+/// let mut b = GraphBuilder::new(GraphId(0));
+/// let tok = b.new_token();
+/// let root = b.add_sim("load", tok, 0, vec![],
+///     SimAction::compute_only(Dur::from_millis_f64(10.0), 1024));
+/// b.add_sim("use", tok, 1, vec![root],
+///     SimAction::compute_only(Dur::from_millis_f64(5.0), 64));
+/// let workflow = SimWorkflow {
+///     name: "doc".into(),
+///     graphs: vec![b.build(&Default::default()).unwrap()],
+///     submit: SubmitPolicy::AllAtOnce,
+///     startup: Dur::from_secs_f64(0.1),
+///     inter_graph: Dur::ZERO,
+///     shutdown: Dur::ZERO,
+///     dataset: vec![],
+/// };
+/// let data = SimCluster::new(SimConfig::default()).unwrap().run(workflow).unwrap();
+/// assert_eq!(data.distinct_tasks(), 2);
+/// ```
+pub struct SimCluster {
+    cfg: SimConfig,
+    topo: ClusterTopology,
+    job: dtf_core::provenance::JobInfo,
+    worker_ids: Vec<WorkerId>,
+    scheduler: Scheduler,
+    net: NetworkModel,
+    io: Vec<InstrumentedPfs>,
+    runtimes: Vec<Arc<DarshanRuntime>>,
+    mofka: MofkaService,
+    ssg: SsgGroup,
+    // RNG streams
+    rng_io: SmallRng,
+    rng_net: SmallRng,
+    rng_compute: SmallRng,
+    rng_stall: SmallRng,
+    // event queue
+    queue: BinaryHeap<Reverse<Queued>>,
+    seq: u64,
+    now: Time,
+    // per-worker thread slots (None = free)
+    slots: Vec<Vec<Option<TaskKey>>>,
+    dead: Vec<bool>,
+    last_done: Time,
+    compute_jitter: Jitter,
+    stall_dur: LogNormal,
+}
+
+impl SimCluster {
+    /// Allocate a cluster and wire all services for one run.
+    pub fn new(cfg: SimConfig) -> Result<Self> {
+        let rr = RunRng::new(cfg.campaign_seed, cfg.run);
+        let mut rng_topo = rr.stream("topology");
+        let topo = ClusterTopology::polaris_like(&mut rng_topo);
+        let mut js = JobScheduler::new(AllocPolicy::default());
+        let req = JobRequest {
+            nodes: cfg.worker_nodes + 1,
+            walltime_limit_s: 3600,
+            queue: "prod".into(),
+        };
+        let mut rng_alloc = rr.stream("alloc");
+        let job = js.allocate(&topo, &req, Time::ZERO, &mut rng_alloc)?;
+
+        // node 0 of the allocation hosts scheduler+client; the rest host
+        // workers
+        let mut worker_ids = Vec::new();
+        for node in job.allocated_nodes.iter().skip(1) {
+            for slot in 0..cfg.wms.workers_per_node {
+                worker_ids.push(WorkerId::new(*node, slot));
+            }
+        }
+
+        let interference_seed = rr.stream("interference").gen::<u64>();
+        let pfs_load = if cfg.interference {
+            LoadProcess::pfs_default(interference_seed)
+        } else {
+            LoadProcess::none(interference_seed)
+        };
+        let net_load = if cfg.interference {
+            LoadProcess::network_default(interference_seed ^ 0x5a5a)
+        } else {
+            LoadProcess::none(interference_seed)
+        };
+        let pfs = Arc::new(Mutex::new(Pfs::new(cfg.pfs.clone(), pfs_load)));
+        let net = NetworkModel::new(cfg.network.clone(), net_load);
+
+        let mut runtimes = Vec::new();
+        let mut io = Vec::new();
+        for w in &worker_ids {
+            let rt = Arc::new(DarshanRuntime::new(*w, cfg.dxt));
+            io.push(InstrumentedPfs::new(pfs.clone(), rt.clone()));
+            runtimes.push(rt);
+        }
+
+        let mofka = BedrockConfig::wms_default().bootstrap()?;
+        if cfg.online_darshan {
+            // fully online system: every I/O record streams straight into
+            // Mofka as it is captured, independent of the DXT buffers
+            for rt in &runtimes {
+                let producer = Mutex::new(mofka.producer(
+                    "io-records",
+                    ProducerConfig { batch_size: cfg.mofka_batch.max(1), ..Default::default() },
+                )?);
+                rt.set_sink(Box::new(move |rec| {
+                    if let Ok(event) = dtf_mofka::Event::from_serializable(rec) {
+                        let _ = producer.lock().push(event);
+                    }
+                }));
+            }
+        }
+        let mut plugins = PluginSet::new();
+        plugins.register(Box::new(MofkaPlugin::new(
+            &mofka,
+            ProducerConfig { batch_size: cfg.mofka_batch.max(1), ..Default::default() },
+        )?));
+        let mut scheduler = Scheduler::new(cfg.scheduler.clone(), plugins);
+        for w in &worker_ids {
+            scheduler.add_worker(*w, cfg.wms.threads_per_worker);
+        }
+
+        let slots = worker_ids
+            .iter()
+            .map(|_| vec![None; cfg.wms.threads_per_worker as usize])
+            .collect();
+        let n_workers = worker_ids.len();
+        let compute_jitter = if cfg.compute_jitter_sigma > 0.0 {
+            Jitter::new(cfg.compute_jitter_sigma, 3.0)
+        } else {
+            Jitter::none()
+        };
+        Ok(Self {
+            ssg: SsgGroup::new("dask-workers", cfg.heartbeat_timeout),
+            rng_io: rr.stream("io"),
+            rng_net: rr.stream("net"),
+            rng_compute: rr.stream("compute"),
+            rng_stall: rr.stream("stall"),
+            cfg,
+            topo,
+            job,
+            worker_ids,
+            scheduler,
+            net,
+            io,
+            runtimes,
+            mofka,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            slots,
+            dead: vec![false; n_workers],
+            last_done: Time::ZERO,
+            compute_jitter,
+            stall_dur: LogNormal::new(-0.2, 0.6), // median ~0.8 s stalls
+        })
+    }
+
+    pub fn job(&self) -> &dtf_core::provenance::JobInfo {
+        &self.job
+    }
+
+    pub fn worker_ids(&self) -> &[WorkerId] {
+        &self.worker_ids
+    }
+
+    fn push(&mut self, time: Time, ev: Ev) {
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { time, seq: self.seq, ev }));
+    }
+
+    fn log(&mut self, level: LogLevel, source: LogSource, message: String) {
+        let entry = LogEntry { time: self.now, level, source, message };
+        self.scheduler.plugins_mut().on_log(&entry);
+    }
+
+    /// Execute one complete workflow run.
+    pub fn run(mut self, workflow: SimWorkflow) -> Result<RunData> {
+        // create the dataset; FileIds are sequential
+        {
+            let mut pfs = self.io[0].pfs().lock();
+            for (path, size, stripes) in &workflow.dataset {
+                pfs.create(path.clone(), *size, *stripes);
+            }
+        }
+        self.log(LogLevel::Info, LogSource::Scheduler, "scheduler started".into());
+
+        // workers connect, staggered through the startup window
+        let startup = workflow.startup;
+        for i in 0..self.worker_ids.len() {
+            let frac = 0.3 + 0.6 * (i as f64 / self.worker_ids.len().max(1) as f64);
+            let t = Time::ZERO + startup.scale(frac);
+            let addr = self.worker_ids[i].address();
+            self.ssg.join(addr, t);
+            self.push(t + self.cfg.heartbeat_interval, Ev::Heartbeat { worker: i });
+        }
+        self.push(Time::ZERO + startup, Ev::Submit(0));
+        self.push(Time::ZERO + startup, Ev::Rebalance);
+        self.push(Time::ZERO + startup, Ev::FaultCheck);
+        if let Some((w, t)) = self.cfg.worker_death {
+            self.push(t, Ev::Kill { worker: w as usize });
+        }
+
+        // graph bookkeeping for sequential submission
+        let mut remaining: Vec<usize> = workflow.graphs.iter().map(|g| g.len()).collect();
+        let mut graphs: Vec<Option<TaskGraph>> = workflow.graphs.into_iter().map(Some).collect();
+        let total_graphs = graphs.len();
+        let mut submitted = 0usize;
+        let mut tasks_outstanding: usize = 0;
+
+        while let Some(Reverse(q)) = self.queue.pop() {
+            self.now = q.time;
+            match q.ev {
+                Ev::Submit(idx) => {
+                    let Some(graph) = graphs.get_mut(idx).and_then(Option::take) else {
+                        continue;
+                    };
+                    let gid = graph.id;
+                    tasks_outstanding += graph.len();
+                    self.log(
+                        LogLevel::Info,
+                        LogSource::Client(ClientId(0)),
+                        format!("submitting graph {gid} ({} tasks)", graph.len()),
+                    );
+                    let was_empty = remaining.get(idx).copied() == Some(0);
+                    let actions = self.scheduler.submit_graph(graph, self.now)?;
+                    self.process_actions(actions);
+                    submitted += 1;
+                    if submitted < total_graphs
+                        && (workflow.submit == SubmitPolicy::AllAtOnce || was_empty)
+                    {
+                        self.push(self.now, Ev::Submit(submitted));
+                    }
+                    self.try_start_all();
+                }
+                Ev::FetchDone { dep, from, to, nbytes, start } => {
+                    let widx = self.worker_index(to);
+                    if self.dead[widx] {
+                        continue;
+                    }
+                    self.scheduler.plugins_mut().on_comm(&CommEvent {
+                        key: dep.clone(),
+                        from,
+                        to,
+                        nbytes,
+                        start,
+                        stop: self.now,
+                    });
+                    self.scheduler.fetch_done(&dep, to, self.now);
+                    self.try_start_all();
+                }
+                Ev::TaskDone { key, worker, slot, start, nbytes } => {
+                    if self.dead[worker] {
+                        continue; // worker died mid-task; scheduler re-planned
+                    }
+                    debug_assert_eq!(self.slots[worker][slot].as_ref(), Some(&key));
+                    self.slots[worker][slot] = None;
+                    let wid = self.worker_ids[worker];
+                    let thread = ThreadId::synth(wid, slot as u32);
+                    let actions = self
+                        .scheduler
+                        .task_finished(&key, wid, thread, start, self.now, nbytes);
+                    self.process_actions(actions);
+                    self.last_done = self.now;
+                    tasks_outstanding = tasks_outstanding.saturating_sub(1);
+                    // sequential submission: next graph when this one drains
+                    // (graph ids are dense 0..n in workflow graphs)
+                    if let Some(gid) = self.graph_of_done(&key) {
+                        if let Some(r) = remaining.get_mut(gid as usize) {
+                            *r = r.saturating_sub(1);
+                            if *r == 0
+                                && workflow.submit == SubmitPolicy::Sequential
+                                && submitted < total_graphs
+                            {
+                                self.push(
+                                    self.now + workflow.inter_graph,
+                                    Ev::Submit(submitted),
+                                );
+                            }
+                        }
+                    }
+                    self.try_start_all();
+                }
+                Ev::Rebalance => {
+                    let actions = self.scheduler.rebalance(self.now);
+                    self.process_actions(actions);
+                    self.try_start_all();
+                    if tasks_outstanding > 0 || submitted < total_graphs {
+                        let t = self.now + self.cfg.steal_interval;
+                        self.push(t, Ev::Rebalance);
+                    }
+                }
+                Ev::Heartbeat { worker } => {
+                    if self.dead[worker] {
+                        continue;
+                    }
+                    let addr = self.worker_ids[worker].address();
+                    self.ssg.heartbeat(&addr, self.now);
+                    if tasks_outstanding > 0 || submitted < total_graphs {
+                        let t = self.now + self.cfg.heartbeat_interval;
+                        self.push(t, Ev::Heartbeat { worker });
+                    }
+                }
+                Ev::FaultCheck => {
+                    for addr in self.ssg.evict_suspects(self.now) {
+                        if let Some(widx) =
+                            self.worker_ids.iter().position(|w| w.address() == addr)
+                        {
+                            self.log(
+                                LogLevel::Warning,
+                                LogSource::Scheduler,
+                                format!("worker {addr} lost (missed heartbeats)"),
+                            );
+                            // free its slots
+                            for s in self.slots[widx].iter_mut() {
+                                *s = None;
+                            }
+                            let wid = self.worker_ids[widx];
+                            let actions = self.scheduler.worker_died(wid, self.now);
+                            self.process_actions(actions);
+                        }
+                    }
+                    self.try_start_all();
+                    if tasks_outstanding > 0 || submitted < total_graphs {
+                        let t = self.now + self.cfg.heartbeat_timeout.scale(0.5);
+                        self.push(t, Ev::FaultCheck);
+                    }
+                }
+                Ev::Kill { worker } => {
+                    if worker < self.dead.len() {
+                        self.dead[worker] = true;
+                        let addr = self.worker_ids[worker].address();
+                        self.log(
+                            LogLevel::Error,
+                            LogSource::Worker(self.worker_ids[worker]),
+                            format!("worker {addr} terminated"),
+                        );
+                        // it stops heartbeating; FaultCheck will evict it
+                    }
+                }
+            }
+        }
+
+        if self.scheduler.unfinished() > 0 {
+            return Err(DtfError::IllegalState(format!(
+                "simulation deadlocked with {} unfinished tasks",
+                self.scheduler.unfinished()
+            )));
+        }
+
+        let wall_time = (self.last_done + workflow.shutdown) - Time::ZERO;
+        self.finalize(workflow.name, wall_time)
+    }
+
+    /// Graph id of a just-finished task (scheduler holds the mapping).
+    fn graph_of_done(&self, key: &TaskKey) -> Option<u32> {
+        // the task is in Memory now; the scheduler keeps its record
+        self.scheduler.task_graph(key).map(|g| g.0)
+    }
+
+    fn worker_index(&self, id: WorkerId) -> usize {
+        self.worker_ids.iter().position(|w| *w == id).expect("known worker")
+    }
+
+    fn process_actions(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Fetch { dep, from, to, nbytes } => {
+                    let (dur, _first) = self.net.transfer_time(
+                        &self.topo,
+                        hash_addr(from),
+                        from.node,
+                        hash_addr(to),
+                        to.node,
+                        nbytes,
+                        self.now,
+                        &mut self.rng_net,
+                    );
+                    let start = self.now;
+                    self.push(self.now + dur, Ev::FetchDone { dep, from, to, nbytes, start });
+                }
+            }
+        }
+    }
+
+    /// Start every startable task on every live worker.
+    fn try_start_all(&mut self) {
+        for widx in 0..self.worker_ids.len() {
+            if self.dead[widx] {
+                continue;
+            }
+            let wid = self.worker_ids[widx];
+            while let Some(key) = self.scheduler.try_start(wid, self.now) {
+                let slot = self.slots[widx]
+                    .iter()
+                    .position(|s| s.is_none())
+                    .expect("scheduler respects thread limit");
+                self.slots[widx][slot] = Some(key.clone());
+                self.execute(key, widx, slot);
+            }
+        }
+    }
+
+    /// Charge a task's full cost model and schedule its completion.
+    fn execute(&mut self, key: TaskKey, widx: usize, slot: usize) {
+        let action = match self.scheduler.payload(&key) {
+            Some(Payload::Sim(a)) => a.clone(),
+            Some(Payload::Real(_)) => {
+                // real payloads cannot run under virtual time; model them as
+                // zero-cost so mixed graphs still complete
+                SimAction::compute_only(Dur::ZERO, 0)
+            }
+            None => SimAction::compute_only(Dur::ZERO, 0),
+        };
+        let start = self.now;
+        let wid = self.worker_ids[widx];
+        let thread = ThreadId::synth(wid, slot as u32);
+
+        // --- in-task I/O, sequential from task start
+        let mut elapsed = Dur::ZERO;
+        let mut opened: Vec<dtf_core::ids::FileId> = Vec::new();
+        for call in &action.io {
+            let at = start + elapsed;
+            if !opened.contains(&call.file) {
+                if let Ok(d) = self.io[widx].open(thread, call.file, at, &mut self.rng_io) {
+                    elapsed += d;
+                    opened.push(call.file);
+                }
+            }
+            let at = start + elapsed;
+            let res = if call.write {
+                self.io[widx].write(thread, call.file, call.offset, call.size, at, &mut self.rng_io)
+            } else {
+                self.io[widx].read(thread, call.file, call.offset, call.size, at, &mut self.rng_io)
+            };
+            match res {
+                Ok(d) => elapsed += d,
+                Err(e) => {
+                    // surface workload bugs loudly: an I/O error in the cost
+                    // model is a generator bug, not a runtime condition
+                    panic!("simulated I/O failed for {key}: {e}");
+                }
+            }
+        }
+        for file in opened {
+            let at = start + elapsed;
+            if let Ok(d) = self.io[widx].close(thread, file, at, &mut self.rng_io) {
+                elapsed += d;
+            }
+        }
+
+        // --- compute, scaled by node profile and jitter
+        let profile = self.topo.profile(wid.node);
+        let compute = action
+            .compute
+            .scale(profile.compute_factor)
+            .scale(self.compute_jitter.factor(&mut self.rng_compute));
+        elapsed += compute;
+
+        // --- event-loop / GC stalls (Fig. 7 warning model)
+        if action.stall_rate > 0.0 {
+            let exec_secs = elapsed.as_secs_f64();
+            let gap = Exponential::new(action.stall_rate);
+            let mut t = gap.sample(&mut self.rng_stall);
+            let mut stall_total = Dur::ZERO;
+            while t < exec_secs {
+                let dur = Dur::from_secs_f64(self.stall_dur.sample(&mut self.rng_stall));
+                let kind = if self.rng_stall.gen::<f64>() < 0.7 {
+                    WarningKind::UnresponsiveEventLoop
+                } else {
+                    WarningKind::GcPause
+                };
+                let warn = WarningEvent {
+                    kind,
+                    worker: Some(wid),
+                    time: start + Dur::from_secs_f64(t),
+                    duration: dur,
+                };
+                self.scheduler.plugins_mut().on_warning(&warn);
+                self.log(
+                    LogLevel::Warning,
+                    LogSource::Worker(wid),
+                    format!("event loop unresponsive for {dur}"),
+                );
+                stall_total += dur;
+                t += gap.sample(&mut self.rng_stall);
+            }
+            elapsed += stall_total;
+        }
+
+        let nbytes = action.output_nbytes;
+        self.push(start + elapsed, Ev::TaskDone { key, worker: widx, slot, start, nbytes });
+    }
+
+    /// Finalize Darshan logs and drain Mofka into the run record.
+    fn finalize(mut self, workflow: String, wall_time: Dur) -> Result<RunData> {
+        self.scheduler.plugins_mut().flush();
+        for rt in &self.runtimes {
+            rt.clear_sink(); // drops (and thereby flushes) online producers
+        }
+        let logs: Vec<_> = self
+            .runtimes
+            .iter()
+            .map(|rt| rt.finalize(self.cfg.run, self.job.job_id))
+            .collect();
+        let darshan = LogSet::new(logs);
+        let chart = dtf_platform::sysprov::capture_chart(
+            &self.topo,
+            self.job.clone(),
+            self.cfg.wms.clone(),
+            &workflow,
+            self.cfg.campaign_seed,
+        );
+        let start_order = self.scheduler.start_order().to_vec();
+        let steals = self.scheduler.steal_count();
+        RunData::drain_from_mofka(
+            &self.mofka,
+            self.cfg.run,
+            workflow,
+            chart,
+            darshan,
+            wall_time,
+            start_order,
+            steals,
+        )
+    }
+}
+
+fn hash_addr(w: WorkerId) -> u64 {
+    (w.node.0 as u64) << 32 | w.slot as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, IoCall};
+    use dtf_core::ids::{FileId, GraphId};
+    use std::collections::HashSet;
+
+    fn small_workflow(io: bool) -> SimWorkflow {
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        let mut roots = Vec::new();
+        for i in 0..8 {
+            let action = SimAction {
+                compute: Dur::from_millis_f64(50.0),
+                io: if io {
+                    vec![IoCall::read(FileId(0), (i as u64) * (4 << 20), 4 << 20)]
+                } else {
+                    vec![]
+                },
+                output_nbytes: 1 << 20,
+                stall_rate: 0.0,
+            };
+            roots.push(b.add_sim("load", tok, i, vec![], action));
+        }
+        let mut b2 = b;
+        for (i, r) in roots.iter().enumerate() {
+            b2.add_sim(
+                "reduce",
+                tok + 1,
+                i as u32,
+                vec![r.clone()],
+                SimAction::compute_only(Dur::from_millis_f64(20.0), 100),
+            );
+        }
+        SimWorkflow {
+            name: "unit".into(),
+            graphs: vec![b2.build(&HashSet::new()).unwrap()],
+            submit: SubmitPolicy::AllAtOnce,
+            startup: Dur::from_secs_f64(2.0),
+            inter_graph: Dur::ZERO,
+            shutdown: Dur::from_secs_f64(1.0),
+            dataset: vec![("/data/input.bin".into(), 64 << 20, 4)],
+        }
+    }
+
+    #[test]
+    fn small_workflow_completes_with_all_events() {
+        let sim = SimCluster::new(SimConfig::default()).unwrap();
+        let data = sim.run(small_workflow(true)).unwrap();
+        assert_eq!(data.distinct_tasks(), 16);
+        assert_eq!(data.task_done.len(), 16);
+        // 8 reads traced with thread ids
+        assert_eq!(data.io_ops(), 8);
+        assert!(data.darshan.all_records().all(|r| r.thread.0 != 0));
+        // wall time includes startup + shutdown
+        assert!(data.wall_time > Dur::from_secs_f64(3.0));
+        // transitions are time-sorted and legal
+        for w in data.transitions.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert_eq!(data.task_graphs(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_run_is_reproducible() {
+        let cfg = SimConfig { campaign_seed: 7, run: RunId(3), ..Default::default() };
+        let a = SimCluster::new(cfg.clone()).unwrap().run(small_workflow(true)).unwrap();
+        let b = SimCluster::new(cfg).unwrap().run(small_workflow(true)).unwrap();
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.comms.len(), b.comms.len());
+        let oa: Vec<_> = a.start_order.iter().map(|(k, _)| k.clone()).collect();
+        let ob: Vec<_> = b.start_order.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(oa, ob, "identical schedule for identical seed");
+    }
+
+    #[test]
+    fn different_runs_vary() {
+        let a = SimCluster::new(SimConfig { campaign_seed: 7, run: RunId(0), ..Default::default() })
+            .unwrap()
+            .run(small_workflow(true))
+            .unwrap();
+        let b = SimCluster::new(SimConfig { campaign_seed: 7, run: RunId(1), ..Default::default() })
+            .unwrap()
+            .run(small_workflow(true))
+            .unwrap();
+        assert_ne!(a.wall_time, b.wall_time, "runs should exhibit variability");
+    }
+
+    #[test]
+    fn dependencies_never_violated() {
+        let sim = SimCluster::new(SimConfig::default()).unwrap();
+        let data = sim.run(small_workflow(false)).unwrap();
+        // reduce-i must start after load-i finished
+        let mut finish: std::collections::HashMap<TaskKey, Time> = Default::default();
+        for d in &data.task_done {
+            finish.insert(d.key.clone(), d.stop);
+        }
+        for d in &data.task_done {
+            if d.key.prefix == "reduce" {
+                let dep = data
+                    .task_done
+                    .iter()
+                    .find(|x| x.key.prefix == "load" && x.key.index == d.key.index)
+                    .unwrap();
+                assert!(d.start >= dep.stop, "reduce started before its load finished");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_death_mid_run_still_completes() {
+        // long tasks so the kill lands mid-execution and fault detection
+        // (heartbeat timeout) has to recover the work
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        for i in 0..80 {
+            b.add_sim("slow", tok, i, vec![], SimAction::compute_only(Dur::from_secs_f64(4.0), 100));
+        }
+        let wf = SimWorkflow {
+            name: "death".into(),
+            graphs: vec![b.build(&HashSet::new()).unwrap()],
+            submit: SubmitPolicy::AllAtOnce,
+            startup: Dur::from_secs_f64(2.0),
+            inter_graph: Dur::ZERO,
+            shutdown: Dur::ZERO,
+            dataset: vec![],
+        };
+        let cfg = SimConfig {
+            worker_death: Some((0, Time::from_secs_f64(2.5))),
+            ..Default::default()
+        };
+        let sim = SimCluster::new(cfg).unwrap();
+        let data = sim.run(wf).unwrap();
+        assert_eq!(data.distinct_tasks(), 80);
+        // the lost-worker warning shows up in the logs
+        assert!(data.logs.iter().any(|l| l.message.contains("lost")));
+        // tasks dispatched to the dead worker were re-run elsewhere
+        let dead_worker = data.chart.job.allocated_nodes[1];
+        let late_on_dead = data
+            .task_done
+            .iter()
+            .filter(|d| d.worker == WorkerId::new(dead_worker, 0))
+            .filter(|d| d.stop > Time::from_secs_f64(2.5))
+            .count();
+        assert_eq!(late_on_dead, 0, "no completions on the dead worker after the kill");
+    }
+
+    #[test]
+    fn stall_rate_produces_warnings() {
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        b.add_sim(
+            "read_parquet-fused-assign",
+            tok,
+            0,
+            vec![],
+            SimAction {
+                compute: Dur::from_secs_f64(30.0),
+                io: vec![],
+                output_nbytes: 300 << 20,
+                stall_rate: 0.5,
+            },
+        );
+        let wf = SimWorkflow {
+            name: "stalls".into(),
+            graphs: vec![b.build(&HashSet::new()).unwrap()],
+            submit: SubmitPolicy::AllAtOnce,
+            startup: Dur::from_secs_f64(1.0),
+            inter_graph: Dur::ZERO,
+            shutdown: Dur::ZERO,
+            dataset: vec![],
+        };
+        let data = SimCluster::new(SimConfig::default()).unwrap().run(wf).unwrap();
+        assert!(!data.warnings.is_empty(), "long stall-prone task should warn");
+        // warnings fall within the run window
+        for w in &data.warnings {
+            assert!(w.time.as_secs_f64() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let mut cfg = SimConfig { worker_nodes: 4, mofka_batch: 7, online_darshan: true, ..Default::default() };
+        cfg.scheduler.work_stealing = false;
+        let json = cfg.to_json();
+        let back = SimConfig::from_json(&json).unwrap();
+        assert_eq!(back.worker_nodes, 4);
+        assert!(!back.scheduler.work_stealing);
+        assert_eq!(back.mofka_batch, 7);
+        assert!(back.online_darshan);
+        assert!(SimConfig::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn sequential_graphs_submit_in_order() {
+        let mut graphs = Vec::new();
+        let mut ext = HashSet::new();
+        for g in 0..3 {
+            let mut b = GraphBuilder::new(GraphId(g));
+            let tok = b.new_token();
+            for i in 0..4 {
+                b.add_sim("step", tok, i, vec![], SimAction::compute_only(Dur::from_millis_f64(10.0), 10));
+            }
+            let built = b.build(&ext).unwrap();
+            for t in &built.tasks {
+                ext.insert(t.key.clone());
+            }
+            graphs.push(built);
+        }
+        let wf = SimWorkflow {
+            name: "seq".into(),
+            graphs,
+            submit: SubmitPolicy::Sequential,
+            startup: Dur::from_secs_f64(1.0),
+            inter_graph: Dur::from_secs_f64(0.5),
+            shutdown: Dur::ZERO,
+            dataset: vec![],
+        };
+        let data = SimCluster::new(SimConfig::default()).unwrap().run(wf).unwrap();
+        assert_eq!(data.task_graphs(), 3);
+        // graph 1 tasks all start after graph 0 tasks all finished
+        let g_end = |g: u32| {
+            data.task_done.iter().filter(|d| d.graph.0 == g).map(|d| d.stop).max().unwrap()
+        };
+        let g_start = |g: u32| {
+            data.task_done.iter().filter(|d| d.graph.0 == g).map(|d| d.start).min().unwrap()
+        };
+        assert!(g_start(1) >= g_end(0));
+        assert!(g_start(2) >= g_end(1));
+    }
+}

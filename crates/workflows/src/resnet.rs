@@ -1,0 +1,231 @@
+//! The fine-tuned ResNet152 batch-prediction workflow (paper §IV-B).
+//!
+//! Three `@dask.delayed`-style functions — `load`, `transform`, `predict` —
+//! over an Imagewang-like dataset of 3929 image files, submitted as a
+//! single task graph.
+//!
+//! Calibration (Table I): 1 graph, 8645 distinct tasks
+//! (3929 load + 3929 transform + 786 batch predicts + 1 gather),
+//! 3929 distinct files, ~3900 communications. The Darshan DXT trace is
+//! **incomplete by design**: with the paper's default instrumentation
+//! buffer, per-worker DXT overflows and only 2057–2302 of the 3929 reads
+//! are traced (footnote 9) — [`dxt_config`] reproduces that buffer limit.
+
+use rand::{Rng, SeedableRng};
+
+use dtf_core::ids::FileId;
+use dtf_core::time::Dur;
+use dtf_darshan::DxtConfig;
+use dtf_wms::sim::{SimWorkflow, SubmitPolicy};
+use dtf_wms::{GraphBuilder, IoCall, SimAction};
+
+/// Images in the Imagewang-like validation set.
+pub const FILES: u32 = 3929;
+/// Prediction batch size.
+pub const BATCH: u32 = 5;
+
+/// The DXT configuration that reproduces the paper's footnote-9
+/// truncation: each worker's trace buffer holds 630 records; with this
+/// run's read granularity (1–3 reads per file, set by the loader's
+/// per-run readahead) the 8 workers together trace roughly 2050–2350
+/// reads — fewer than actually issued.
+pub fn dxt_config() -> DxtConfig {
+    DxtConfig::with_buffer(630)
+}
+
+/// Build the ResNet152 batch-prediction workflow for one run.
+pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
+    // dataset: 3929 JPEG-ish files, 60-220 KB (sizes are a fixed property
+    // of the dataset: drawn from a stream independent of run ordering)
+    let mut size_rng = rand::rngs::SmallRng::seed_from_u64(0x1034_9e57);
+    let mut sizes = Vec::with_capacity(FILES as usize);
+    let dataset: Vec<(String, u64, u32)> = (0..FILES)
+        .map(|i| {
+            let size = 60 * 1024 + (size_rng.gen::<u64>() % (160 * 1024));
+            sizes.push(size);
+            (format!("/imagewang/val/img_{i:05}.jpg"), size, 1)
+        })
+        .collect();
+
+    // per-run loader readahead: node memory pressure changes the image
+    // decoder's read batching run to run, which is what varies the traced
+    // I/O count under the fixed DXT budget (paper Table I: 2057-2302)
+    let readahead: u64 = [96 * 1024, 128 * 1024, 160 * 1024][rng.gen_range(0..3)];
+
+    let mut g = GraphBuilder::new(dtf_core::ids::GraphId(0));
+    let t_load = g.new_token();
+    let t_transform = g.new_token();
+    let t_predict = g.new_token();
+    let t_gather = g.new_token();
+
+    let mut batch_deps: Vec<Vec<dtf_core::ids::TaskKey>> = Vec::new();
+    for i in 0..FILES {
+        let file = FileId(i as u64);
+        let load = g.add_sim(
+            "load",
+            t_load,
+            i,
+            vec![],
+            SimAction {
+                compute: Dur::from_millis_f64(15.0),
+                io: {
+                    // read the file in readahead-sized chunks
+                    let size = sizes[i as usize];
+                    let mut io = Vec::new();
+                    let mut off = 0;
+                    while off < size {
+                        let len = readahead.min(size - off);
+                        io.push(IoCall::read(file, off, len));
+                        off += len;
+                    }
+                    io
+                },
+                // decoded image tensor ~0.6 MB
+                output_nbytes: 600 * 1024,
+                stall_rate: 0.0,
+            },
+        );
+        let transform = g.add_sim(
+            "transform",
+            t_transform,
+            i,
+            vec![load],
+            SimAction {
+                compute: Dur::from_millis_f64(430.0),
+                io: vec![],
+                output_nbytes: 602_112, // 3*224*224*4 resized tensor
+                stall_rate: 0.0,
+            },
+        );
+        // batches are formed over a shuffled dataset order, so a batch's
+        // members were loaded far apart (and on different workers)
+        let n_batches = FILES / BATCH + 1; // 786
+        let b = (i % n_batches) as usize;
+        if batch_deps.len() <= b {
+            batch_deps.push(Vec::new());
+        }
+        batch_deps[b].push(transform);
+    }
+    let mut predicts = Vec::new();
+    for (b, deps) in batch_deps.into_iter().enumerate() {
+        predicts.push(g.add_sim(
+            "predict",
+            t_predict,
+            b as u32,
+            deps,
+            SimAction {
+                // ResNet152 forward pass on a batch
+                compute: Dur::from_millis_f64(2300.0),
+                io: vec![],
+                output_nbytes: 4 * BATCH as u64 * 20, // logits for 20 classes
+                stall_rate: 0.0,
+            },
+        ));
+    }
+    g.add_sim(
+        "gather-results",
+        t_gather,
+        0,
+        predicts,
+        SimAction::compute_only(Dur::from_millis_f64(200.0), 4 * FILES as u64 * 20),
+    );
+
+    SimWorkflow {
+        name: "ResNet152".into(),
+        graphs: vec![g.build(&std::collections::HashSet::new()).expect("resnet graph valid")],
+        submit: SubmitPolicy::AllAtOnce,
+        startup: Dur::from_secs_f64(12.0),
+        inter_graph: Dur::ZERO,
+        shutdown: Dur::from_secs_f64(4.0),
+        dataset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_table1_structure() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let wf = build(&mut rng);
+        assert_eq!(wf.graphs.len(), 1, "Table I: a single task graph");
+        // 3929 load + 3929 transform + 786 predict + 1 gather = 8645
+        assert_eq!(wf.graphs[0].len(), 8645, "Table I: 8645 distinct tasks");
+        assert_eq!(wf.dataset.len(), 3929, "Table I: 3929 distinct files");
+        assert_eq!(wf.submit, SubmitPolicy::AllAtOnce);
+    }
+
+    #[test]
+    fn reads_cover_every_file_in_one_to_three_chunks() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let wf = build(&mut rng);
+        let mut reads_total = 0usize;
+        for t in &wf.graphs[0].tasks {
+            if t.key.prefix != "load" {
+                continue;
+            }
+            let dtf_wms::Payload::Sim(a) = &t.payload else { unreachable!() };
+            let n = a.io.iter().filter(|c| !c.write).count();
+            assert!((1..=3).contains(&n), "load issues 1-3 chunked reads, got {n}");
+            // chunks tile the file exactly
+            let total: u64 = a.io.iter().map(|c| c.size).sum();
+            let (_, size, _) = &wf.dataset[a.io[0].file.0 as usize];
+            assert_eq!(total, *size);
+            reads_total += n;
+        }
+        assert!(reads_total > 3929, "chunking issues more reads than files");
+    }
+
+    #[test]
+    fn readahead_varies_read_counts_across_runs() {
+        let count = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            build(&mut rng).graphs[0]
+                .tasks
+                .iter()
+                .filter_map(|t| match &t.payload {
+                    dtf_wms::Payload::Sim(a) => Some(a.io.len()),
+                    _ => None,
+                })
+                .sum::<usize>()
+        };
+        let counts: std::collections::HashSet<usize> = (0..12).map(count).collect();
+        assert!(counts.len() >= 2, "per-run readahead should change totals");
+    }
+
+    #[test]
+    fn batch_fanin_is_batch_size() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let wf = build(&mut rng);
+        let predict_deps: Vec<usize> = wf.graphs[0]
+            .tasks
+            .iter()
+            .filter(|t| t.key.prefix == "predict")
+            .map(|t| t.deps.len())
+            .collect();
+        assert_eq!(predict_deps.len(), 786);
+        // all full batches except possibly the last
+        assert!(predict_deps.iter().take(785).all(|&d| d == 5));
+        assert_eq!(*predict_deps.last().unwrap(), 4); // 3929 = 785*5 + 4
+    }
+
+    #[test]
+    fn dxt_budget_below_total_reads() {
+        // 8 workers x 630 records each = 5040 record slots; a load occupies
+        // open + 1..3 reads + close, so the traced read count sits in the
+        // low two-thousands — strictly fewer than the >= 3929 reads issued
+        // (footnote-9 truncation).
+        let cfg = dxt_config();
+        let slots = 8 * cfg.max_records;
+        // best case (1 read per load): reads = slots / 3
+        // worst case (3 reads per load): reads = 3 * slots / 5
+        let lo = slots / 3;
+        let hi = 3 * slots / 5;
+        assert!(hi < 3929);
+        assert!((1600..=1700).contains(&lo), "lo {lo}");
+        assert!((2950..=3050).contains(&hi), "hi {hi}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # dtf — Distributed Task-based workflow characterization Framework
+//!
+//! Facade crate re-exporting the public API of the whole workspace, a Rust
+//! reproduction of *"Performance Characterization and Provenance of
+//! Distributed Task-based Workflows on HPC Platforms"* (SC 2024).
+//!
+//! * [`core`] — identifiers, event & provenance schema, clocks, statistics.
+//! * [`platform`] — simulated HPC platform (cluster, network, Lustre-like PFS).
+//! * [`mofka`] — event streaming service used to aggregate instrumentation.
+//! * [`darshan`] — I/O characterization (POSIX counters + DXT tracing).
+//! * [`wms`] — the Dask.distributed-analog workflow management system.
+//! * [`perfrecup`] — multi-source analysis and view engine.
+//! * [`workflows`] — the paper's three workloads and the campaign driver.
+//!
+//! See `examples/quickstart.rs` for a minimal end-to-end characterization.
+
+pub use dtf_core as core;
+pub use dtf_darshan as darshan;
+pub use dtf_mofka as mofka;
+pub use dtf_perfrecup as perfrecup;
+pub use dtf_platform as platform;
+pub use dtf_wms as wms;
+pub use dtf_workflows as workflows;

@@ -1,0 +1,63 @@
+//! Reproducibility of the framework itself: identical `(seed, run)` pairs
+//! produce bit-identical characterization data; different runs vary.
+
+use dtf::core::ids::RunId;
+use dtf::core::rngx::RunRng;
+use dtf::wms::sim::{SimCluster, SimConfig};
+use dtf::wms::RunData;
+use dtf::workflows::Workload;
+
+fn run(workload: Workload, seed: u64, run: u32) -> RunData {
+    let rr = RunRng::new(seed, RunId(run));
+    let workflow = workload.generate(&rr);
+    let mut cfg = SimConfig { campaign_seed: seed, run: RunId(run), ..Default::default() };
+    workload.adjust(&mut cfg);
+    SimCluster::new(cfg).unwrap().run(workflow).unwrap()
+}
+
+#[test]
+fn identical_seed_and_run_reproduce_exactly() {
+    let a = run(Workload::ImageProcessing, 13, 2);
+    let b = run(Workload::ImageProcessing, 13, 2);
+    assert_eq!(a.wall_time, b.wall_time);
+    assert_eq!(a.task_done, b.task_done);
+    assert_eq!(a.comms, b.comms);
+    assert_eq!(a.warnings, b.warnings);
+    assert_eq!(a.start_order, b.start_order);
+    assert_eq!(a.io_ops(), b.io_ops());
+    assert_eq!(a.steals, b.steals);
+}
+
+#[test]
+fn different_runs_of_same_campaign_vary() {
+    let a = run(Workload::ImageProcessing, 13, 0);
+    let b = run(Workload::ImageProcessing, 13, 1);
+    assert_ne!(a.wall_time, b.wall_time);
+    // structural counts stay fixed; timings move
+    assert_eq!(a.distinct_tasks(), b.distinct_tasks());
+    assert_eq!(a.task_graphs(), b.task_graphs());
+}
+
+#[test]
+fn different_campaign_seeds_vary() {
+    let a = run(Workload::ImageProcessing, 1, 0);
+    let b = run(Workload::ImageProcessing, 2, 0);
+    assert_ne!(a.wall_time, b.wall_time);
+}
+
+#[test]
+fn campaign_summaries_are_reproducible() {
+    use dtf::workflows::Campaign;
+    let mut c1 = Campaign::paper(Workload::ImageProcessing, 21);
+    c1.runs = 2;
+    let mut c2 = Campaign::paper(Workload::ImageProcessing, 21);
+    c2.runs = 2;
+    let r1 = c1.execute().unwrap();
+    let r2 = c2.execute().unwrap();
+    for (a, b) in r1.summaries.iter().zip(&r2.summaries) {
+        assert_eq!(a.wall_s, b.wall_s);
+        assert_eq!(a.io_ops, b.io_ops);
+        assert_eq!(a.comms, b.comms);
+        assert_eq!(a.warnings, b.warnings);
+    }
+}

@@ -1,0 +1,147 @@
+//! Failure injection across the stack: worker death with recompute, PFS
+//! interference, and DXT buffer exhaustion.
+
+use std::collections::HashSet;
+
+use dtf::core::ids::{GraphId, RunId, WorkerId};
+use dtf::core::time::{Dur, Time};
+use dtf::darshan::DxtConfig;
+use dtf::wms::graph::{GraphBuilder, IoCall, SimAction};
+use dtf::wms::sim::{SimCluster, SimConfig, SimWorkflow, SubmitPolicy};
+
+fn long_workflow(tasks: u32, task_secs: f64, with_io: bool) -> SimWorkflow {
+    let mut b = GraphBuilder::new(GraphId(0));
+    let tok = b.new_token();
+    let mut roots = Vec::new();
+    for i in 0..tasks {
+        let action = SimAction {
+            compute: Dur::from_secs_f64(task_secs),
+            io: if with_io {
+                vec![IoCall::read(dtf::core::ids::FileId(0), (i as u64 % 16) * 4096, 4096)]
+            } else {
+                vec![]
+            },
+            output_nbytes: 1 << 16,
+            stall_rate: 0.0,
+        };
+        roots.push(b.add_sim("work", tok, i, vec![], action));
+    }
+    // a reduction so lost outputs matter
+    for (i, r) in roots.iter().enumerate() {
+        b.add_sim(
+            "consume",
+            tok + 1,
+            i as u32,
+            vec![r.clone()],
+            SimAction::compute_only(Dur::from_secs_f64(task_secs / 2.0), 128),
+        );
+    }
+    SimWorkflow {
+        name: "failure-test".into(),
+        graphs: vec![b.build(&HashSet::new()).unwrap()],
+        submit: SubmitPolicy::AllAtOnce,
+        startup: Dur::from_secs_f64(1.0),
+        inter_graph: Dur::ZERO,
+        shutdown: Dur::ZERO,
+        dataset: vec![("/data".into(), 1 << 20, 1)],
+    }
+}
+
+#[test]
+fn worker_death_recovers_and_completes() {
+    let cfg = SimConfig {
+        campaign_seed: 3,
+        run: RunId(0),
+        worker_death: Some((2, Time::from_secs_f64(3.0))),
+        ..Default::default()
+    };
+    let data = SimCluster::new(cfg).unwrap().run(long_workflow(96, 3.0, false)).unwrap();
+    assert_eq!(data.distinct_tasks(), 192, "all tasks eventually complete");
+    // fault detection logged the loss
+    assert!(data.logs.iter().any(|l| l.message.contains("lost")));
+    // some tasks were re-run: total completions exceed distinct tasks OR
+    // the run simply rescheduled in-flight ones; either way, the dead
+    // worker has no completions after the death + detection window
+    let dead_node = data.chart.job.allocated_nodes[1];
+    let dead_worker = WorkerId::new(dead_node, 2);
+    let detection_deadline = Time::from_secs_f64(3.0 + 4.0);
+    assert!(
+        data.task_done
+            .iter()
+            .filter(|d| d.worker == dead_worker)
+            .all(|d| d.stop <= detection_deadline),
+        "no completions on the dead worker after detection"
+    );
+}
+
+#[test]
+fn worker_death_transitions_carry_worker_lost_stimulus() {
+    let cfg = SimConfig {
+        campaign_seed: 4,
+        run: RunId(0),
+        worker_death: Some((0, Time::from_secs_f64(2.0))),
+        ..Default::default()
+    };
+    let data = SimCluster::new(cfg).unwrap().run(long_workflow(96, 3.0, false)).unwrap();
+    let lost = data
+        .transitions
+        .iter()
+        .filter(|t| t.stimulus == dtf::core::events::Stimulus::WorkerLost)
+        .count();
+    assert!(lost > 0, "WorkerLost transitions recorded");
+}
+
+#[test]
+fn interference_increases_io_time_variability() {
+    let mean_io = |interference: bool| {
+        let mut total = 0.0;
+        for run in 0..4 {
+            let cfg = SimConfig {
+                campaign_seed: 5,
+                run: RunId(run),
+                interference,
+                ..Default::default()
+            };
+            let data =
+                SimCluster::new(cfg).unwrap().run(long_workflow(64, 0.2, true)).unwrap();
+            total += data.io_time().as_secs_f64();
+        }
+        total / 4.0
+    };
+    let quiet = mean_io(false);
+    let noisy = mean_io(true);
+    assert!(
+        noisy > quiet,
+        "background interference should increase I/O time ({noisy} vs {quiet})"
+    );
+}
+
+#[test]
+fn dxt_exhaustion_truncates_but_counters_stay_complete() {
+    let cfg = SimConfig {
+        campaign_seed: 6,
+        run: RunId(0),
+        dxt: DxtConfig::with_buffer(4),
+        ..Default::default()
+    };
+    let data = SimCluster::new(cfg).unwrap().run(long_workflow(64, 0.05, true)).unwrap();
+    assert!(data.darshan.any_truncated());
+    assert!(data.io_ops() < data.io_ops_complete());
+    assert_eq!(data.io_ops_complete(), 64, "counters module sees every read");
+    // the truncation is flagged per process in the log header
+    assert!(data.darshan.logs.iter().any(|l| l.header.dxt_dropped > 0));
+}
+
+#[test]
+fn death_of_every_worker_but_one_still_completes() {
+    // harsher scenario: kill 3 workers in sequence; the cluster keeps going
+    let base = SimConfig { campaign_seed: 7, run: RunId(0), ..Default::default() };
+    // note: SimConfig supports one injected death; chain by killing the
+    // same ordinal repeatedly is not possible, so this test uses one death
+    // with a single-node cluster of 4 workers to maximize impact
+    let mut cfg = base;
+    cfg.worker_nodes = 1;
+    cfg.worker_death = Some((1, Time::from_secs_f64(2.0)));
+    let data = SimCluster::new(cfg).unwrap().run(long_workflow(48, 2.0, false)).unwrap();
+    assert_eq!(data.distinct_tasks(), 96);
+}

@@ -1,0 +1,89 @@
+//! The paper's §VI future-work directions, implemented and verified:
+//! fully-online Darshan→Mofka streaming and adaptive data capture.
+
+use dtf::core::events::IoOp;
+use dtf::core::ids::RunId;
+use dtf::core::rngx::RunRng;
+use dtf::darshan::dxt::OverflowPolicy;
+use dtf::darshan::DxtConfig;
+use dtf::wms::sim::{SimCluster, SimConfig};
+use dtf::workflows::Workload;
+
+fn resnet_run(dxt: DxtConfig, online: bool) -> dtf::wms::RunData {
+    let seed = 17;
+    let rr = RunRng::new(seed, RunId(0));
+    let workflow = Workload::ResNet152.generate(&rr);
+    let cfg = SimConfig {
+        campaign_seed: seed,
+        run: RunId(0),
+        dxt,
+        online_darshan: online,
+        ..Default::default()
+    };
+    SimCluster::new(cfg).unwrap().run(workflow).unwrap()
+}
+
+#[test]
+fn online_streaming_bypasses_dxt_truncation() {
+    // the exact footnote-9 configuration, but with records also streamed
+    // to Mofka at capture time
+    let data = resnet_run(dtf::workflows::resnet::dxt_config(), true);
+    assert!(data.darshan.any_truncated(), "DXT logs are still truncated");
+    let online_data_ops = data
+        .online_io
+        .iter()
+        .filter(|r| matches!(r.op, IoOp::Read | IoOp::Write))
+        .count() as u64;
+    // the online stream saw *every* operation the counters saw
+    assert_eq!(online_data_ops, data.io_ops_complete());
+    assert!(online_data_ops > data.io_ops(), "more than the truncated trace");
+    // and the records carry the join identifiers
+    assert!(data.online_io.iter().all(|r| r.thread.0 != 0));
+}
+
+#[test]
+fn online_mode_off_keeps_topic_empty() {
+    let data = resnet_run(dtf::workflows::resnet::dxt_config(), false);
+    assert!(data.online_io.is_empty());
+}
+
+#[test]
+fn adaptive_capture_keeps_run_tail_under_pressure() {
+    // same buffer budget, truncating vs adaptive overflow
+    let budget = 630;
+    let truncate = resnet_run(DxtConfig::with_buffer(budget), false);
+    let adaptive = resnet_run(
+        DxtConfig { max_records: budget, overflow: OverflowPolicy::Adaptive, ..Default::default() },
+        false,
+    );
+    assert!(truncate.darshan.any_truncated());
+    assert!(adaptive.darshan.any_truncated(), "drops still accounted");
+
+    // truncation loses the tail of the run: the last traced operation is
+    // far before the last actual one; adaptive sampling covers the tail
+    let last = |d: &dtf::wms::RunData| {
+        d.darshan
+            .all_records()
+            .map(|r| r.stop)
+            .max()
+            .expect("records exist")
+            .as_secs_f64()
+    };
+    let complete_end = truncate
+        .task_done
+        .iter()
+        .map(|t| t.stop.as_secs_f64())
+        .fold(0.0, f64::max);
+    let t_last = last(&truncate);
+    let a_last = last(&adaptive);
+    assert!(a_last > t_last, "adaptive trace extends later ({a_last:.1} vs {t_last:.1})");
+    assert!(
+        a_last > 0.8 * complete_end.min(last(&adaptive) + 60.0),
+        "adaptive trace reaches near the end of I/O activity"
+    );
+
+    // both respect the memory budget per process
+    for log in &adaptive.darshan.logs {
+        assert!(log.dxt.len() <= budget, "adaptive stays within budget");
+    }
+}

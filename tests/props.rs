@@ -1,0 +1,206 @@
+//! Property-based tests over the core invariants, driven by proptest.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use dtf::core::events::TaskState;
+use dtf::core::ids::{GraphId, RunId, TaskKey};
+use dtf::core::stats::kendall_tau;
+use dtf::core::time::Dur;
+use dtf::mofka::bedrock::BedrockConfig;
+use dtf::mofka::producer::{PartitionStrategy, ProducerConfig};
+use dtf::mofka::{ConsumerConfig, Event, TopicConfig};
+use dtf::perfrecup::frame::{Agg, DataFrame};
+use dtf::wms::graph::{GraphBuilder, SimAction, TaskGraph};
+use dtf::wms::sim::{SimCluster, SimConfig, SimWorkflow, SubmitPolicy};
+
+/// Build a random layered DAG: `layers` layers of up to `width` tasks,
+/// each task depending on a random subset of the previous layer.
+fn random_dag(layers: usize, width: usize, edges: Vec<u8>) -> TaskGraph {
+    let mut b = GraphBuilder::new(GraphId(0));
+    let tok = b.new_token();
+    let mut prev: Vec<TaskKey> = Vec::new();
+    let mut edge_iter = edges.into_iter().cycle();
+    for layer in 0..layers {
+        let mut current = Vec::new();
+        for i in 0..width {
+            let deps: Vec<TaskKey> = prev
+                .iter()
+                .filter(|_| edge_iter.next().unwrap_or(0).is_multiple_of(3))
+                .cloned()
+                .collect();
+            current.push(b.add_sim(
+                "node",
+                tok,
+                (layer * width + i) as u32,
+                deps,
+                SimAction::compute_only(Dur::from_millis_f64(5.0), 1024),
+            ));
+        }
+        prev = current;
+    }
+    b.build(&HashSet::new()).expect("layered DAG is acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any layered DAG executes to completion, never violating dependency
+    /// order, with every task reaching Memory exactly once.
+    #[test]
+    fn random_dags_schedule_correctly(
+        layers in 1usize..5,
+        width in 1usize..10,
+        edges in proptest::collection::vec(any::<u8>(), 1..64),
+        seed in 0u64..1000,
+    ) {
+        let graph = random_dag(layers, width, edges);
+        let n_tasks = graph.len();
+        let deps: HashMap<TaskKey, Vec<TaskKey>> =
+            graph.tasks.iter().map(|t| (t.key.clone(), t.deps.clone())).collect();
+        let wf = SimWorkflow {
+            name: "prop".into(),
+            graphs: vec![graph],
+            submit: SubmitPolicy::AllAtOnce,
+            startup: Dur::from_secs_f64(0.5),
+            inter_graph: Dur::ZERO,
+            shutdown: Dur::ZERO,
+            dataset: vec![],
+        };
+        let cfg = SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
+        let data = SimCluster::new(cfg).unwrap().run(wf).unwrap();
+
+        // every task completed exactly once
+        prop_assert_eq!(data.task_done.len(), n_tasks);
+        let mut finish = HashMap::new();
+        for d in &data.task_done {
+            prop_assert!(finish.insert(d.key.clone(), d.stop).is_none(), "double completion");
+        }
+        // dependencies finished before dependents started
+        for d in &data.task_done {
+            for dep in &deps[&d.key] {
+                prop_assert!(finish[dep] <= d.start, "dependency violation");
+            }
+        }
+        // every transition legal; every task ends in Memory
+        for t in &data.transitions {
+            prop_assert!(t.from.can_transition_to(t.to) || t.from == t.to);
+        }
+        for key in finish.keys() {
+            let last = data.transitions.iter().rfind(|t| &t.key == key).unwrap();
+            prop_assert_eq!(last.to, TaskState::Memory);
+        }
+    }
+
+    /// Mofka delivers every produced event exactly once per consumer
+    /// group, in per-partition order, for any batch size / partition count.
+    #[test]
+    fn mofka_exactly_once_any_configuration(
+        partitions in 1u32..6,
+        batch in 1usize..50,
+        n_events in 1usize..300,
+        prefetch in 1usize..64,
+    ) {
+        let svc = dtf::mofka::MofkaService::new();
+        svc.create_topic("t", TopicConfig { partitions }).unwrap();
+        let mut producer = svc
+            .producer("t", ProducerConfig { batch_size: batch, strategy: PartitionStrategy::RoundRobin })
+            .unwrap();
+        for i in 0..n_events {
+            producer.push(Event::meta_only(serde_json::json!({ "i": i }))).unwrap();
+        }
+        producer.flush().unwrap();
+        let mut consumer = svc
+            .consumer("t", ConsumerConfig { group: "g".into(), prefetch })
+            .unwrap();
+        let got = consumer.drain_all().unwrap();
+        prop_assert_eq!(got.len(), n_events);
+        let ids: HashSet<u64> =
+            got.iter().map(|e| e.event.metadata["i"].as_u64().unwrap()).collect();
+        prop_assert_eq!(ids.len(), n_events);
+        // per-partition order preserved
+        let mut last_offset: HashMap<u32, u64> = HashMap::new();
+        for e in &got {
+            if let Some(prev) = last_offset.insert(e.id.partition, e.id.offset) {
+                prop_assert!(e.id.offset > prev);
+            }
+        }
+    }
+
+    /// DataFrame group-by sums match a naive computation, and joins never
+    /// invent rows.
+    #[test]
+    fn dataframe_groupby_and_join_invariants(
+        rows in proptest::collection::vec((0u8..5, -100i64..100), 0..60),
+    ) {
+        use dtf::core::table::Value;
+        let mut df = DataFrame::new(vec!["k".into(), "v".into()]);
+        let mut naive: HashMap<u8, (f64, usize)> = HashMap::new();
+        for (k, v) in &rows {
+            df.push_row(vec![Value::U64(*k as u64), Value::I64(*v)]).unwrap();
+            let e = naive.entry(*k).or_insert((0.0, 0));
+            e.0 += *v as f64;
+            e.1 += 1;
+        }
+        let grouped = df.group_by("k", "v", Agg::Sum).unwrap();
+        prop_assert_eq!(grouped.n_rows(), naive.len());
+        let keys = grouped.col("k").unwrap().to_vec();
+        let sums = grouped.col_f64("v_sum").unwrap();
+        for (key, sum) in keys.iter().zip(sums) {
+            let k: u8 = key.as_u64().unwrap() as u8;
+            prop_assert!((naive[&k].0 - sum).abs() < 1e-9);
+        }
+        // self-join on key multiplies group sizes
+        let joined = df.inner_join(&df, "k", "k").unwrap();
+        let expect: usize = naive.values().map(|(_, n)| n * n).sum();
+        prop_assert_eq!(joined.n_rows(), expect);
+    }
+
+    /// Kendall tau is symmetric, bounded, and 1 on identical sequences.
+    #[test]
+    fn kendall_tau_properties(xs in proptest::collection::vec(-1000f64..1000.0, 2..40)) {
+        let ranks: Vec<f64> = (0..xs.len()).map(|i| i as f64).collect();
+        let tau = kendall_tau(&ranks, &xs);
+        let tau_rev = kendall_tau(&xs, &ranks);
+        prop_assert!((-1.0..=1.0).contains(&tau));
+        prop_assert!((tau - tau_rev).abs() < 1e-12, "symmetric");
+        prop_assert!((kendall_tau(&xs, &xs) - 1.0).abs() < 1e-12 || xs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// The common tabular format: every event row matches its schema width
+    /// for arbitrary simulated content.
+    #[test]
+    fn tabular_rows_always_match_schema(seed in 0u64..50) {
+        let graph = random_dag(2, 4, vec![seed as u8, 1, 2]);
+        let wf = SimWorkflow {
+            name: "prop".into(),
+            graphs: vec![graph],
+            submit: SubmitPolicy::AllAtOnce,
+            startup: Dur::from_secs_f64(0.2),
+            inter_graph: Dur::ZERO,
+            shutdown: Dur::ZERO,
+            dataset: vec![],
+        };
+        let cfg = SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
+        let data = SimCluster::new(cfg).unwrap().run(wf).unwrap();
+        use dtf::core::table::Tabular;
+        use dtf::core::events::{TaskDoneEvent, TransitionEvent};
+        for d in &data.task_done {
+            prop_assert_eq!(d.row().len(), TaskDoneEvent::schema().len());
+        }
+        for t in &data.transitions {
+            prop_assert_eq!(t.row().len(), TransitionEvent::schema().len());
+        }
+    }
+}
+
+#[test]
+fn bedrock_default_supports_every_plugin_topic() {
+    // not property-based but belongs with the invariants: the default
+    // deployment must cover every topic the plugin writes
+    let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+    for topic in dtf::wms::MofkaPlugin::TOPICS {
+        assert!(svc.topic(topic).is_ok(), "missing topic {topic}");
+    }
+}

@@ -1,0 +1,136 @@
+//! FAIR-interoperability integration tests (paper §V): every pair of data
+//! sources shares at least one identifier, and the cross-source joins that
+//! depend on those identifiers actually work — or demonstrably break when
+//! the identifier is removed (vanilla DXT).
+
+use std::collections::HashSet;
+
+use dtf::core::ids::{GraphId, RunId};
+use dtf::core::time::Dur;
+use dtf::darshan::log::DarshanLog;
+use dtf::darshan::DxtConfig;
+use dtf::perfrecup::RunViews;
+use dtf::wms::graph::{GraphBuilder, IoCall, SimAction};
+use dtf::wms::sim::{SimCluster, SimConfig, SimWorkflow, SubmitPolicy};
+use dtf::wms::RunData;
+
+fn io_workflow() -> SimWorkflow {
+    let mut b = GraphBuilder::new(GraphId(0));
+    let tok = b.new_token();
+    for i in 0..24u32 {
+        b.add_sim(
+            "load",
+            tok,
+            i,
+            vec![],
+            SimAction {
+                compute: Dur::from_millis_f64(25.0),
+                io: vec![IoCall::read(dtf::core::ids::FileId((i % 3) as u64), 0, 64 * 1024)],
+                output_nbytes: 4096,
+                stall_rate: 0.0,
+            },
+        );
+    }
+    SimWorkflow {
+        name: "fair-test".into(),
+        graphs: vec![b.build(&HashSet::new()).unwrap()],
+        submit: SubmitPolicy::AllAtOnce,
+        startup: Dur::from_secs_f64(1.0),
+        inter_graph: Dur::ZERO,
+        shutdown: Dur::ZERO,
+        dataset: vec![
+            ("/a".into(), 1 << 20, 1),
+            ("/b".into(), 1 << 20, 1),
+            ("/c".into(), 1 << 20, 1),
+        ],
+    }
+}
+
+fn run(dxt: DxtConfig) -> RunData {
+    let cfg = SimConfig { campaign_seed: 2, run: RunId(0), dxt, ..Default::default() };
+    SimCluster::new(cfg).unwrap().run(io_workflow()).unwrap()
+}
+
+#[test]
+fn shared_identifiers_exist_between_every_source_pair() {
+    let data = run(DxtConfig::default());
+
+    // tasks <-> transitions: task key
+    let done_keys: HashSet<_> = data.task_done.iter().map(|d| d.key.clone()).collect();
+    let transition_keys: HashSet<_> = data.transitions.iter().map(|t| t.key.clone()).collect();
+    assert!(done_keys.is_subset(&transition_keys));
+
+    // tasks <-> meta: task key
+    let meta_keys: HashSet<_> = data.meta.iter().map(|m| m.key.clone()).collect();
+    assert_eq!(done_keys, meta_keys);
+
+    // tasks <-> I/O: pthread id and host
+    let task_threads: HashSet<_> = data.task_done.iter().map(|d| d.thread).collect();
+    for rec in data.darshan.all_records() {
+        assert!(task_threads.contains(&rec.thread), "I/O thread unknown to task records");
+    }
+    let task_hosts: HashSet<_> = data.task_done.iter().map(|d| d.worker.node).collect();
+    for rec in data.darshan.all_records() {
+        assert!(task_hosts.contains(&rec.host));
+    }
+
+    // comms <-> workers: worker addresses
+    let worker_set: HashSet<_> = data.task_done.iter().map(|d| d.worker).collect();
+    for c in &data.comms {
+        assert!(worker_set.contains(&c.from) || worker_set.contains(&c.to));
+    }
+
+    // job <-> everything: allocated nodes cover every observed host
+    let allocated: HashSet<_> = data.chart.job.allocated_nodes.iter().copied().collect();
+    for d in &data.task_done {
+        assert!(allocated.contains(&d.worker.node));
+    }
+}
+
+#[test]
+fn io_joins_work_with_extension_and_break_without() {
+    let with = run(DxtConfig::default());
+    let without = run(DxtConfig::vanilla());
+    assert!((RunViews::new(&with).io_attribution_rate() - 1.0).abs() < 1e-9);
+    assert_eq!(RunViews::new(&without).io_attribution_rate(), 0.0);
+}
+
+#[test]
+fn darshan_logs_roundtrip_through_binary_format() {
+    let data = run(DxtConfig::default());
+    for log in &data.darshan.logs {
+        let bytes = log.to_bytes();
+        let back = DarshanLog::from_bytes(&bytes).unwrap();
+        assert_eq!(*log, back);
+    }
+}
+
+#[test]
+fn rundata_serializes_for_archival() {
+    // the "common tabular format" must be storable: the whole run record
+    // serializes to JSON and back
+    let data = run(DxtConfig::default());
+    let json = serde_json::to_string(&data).unwrap();
+    let back: RunData = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.task_done.len(), data.task_done.len());
+    assert_eq!(back.chart, data.chart);
+    assert_eq!(back.wall_time, data.wall_time);
+}
+
+#[test]
+fn provenance_chart_captures_all_layers() {
+    let data = run(DxtConfig::default());
+    let chart = &data.chart;
+    // hardware layer
+    assert!(chart.hardware.node_count > 0);
+    assert!(!chart.hardware.pfs.is_empty());
+    // system software layer
+    assert!(!chart.system.packages.is_empty());
+    // job configuration layer
+    assert!(!chart.job.script.is_empty());
+    assert_eq!(chart.job.allocated_nodes.len(), chart.job.nodes_requested as usize);
+    // WMS configuration (the distributed.yaml analog)
+    assert_eq!(chart.wms_config.workers_per_node, 4);
+    assert_eq!(chart.wms_config.threads_per_worker, 8);
+    assert_eq!(chart.workflow_name, "fair-test");
+}
