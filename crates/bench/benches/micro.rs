@@ -27,7 +27,10 @@ fn bench_mofka_throughput(c: &mut Criterion) {
                 let mut p = svc
                     .producer(
                         "t",
-                        ProducerConfig { batch_size: batch, strategy: PartitionStrategy::RoundRobin },
+                        ProducerConfig {
+                            batch_size: batch,
+                            strategy: PartitionStrategy::RoundRobin,
+                        },
                     )
                     .unwrap();
                 for i in 0..N {
@@ -125,9 +128,7 @@ fn bench_dataframe(c: &mut Criterion) {
     for i in 0..N {
         left.push_row(vec![Value::U64((i % 1000) as u64), Value::F64(i as f64)]).unwrap();
         if i % 5 == 0 {
-            right
-                .push_row(vec![Value::U64((i % 1000) as u64), Value::F64(-(i as f64))])
-                .unwrap();
+            right.push_row(vec![Value::U64((i % 1000) as u64), Value::F64(-(i as f64))]).unwrap();
         }
     }
     let mut g = c.benchmark_group("dataframe");

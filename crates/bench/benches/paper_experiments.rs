@@ -103,9 +103,7 @@ fn bench_fig8(c: &mut Criterion) {
         .expect("key exists");
     let mut g = c.benchmark_group("fig8_lineage");
     g.sample_size(20);
-    g.bench_function("single_task", |b| {
-        b.iter(|| black_box(lineage::build(&data, &key).unwrap()))
-    });
+    g.bench_function("single_task", |b| b.iter(|| black_box(lineage::build(&data, &key).unwrap())));
     g.bench_function("task_io_join", |b| {
         let views = RunViews::new(&data);
         b.iter(|| black_box(views.task_io()))

@@ -1,0 +1,134 @@
+//! Scheduler-throughput microbenchmarks over very wide graphs.
+//!
+//! The hot paths under test are the ready/queued insertion, the
+//! `(worker, dep)` fetch bookkeeping, and the worker lookup — the places
+//! where a linear scan turns a 100k-task wide graph from milliseconds
+//! into minutes. The raw drive loop exercises the scheduler alone (no
+//! network model, no Mofka streaming); the `sim_wide` group pushes the
+//! same shape through the full simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use dtf_core::ids::{GraphId, NodeId, RunId, ThreadId, WorkerId};
+use dtf_core::time::{Dur, Time};
+use dtf_wms::graph::{GraphBuilder, SimAction, TaskGraph};
+use dtf_wms::plugins::PluginSet;
+use dtf_wms::scheduler::{Scheduler, SchedulerConfig};
+use dtf_wms::sim::{SimCluster, SimConfig, SimWorkflow, SubmitPolicy};
+
+const WORKERS: u32 = 32;
+const THREADS: u32 = 4;
+
+fn wide_graph(n: u32) -> TaskGraph {
+    let mut b = GraphBuilder::new(GraphId(0));
+    let tok = b.new_token();
+    for i in 0..n {
+        b.add_sim("w", tok, i, vec![], SimAction::compute_only(Dur(1_000), 64));
+    }
+    b.build(&Default::default()).unwrap()
+}
+
+/// A wide fan-out whose results all feed one reducer per 64-task block:
+/// exercises the fetch path (reducers depend on data spread across
+/// workers), not just dispatch.
+fn fan_in_graph(n: u32) -> TaskGraph {
+    let mut b = GraphBuilder::new(GraphId(0));
+    let tok = b.new_token();
+    let mut block = Vec::new();
+    for i in 0..n {
+        block.push(b.add_sim("m", tok, i, vec![], SimAction::compute_only(Dur(1_000), 1 << 20)));
+        if block.len() == 64 {
+            let deps = std::mem::take(&mut block);
+            b.add_sim("r", tok, i, deps, SimAction::compute_only(Dur(1_000), 64));
+        }
+    }
+    b.build(&Default::default()).unwrap()
+}
+
+/// Drive a graph to completion against the bare scheduler: instantaneous
+/// fetches, one logical tick per task.
+fn drive(graph: TaskGraph) -> usize {
+    let mut s = Scheduler::new(SchedulerConfig::default(), PluginSet::new());
+    for w in 0..WORKERS {
+        s.add_worker(WorkerId::new(NodeId(w / 4), w % 4), THREADS);
+    }
+    let mut actions = s.submit_graph(graph, Time::ZERO).unwrap();
+    let mut t = 0u64;
+    loop {
+        let mut progressed = false;
+        while let Some(a) = actions.pop() {
+            let dtf_wms::scheduler::Action::Fetch { dep, to, .. } = a;
+            progressed = true;
+            s.fetch_done(&dep, to, Time(t));
+        }
+        for w in s.worker_ids() {
+            while let Some(key) = s.try_start(w, Time(t)) {
+                progressed = true;
+                t += 1;
+                actions.extend(s.task_finished(&key, w, ThreadId(1), Time(t - 1), Time(t), 64));
+            }
+        }
+        actions.extend(s.rebalance(Time(t)));
+        if !progressed && actions.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(s.unfinished(), 0, "benchmark graph must drain completely");
+    s.start_order().len()
+}
+
+fn bench_raw_drive(c: &mut Criterion) {
+    for n in [10_000u32, 30_000, 100_000] {
+        let mut g = c.benchmark_group("scheduler_wide");
+        g.throughput(Throughput::Elements(n as u64));
+        g.sample_size(10);
+        g.bench_function(format!("drive_{n}"), |b| b.iter(|| black_box(drive(wide_graph(n)))));
+        g.finish();
+    }
+}
+
+fn bench_fan_in(c: &mut Criterion) {
+    let n = 20_000u32;
+    let mut g = c.benchmark_group("scheduler_fan_in");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function(format!("drive_{n}"), |b| b.iter(|| black_box(drive(fan_in_graph(n)))));
+    g.finish();
+}
+
+/// The same wide shape through the full simulator (network model, plugin
+/// streaming, event queue) — the end-to-end number the paper's tables
+/// depend on.
+fn bench_sim_wide(c: &mut Criterion) {
+    let n = 100_000u32;
+    let mut g = c.benchmark_group("sim_wide");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function(format!("run_{n}"), |b| {
+        b.iter(|| {
+            let cfg = SimConfig {
+                campaign_seed: 7,
+                run: RunId(0),
+                worker_nodes: 8,
+                interference: false,
+                ..Default::default()
+            };
+            let wf = SimWorkflow {
+                name: "wide-bench".into(),
+                graphs: vec![wide_graph(n)],
+                submit: SubmitPolicy::AllAtOnce,
+                startup: Dur::ZERO,
+                inter_graph: Dur::ZERO,
+                shutdown: Dur::ZERO,
+                dataset: vec![],
+            };
+            let data = SimCluster::new(cfg).expect("cluster").run(wf).expect("run");
+            black_box(data.task_done.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_drive, bench_fan_in, bench_sim_wide);
+criterion_main!(benches);

@@ -56,25 +56,23 @@ fn skewed_workflow() -> dtf_wms::sim::SimWorkflow {
 /// hurt via data movement).
 pub fn stealing(seed: u64, runs: u32) -> String {
     let mut out = String::new();
-    writeln!(out, "ABLATION: work stealing on/off (skewed shard-analysis workflow, {runs} runs each)").unwrap();
-    writeln!(out, "  (eager dispatch; per-shard fan-out skew pins uneven backlogs to workers)").unwrap();
+    writeln!(
+        out,
+        "ABLATION: work stealing on/off (skewed shard-analysis workflow, {runs} runs each)"
+    )
+    .unwrap();
+    writeln!(out, "  (eager dispatch; per-shard fan-out skew pins uneven backlogs to workers)")
+        .unwrap();
     writeln!(out, "{:-<84}", "").unwrap();
     for enabled in [true, false] {
         let mut walls = Vec::new();
         let mut comms = Vec::new();
         let mut steals = 0u64;
         for run in 0..runs {
-            let mut cfg = SimConfig {
-                campaign_seed: seed,
-                run: RunId(run),
-                ..Default::default()
-            };
+            let mut cfg = SimConfig { campaign_seed: seed, run: RunId(run), ..Default::default() };
             cfg.scheduler.queue_factor = 1e9; // eager dispatch
             cfg.scheduler.work_stealing = enabled;
-            let data = SimCluster::new(cfg)
-                .expect("cluster")
-                .run(skewed_workflow())
-                .expect("run");
+            let data = SimCluster::new(cfg).expect("cluster").run(skewed_workflow()).expect("run");
             walls.push(data.wall_time.as_secs_f64());
             comms.push(data.comm_count() as f64);
             steals += data.steals;
@@ -105,7 +103,12 @@ pub fn dxt_buffer(seed: u64) -> String {
     let mut out = String::new();
     writeln!(out, "ABLATION: Darshan DXT buffer limit (ResNet152, 1 run each)").unwrap();
     writeln!(out, "{:-<84}", "").unwrap();
-    writeln!(out, "{:>14} {:>12} {:>12} {:>11}", "buffer/worker", "traced ops", "actual ops", "truncated").unwrap();
+    writeln!(
+        out,
+        "{:>14} {:>12} {:>12} {:>11}",
+        "buffer/worker", "traced ops", "actual ops", "truncated"
+    )
+    .unwrap();
     for buf in [256usize, 820, 2048, 8192, 32768] {
         let mut cfg = SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
         cfg.dxt = DxtConfig::with_buffer(buf);
@@ -133,7 +136,9 @@ pub fn dxt_thread_ids(seed: u64) -> String {
     let mut out = String::new();
     writeln!(out, "ABLATION: DXT pthread-id extension (ImageProcessing, 1 run each)").unwrap();
     writeln!(out, "{:-<84}", "").unwrap();
-    for (label, dxt) in [("vanilla DXT", DxtConfig::vanilla()), ("extended DXT", DxtConfig::default())] {
+    for (label, dxt) in
+        [("vanilla DXT", DxtConfig::vanilla()), ("extended DXT", DxtConfig::default())]
+    {
         let mut cfg = SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
         cfg.dxt = dxt;
         let rr = RunRng::new(seed, RunId(0));
@@ -159,11 +164,7 @@ pub fn schedule_order_similarity(seed: u64, runs: u32) -> String {
     c.runs = runs;
     c.keep_order = true;
     let r = c.execute().expect("campaign executes");
-    let orders: Vec<_> = r
-        .summaries
-        .iter()
-        .filter_map(|s| s.start_order.clone())
-        .collect();
+    let orders: Vec<_> = r.summaries.iter().filter_map(|s| s.start_order.clone()).collect();
     let m = schedule_order::pairwise(&orders, 400);
     let mut out = String::new();
     writeln!(out, "ABLATION: scheduling-order similarity across runs (ImageProcessing)").unwrap();
@@ -174,8 +175,10 @@ pub fn schedule_order_similarity(seed: u64, runs: u32) -> String {
         m.runs, m.summary.mean, m.summary.min, m.summary.max
     )
     .unwrap();
-    writeln!(out, "  Dynamic scheduling keeps the order similar (submission priority) but").unwrap();
-    writeln!(out, "  never identical run to run — one of the paper's variability sources.").unwrap();
+    writeln!(out, "  Dynamic scheduling keeps the order similar (submission priority) but")
+        .unwrap();
+    writeln!(out, "  never identical run to run — one of the paper's variability sources.")
+        .unwrap();
     out
 }
 
@@ -194,11 +197,15 @@ pub fn mofka_batch(seed: u64) -> String {
         let t0 = std::time::Instant::now();
         let data = SimCluster::new(cfg).expect("cluster").run(wf).expect("run");
         let elapsed = t0.elapsed();
-        let events = data.transitions.len() + data.task_done.len() + data.comms.len() + data.meta.len();
-        writeln!(out, "{:>11} {:>14} {:>11.0} ms", batch, events, elapsed.as_secs_f64() * 1e3).unwrap();
+        let events =
+            data.transitions.len() + data.task_done.len() + data.comms.len() + data.meta.len();
+        writeln!(out, "{:>11} {:>14} {:>11.0} ms", batch, events, elapsed.as_secs_f64() * 1e3)
+            .unwrap();
     }
-    writeln!(out, "  Batching amortizes per-event synchronization in the streaming service").unwrap();
-    writeln!(out, "  (harness time includes the simulation itself; deltas are Mofka cost).").unwrap();
+    writeln!(out, "  Batching amortizes per-event synchronization in the streaming service")
+        .unwrap();
+    writeln!(out, "  (harness time includes the simulation itself; deltas are Mofka cost).")
+        .unwrap();
     out
 }
 
@@ -292,7 +299,9 @@ pub fn instrumentation_overhead(repetitions: u32) -> String {
             }),
         ),
     ];
-    for (granularity, iters) in [("micro-tasks (~40us)", 40_000u64), ("realistic tasks (~2ms)", 2_000_000u64)] {
+    for (granularity, iters) in
+        [("micro-tasks (~40us)", 40_000u64), ("realistic tasks (~2ms)", 2_000_000u64)]
+    {
         writeln!(out, "  task granularity: {granularity}").unwrap();
         let mut baseline = None;
         for (label, make) in &configs {
@@ -317,10 +326,14 @@ pub fn instrumentation_overhead(repetitions: u32) -> String {
             .unwrap();
         }
     }
-    writeln!(out, "  Instrumentation cost is per event, so its relative weight depends on").unwrap();
-    writeln!(out, "  task granularity: significant for microsecond tasks, negligible at the").unwrap();
-    writeln!(out, "  millisecond-and-up granularity of the paper's workloads (as the paper").unwrap();
-    writeln!(out, "  anticipated; Mofka's cost is one JSON serialization + batched append).").unwrap();
+    writeln!(out, "  Instrumentation cost is per event, so its relative weight depends on")
+        .unwrap();
+    writeln!(out, "  task granularity: significant for microsecond tasks, negligible at the")
+        .unwrap();
+    writeln!(out, "  millisecond-and-up granularity of the paper's workloads (as the paper")
+        .unwrap();
+    writeln!(out, "  anticipated; Mofka's cost is one JSON serialization + batched append).")
+        .unwrap();
     out
 }
 
@@ -334,10 +347,7 @@ pub fn category_variability(seed: u64, runs: u32, workload: Workload) -> String 
         let mut cfg = SimConfig { campaign_seed: seed, run: RunId(run), ..Default::default() };
         workload.adjust(&mut cfg);
         let rr = RunRng::new(seed, RunId(run));
-        let data = SimCluster::new(cfg)
-            .expect("cluster")
-            .run(workload.generate(&rr))
-            .expect("run");
+        let data = SimCluster::new(cfg).expect("cluster").run(workload.generate(&rr)).expect("run");
         for stat in dtf_perfrecup::category::per_category(&data) {
             per_cat.entry(stat.category).or_default().push(stat.duration.mean);
         }
@@ -362,12 +372,8 @@ pub fn category_variability(seed: u64, runs: u32, workload: Workload) -> String 
     writeln!(out, "{:-<84}", "").unwrap();
     writeln!(out, "  {:<30} {:>12} {:>10} {:>18}", "category", "mean dur", "cv", "range").unwrap();
     for (cat, s, cv) in rows.iter().take(10) {
-        writeln!(
-            out,
-            "  {:<30} {:>10.3}s {:>10.3} {:>8.3}..{:.3}s",
-            cat, s.mean, cv, s.min, s.max
-        )
-        .unwrap();
+        writeln!(out, "  {:<30} {:>10.3}s {:>10.3} {:>8.3}..{:.3}s", cat, s.mean, cv, s.min, s.max)
+            .unwrap();
     }
     writeln!(out, "  Categories whose duration varies most across identical runs are the").unwrap();
     writeln!(out, "  prime suspects for irreproducible performance (paper §I).").unwrap();
@@ -380,18 +386,20 @@ pub fn utilization_timeline(seed: u64, workload: Workload) -> String {
     let mut cfg = SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
     workload.adjust(&mut cfg);
     let rr = RunRng::new(seed, RunId(0));
-    let data = SimCluster::new(cfg)
-        .expect("cluster")
-        .run(workload.generate(&rr))
-        .expect("run");
+    let data = SimCluster::new(cfg).expect("cluster").run(workload.generate(&rr)).expect("run");
     let bins = 16;
     let threads = data.chart.wms_config.threads_per_worker;
     let utils = dtf_perfrecup::utilization::per_worker(&data, bins, threads);
     let imbalance = dtf_perfrecup::utilization::imbalance(&utils);
     let windows = dtf_perfrecup::zoom::timeline(&data, bins);
     let mut out = String::new();
-    writeln!(out, "UTILIZATION TIMELINE: {} ({} workers, {bins} windows)", workload.name(), utils.len())
-        .unwrap();
+    writeln!(
+        out,
+        "UTILIZATION TIMELINE: {} ({} workers, {bins} windows)",
+        workload.name(),
+        utils.len()
+    )
+    .unwrap();
     writeln!(out, "{:-<84}", "").unwrap();
     writeln!(
         out,

@@ -65,10 +65,8 @@ fn main() {
             let mut cfg = SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() };
             workload.adjust(&mut cfg);
             let rr = RunRng::new(seed, RunId(0));
-            let data = SimCluster::new(cfg)
-                .expect("cluster")
-                .run(workload.generate(&rr))
-                .expect("run");
+            let data =
+                SimCluster::new(cfg).expect("cluster").run(workload.generate(&rr)).expect("run");
             let dir = std::path::PathBuf::from("dtf-run-export");
             let n = dtf_perfrecup::export::export_run(&data, &dir).expect("export");
             format!("exported {n} files to {}\n", dir.display())

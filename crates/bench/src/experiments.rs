@@ -43,9 +43,18 @@ pub fn table1(seed: u64, runs: Option<u32>) -> String {
         comms: (u64, u64),
     }
     let paper = [
-        (Workload::ImageProcessing, PaperRow { graphs: 3, tasks: 5440, files: 151, io: (5274, 5287), comms: (3141, 3247) }),
-        (Workload::ResNet152, PaperRow { graphs: 1, tasks: 8645, files: 3929, io: (2057, 2302), comms: (3751, 3976) }),
-        (Workload::Xgboost, PaperRow { graphs: 74, tasks: 10348, files: 61, io: (867, 1670), comms: (1464, 2027) }),
+        (
+            Workload::ImageProcessing,
+            PaperRow { graphs: 3, tasks: 5440, files: 151, io: (5274, 5287), comms: (3141, 3247) },
+        ),
+        (
+            Workload::ResNet152,
+            PaperRow { graphs: 1, tasks: 8645, files: 3929, io: (2057, 2302), comms: (3751, 3976) },
+        ),
+        (
+            Workload::Xgboost,
+            PaperRow { graphs: 74, tasks: 10348, files: 61, io: (867, 1670), comms: (1464, 2027) },
+        ),
     ];
     let mut out = String::new();
     writeln!(out, "TABLE I: Workflow Characteristics (paper -> measured)").unwrap();
@@ -57,10 +66,22 @@ pub fn table1(seed: u64, runs: Option<u32>) -> String {
         let comms = r.range(|s| s.comms);
         let files = r.range(|s| s.files);
         writeln!(out, "{} ({} runs)", w.name(), r.summaries.len()).unwrap();
-        writeln!(out, "  Task graphs    paper {:>5}        measured {:>5}", p.graphs, s0.graphs).unwrap();
-        writeln!(out, "  Distinct tasks paper {:>5}        measured {:>5}", p.tasks, s0.tasks).unwrap();
-        writeln!(out, "  Distinct files paper {:>5}        measured {:>5}-{}", p.files, files.0, files.1).unwrap();
-        writeln!(out, "  I/O operations paper {:>5}-{:<5}  measured {:>5}-{}", p.io.0, p.io.1, io.0, io.1).unwrap();
+        writeln!(out, "  Task graphs    paper {:>5}        measured {:>5}", p.graphs, s0.graphs)
+            .unwrap();
+        writeln!(out, "  Distinct tasks paper {:>5}        measured {:>5}", p.tasks, s0.tasks)
+            .unwrap();
+        writeln!(
+            out,
+            "  Distinct files paper {:>5}        measured {:>5}-{}",
+            p.files, files.0, files.1
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  I/O operations paper {:>5}-{:<5}  measured {:>5}-{}",
+            p.io.0, p.io.1, io.0, io.1
+        )
+        .unwrap();
         if w == Workload::ResNet152 {
             let complete = r.range(|s| s.io_ops_complete);
             writeln!(
@@ -70,7 +91,12 @@ pub fn table1(seed: u64, runs: Option<u32>) -> String {
             )
             .unwrap();
         }
-        writeln!(out, "  Communications paper {:>5}-{:<5}  measured {:>5}-{}", p.comms.0, p.comms.1, comms.0, comms.1).unwrap();
+        writeln!(
+            out,
+            "  Communications paper {:>5}-{:<5}  measured {:>5}-{}",
+            p.comms.0, p.comms.1, comms.0, comms.1
+        )
+        .unwrap();
         writeln!(out, "  Mean wall time measured {:.1}s", r.mean_wall().as_secs_f64()).unwrap();
         writeln!(out).unwrap();
     }
@@ -81,9 +107,15 @@ pub fn table1(seed: u64, runs: Option<u32>) -> String {
 pub fn fig3(seed: u64, runs: Option<u32>) -> String {
     let mut out = String::new();
     writeln!(out, "FIG 3: Relative time in I/O / communication / computation / total").unwrap();
-    writeln!(out, "  (normalized by each workflow's mean wall time; +/- is std across runs)").unwrap();
+    writeln!(out, "  (normalized by each workflow's mean wall time; +/- is std across runs)")
+        .unwrap();
     writeln!(out, "{:-<84}", "").unwrap();
-    writeln!(out, "{:<18} {:>15} {:>15} {:>15} {:>15}", "workflow", "I/O", "comm", "compute", "total").unwrap();
+    writeln!(
+        out,
+        "{:<18} {:>15} {:>15} {:>15} {:>15}",
+        "workflow", "I/O", "comm", "compute", "total"
+    )
+    .unwrap();
     for w in Workload::ALL {
         let r = campaign(w, seed, runs);
         let b = PhaseBreakdown::from_samples(&phase_samples(&r.summaries), 64.0);
@@ -111,8 +143,10 @@ pub fn fig3(seed: u64, runs: Option<u32>) -> String {
         .unwrap();
     }
     writeln!(out).unwrap();
-    writeln!(out, "  Paper shape: ImageProcessing & ResNet152 walls are ~100s and dominated").unwrap();
-    writeln!(out, "  by coordination; XGBOOST amortizes it and shows the widest error bars.").unwrap();
+    writeln!(out, "  Paper shape: ImageProcessing & ResNet152 walls are ~100s and dominated")
+        .unwrap();
+    writeln!(out, "  by coordination; XGBOOST amortizes it and shows the widest error bars.")
+        .unwrap();
     out
 }
 
@@ -126,12 +160,8 @@ pub fn fig4(seed: u64) -> String {
     writeln!(out, "{:-<84}", "").unwrap();
     let segs = io_timeline::segments(data);
     writeln!(out, "  {} traced I/O segments across {} threads", segs.n_rows(), {
-        let mut t: Vec<u64> = segs
-            .col("thread")
-            .unwrap()
-            .iter()
-            .filter_map(|v| v.as_u64())
-            .collect();
+        let mut t: Vec<u64> =
+            segs.col("thread").unwrap().iter().filter_map(|v| v.as_u64()).collect();
         t.sort_unstable();
         t.dedup();
         t.len()
@@ -152,8 +182,14 @@ pub fn fig4(seed: u64) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "  Paper shape: 3 read phases (4 MB reads), each followed by a burst of").unwrap();
-    writeln!(out, "  small writes; measured: {} read-dominant phases, {} with write bursts.", sig.read_phases, sig.phases_with_writes).unwrap();
+    writeln!(out, "  Paper shape: 3 read phases (4 MB reads), each followed by a burst of")
+        .unwrap();
+    writeln!(
+        out,
+        "  small writes; measured: {} read-dominant phases, {} with write bursts.",
+        sig.read_phases, sig.phases_with_writes
+    )
+    .unwrap();
     out
 }
 
@@ -165,11 +201,33 @@ pub fn fig5(seed: u64) -> String {
     let mut out = String::new();
     writeln!(out, "FIG 5: Interworker communication time vs message size (ResNet152)").unwrap();
     writeln!(out, "{:-<84}", "").unwrap();
-    writeln!(out, "  communications: {} total ({} intra-node, {} inter-node)", s.total, s.intra_node, s.inter_node).unwrap();
-    writeln!(out, "  median size {:.1} KB, median duration {:.5}s", s.median_bytes / 1024.0, s.median_duration_s).unwrap();
-    writeln!(out, "  slow-small communications: {} total, {} within first {:.0}s", s.slow_small, s.slow_small_early, s.early_window_s).unwrap();
-    writeln!(out, "  intra-node share among early slow-small: {:.0}%", s.slow_small_early_intra_share * 100.0).unwrap();
-    writeln!(out, "  Paper shape: several long communications near the beginning despite small").unwrap();
+    writeln!(
+        out,
+        "  communications: {} total ({} intra-node, {} inter-node)",
+        s.total, s.intra_node, s.inter_node
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  median size {:.1} KB, median duration {:.5}s",
+        s.median_bytes / 1024.0,
+        s.median_duration_s
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  slow-small communications: {} total, {} within first {:.0}s",
+        s.slow_small, s.slow_small_early, s.early_window_s
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  intra-node share among early slow-small: {:.0}%",
+        s.slow_small_early_intra_share * 100.0
+    )
+    .unwrap();
+    writeln!(out, "  Paper shape: several long communications near the beginning despite small")
+        .unwrap();
     writeln!(out, "  sizes, split roughly evenly between intra- and inter-node.").unwrap();
     out
 }
@@ -182,12 +240,19 @@ pub fn fig6(seed: u64) -> String {
     let mut out = String::new();
     writeln!(out, "FIG 6: Parallel coordinates of XGBOOST tasks").unwrap();
     writeln!(out, "{:-<84}", "").unwrap();
-    writeln!(out, "  {} tasks; longest category: {} (mean {:.1}s)", s.total_tasks, s.longest_category, s.longest_mean_duration_s).unwrap();
-    writeln!(out, "  tasks with output > 128 MB (Dask recommendation): {}", s.oversized_tasks).unwrap();
+    writeln!(
+        out,
+        "  {} tasks; longest category: {} (mean {:.1}s)",
+        s.total_tasks, s.longest_category, s.longest_mean_duration_s
+    )
+    .unwrap();
+    writeln!(out, "  tasks with output > 128 MB (Dask recommendation): {}", s.oversized_tasks)
+        .unwrap();
     for (c, n) in s.oversized_categories.iter().take(4) {
         writeln!(out, "    {c}: {n}").unwrap();
     }
-    writeln!(out, "  Paper shape: the longest (red) tasks are read_parquet-fused-assign and").unwrap();
+    writeln!(out, "  Paper shape: the longest (red) tasks are read_parquet-fused-assign and")
+        .unwrap();
     writeln!(out, "  their outputs significantly exceed the recommended 128 MB.").unwrap();
     out
 }
@@ -200,13 +265,35 @@ pub fn fig7(seed: u64) -> String {
     let mut out = String::new();
     writeln!(out, "FIG 7: Distribution of warnings in XGBOOST").unwrap();
     writeln!(out, "{:-<84}", "").unwrap();
-    writeln!(out, "  warnings: {} total ({} unresponsive-event-loop, {} gc-pause)", rep.total, rep.unresponsive, rep.gc).unwrap();
-    writeln!(out, "  unresponsive warnings in first 500s: paper 297, measured {}", rep.unresponsive_early).unwrap();
-    writeln!(out, "  correlation with long tasks (>= {:.0}s): {:.0}% of warnings overlap one", rep.long_task_threshold_s, rep.long_task_overlap * 100.0).unwrap();
+    writeln!(
+        out,
+        "  warnings: {} total ({} unresponsive-event-loop, {} gc-pause)",
+        rep.total, rep.unresponsive, rep.gc
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  unresponsive warnings in first 500s: paper 297, measured {}",
+        rep.unresponsive_early
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  correlation with long tasks (>= {:.0}s): {:.0}% of warnings overlap one",
+        rep.long_task_threshold_s,
+        rep.long_task_overlap * 100.0
+    )
+    .unwrap();
     if let Some(c) = &rep.dominant_category {
         writeln!(out, "  dominant overlapped category: {c}").unwrap();
     }
-    writeln!(out, "  histogram over time ({} bins of {:.0}s):", rep.histogram.counts.len(), (rep.histogram.hi - rep.histogram.lo) / rep.histogram.counts.len() as f64).unwrap();
+    writeln!(
+        out,
+        "  histogram over time ({} bins of {:.0}s):",
+        rep.histogram.counts.len(),
+        (rep.histogram.hi - rep.histogram.lo) / rep.histogram.counts.len() as f64
+    )
+    .unwrap();
     let max = rep.histogram.counts.iter().copied().max().unwrap_or(1).max(1);
     for (i, &n) in rep.histogram.counts.iter().enumerate() {
         let bar = "#".repeat((n * 48 / max) as usize);
@@ -234,6 +321,11 @@ pub fn fig8(seed: u64) -> String {
     out.push('\n');
     // also validate the views' attribution like the framework promises
     let views = RunViews::new(data);
-    writeln!(out, "\n  I/O-to-task attribution rate this run: {:.1}%", views.io_attribution_rate() * 100.0).unwrap();
+    writeln!(
+        out,
+        "\n  I/O-to-task attribution rate this run: {:.1}%",
+        views.io_attribution_rate() * 100.0
+    )
+    .unwrap();
     out
 }

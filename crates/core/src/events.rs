@@ -440,8 +440,17 @@ impl Tabular for TransitionEvent {
 impl Tabular for TaskDoneEvent {
     fn schema() -> Vec<&'static str> {
         vec![
-            "key", "group", "prefix", "graph", "worker", "host", "thread", "start_s", "stop_s",
-            "duration_s", "nbytes",
+            "key",
+            "group",
+            "prefix",
+            "graph",
+            "worker",
+            "host",
+            "thread",
+            "start_s",
+            "stop_s",
+            "duration_s",
+            "nbytes",
         ]
     }
 
@@ -484,7 +493,15 @@ impl Tabular for CommEvent {
 impl Tabular for IoRecord {
     fn schema() -> Vec<&'static str> {
         vec![
-            "host", "worker", "thread", "file", "op", "offset", "size", "start_s", "stop_s",
+            "host",
+            "worker",
+            "thread",
+            "file",
+            "op",
+            "offset",
+            "size",
+            "start_s",
+            "stop_s",
             "duration_s",
         ]
     }
@@ -555,8 +572,10 @@ mod tests {
         let a = WorkerId::new(NodeId(0), 0);
         let b = WorkerId::new(NodeId(0), 1);
         let c = WorkerId::new(NodeId(1), 0);
-        let e1 = CommEvent { key: key(), from: a, to: b, nbytes: 10, start: Time(0), stop: Time(5) };
-        let e2 = CommEvent { key: key(), from: a, to: c, nbytes: 10, start: Time(0), stop: Time(5) };
+        let e1 =
+            CommEvent { key: key(), from: a, to: b, nbytes: 10, start: Time(0), stop: Time(5) };
+        let e2 =
+            CommEvent { key: key(), from: a, to: c, nbytes: 10, start: Time(0), stop: Time(5) };
         assert!(e1.same_node());
         assert!(!e2.same_node());
     }

@@ -100,7 +100,9 @@ impl LogSet {
     /// [`Self::total_data_ops`]).
     pub fn traced_data_ops(&self) -> u64 {
         self.all_records()
-            .filter(|r| matches!(r.op, dtf_core::events::IoOp::Read | dtf_core::events::IoOp::Write))
+            .filter(|r| {
+                matches!(r.op, dtf_core::events::IoOp::Read | dtf_core::events::IoOp::Write)
+            })
             .count() as u64
     }
 

@@ -113,8 +113,7 @@ pub struct ActivityBins {
 
 pub fn activity(set: &LogSet, bins: usize, horizon_s: f64) -> ActivityBins {
     assert!(bins > 0 && horizon_s > 0.0);
-    let mut out =
-        ActivityBins { horizon_s, reads: vec![0; bins], writes: vec![0; bins] };
+    let mut out = ActivityBins { horizon_s, reads: vec![0; bins], writes: vec![0; bins] };
     let w = horizon_s / bins as f64;
     for r in set.all_records() {
         let idx = ((r.start.as_secs_f64() / w) as usize).min(bins - 1);

@@ -144,7 +144,16 @@ impl InstrumentedPfs {
     }
 
     #[allow(clippy::too_many_arguments)] // one parameter per IoRecord field
-    fn record(&self, thread: ThreadId, file: FileId, op: IoOp, offset: u64, size: u64, now: Time, dur: Dur) {
+    fn record(
+        &self,
+        thread: ThreadId,
+        file: FileId,
+        op: IoOp,
+        offset: u64,
+        size: u64,
+        now: Time,
+        dur: Dur,
+    ) {
         let worker = self.runtime.worker();
         self.runtime.record(IoRecord {
             host: worker.node,

@@ -119,14 +119,10 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(BedrockConfig::from_json(r#"{"topics": []}"#).is_err());
-        assert!(BedrockConfig::from_json(
-            r#"{"topics": [{"name": "a", "partitions": 0}]}"#
-        )
-        .is_err());
-        assert!(BedrockConfig::from_json(
-            r#"{"topics": [{"name": "a"}, {"name": "a"}]}"#
-        )
-        .is_err());
+        assert!(
+            BedrockConfig::from_json(r#"{"topics": [{"name": "a", "partitions": 0}]}"#).is_err()
+        );
+        assert!(BedrockConfig::from_json(r#"{"topics": [{"name": "a"}, {"name": "a"}]}"#).is_err());
         assert!(BedrockConfig::from_json("not json").is_err());
     }
 

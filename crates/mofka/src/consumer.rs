@@ -51,13 +51,7 @@ pub struct Consumer {
 impl Consumer {
     pub(crate) fn new(topic: Arc<Topic>, yokan: Arc<Yokan>, cfg: ConsumerConfig) -> Self {
         assert!(cfg.prefetch >= 1, "prefetch must be >= 1");
-        Self {
-            topic,
-            yokan,
-            cfg,
-            buffer: std::collections::VecDeque::new(),
-            next_partition: 0,
-        }
+        Self { topic, yokan, cfg, buffer: std::collections::VecDeque::new(), next_partition: 0 }
     }
 
     fn offset_key(&self, partition: u32) -> String {

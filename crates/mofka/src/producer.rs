@@ -84,11 +84,7 @@ impl Producer {
                 p
             }
             PartitionStrategy::HashKey(field) => {
-                let keystr = event
-                    .metadata
-                    .get(field)
-                    .map(|v| v.to_string())
-                    .unwrap_or_default();
+                let keystr = event.metadata.get(field).map(|v| v.to_string()).unwrap_or_default();
                 let mut h = DefaultHasher::new();
                 keystr.hash(&mut h);
                 (h.finish() % self.topic.num_partitions() as u64) as u32
@@ -153,10 +149,10 @@ mod tests {
     #[test]
     fn batching_defers_appends_until_batch_full() {
         let t = topic(1);
-        let mut p = Producer::new(t.clone(), ProducerConfig {
-            batch_size: 4,
-            strategy: PartitionStrategy::RoundRobin,
-        });
+        let mut p = Producer::new(
+            t.clone(),
+            ProducerConfig { batch_size: 4, strategy: PartitionStrategy::RoundRobin },
+        );
         for i in 0..3 {
             p.push(Event::meta_only(json!(i))).unwrap();
         }
@@ -191,10 +187,10 @@ mod tests {
     #[test]
     fn round_robin_spreads_events() {
         let t = topic(4);
-        let mut p = Producer::new(t.clone(), ProducerConfig {
-            batch_size: 1,
-            strategy: PartitionStrategy::RoundRobin,
-        });
+        let mut p = Producer::new(
+            t.clone(),
+            ProducerConfig { batch_size: 1, strategy: PartitionStrategy::RoundRobin },
+        );
         for i in 0..8 {
             p.push(Event::meta_only(json!(i))).unwrap();
         }
@@ -206,10 +202,10 @@ mod tests {
     #[test]
     fn hash_key_keeps_same_key_in_same_partition() {
         let t = topic(4);
-        let mut p = Producer::new(t.clone(), ProducerConfig {
-            batch_size: 1,
-            strategy: PartitionStrategy::HashKey("task".into()),
-        });
+        let mut p = Producer::new(
+            t.clone(),
+            ProducerConfig { batch_size: 1, strategy: PartitionStrategy::HashKey("task".into()) },
+        );
         for i in 0..20 {
             p.push(Event::meta_only(json!({ "task": "A", "i": i }))).unwrap();
             p.push(Event::meta_only(json!({ "task": "B", "i": i }))).unwrap();

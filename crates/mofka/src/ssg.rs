@@ -45,9 +45,7 @@ impl SsgGroup {
     /// Add a member. Re-joining refreshes the heartbeat and bumps the view.
     pub fn join(&self, member: impl Into<String>, now: Time) {
         let mut inner = self.inner.write();
-        inner
-            .members
-            .insert(member.into(), MemberState { joined: now, last_heartbeat: now });
+        inner.members.insert(member.into(), MemberState { joined: now, last_heartbeat: now });
         inner.view += 1;
     }
 

@@ -117,10 +117,7 @@ impl Topic {
                 id: EventId { partition: p, offset: (start + i) as u64 },
                 event: Event {
                     metadata: slot.metadata.clone(),
-                    data: slot
-                        .payload
-                        .and_then(|b| self.warabi.get(b))
-                        .unwrap_or_else(Bytes::new),
+                    data: slot.payload.and_then(|b| self.warabi.get(b)).unwrap_or_else(Bytes::new),
                 },
             })
             .collect())
@@ -142,7 +139,10 @@ mod tests {
         let ids = t
             .append_batch(0, vec![Event::meta_only(json!(1)), Event::meta_only(json!(2))])
             .unwrap();
-        assert_eq!(ids, vec![EventId { partition: 0, offset: 0 }, EventId { partition: 0, offset: 1 }]);
+        assert_eq!(
+            ids,
+            vec![EventId { partition: 0, offset: 0 }, EventId { partition: 0, offset: 1 }]
+        );
         let ids2 = t.append_batch(0, vec![Event::meta_only(json!(3))]).unwrap();
         assert_eq!(ids2[0].offset, 2);
         assert_eq!(t.partition_len(0).unwrap(), 3);

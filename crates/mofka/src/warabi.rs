@@ -113,7 +113,9 @@ mod tests {
             .map(|i| {
                 let w = w.clone();
                 std::thread::spawn(move || {
-                    (0..50).map(|j| (w.put(Bytes::from(vec![i, j])), vec![i, j])).collect::<Vec<_>>()
+                    (0..50)
+                        .map(|j| (w.put(Bytes::from(vec![i, j])), vec![i, j]))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();

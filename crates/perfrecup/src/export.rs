@@ -28,8 +28,7 @@ pub const CSV_VIEWS: [&str; 7] = [
 fn write(path: &Path, bytes: &[u8]) -> Result<()> {
     let mut f = std::fs::File::create(path)
         .map_err(|e| DtfError::Io(format!("create {}: {e}", path.display())))?;
-    f.write_all(bytes)
-        .map_err(|e| DtfError::Io(format!("write {}: {e}", path.display())))
+    f.write_all(bytes).map_err(|e| DtfError::Io(format!("write {}: {e}", path.display())))
 }
 
 /// Export everything collected from `data` into `dir` (created if absent).

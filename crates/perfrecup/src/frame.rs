@@ -110,8 +110,7 @@ impl DataFrame {
     /// Keep only the named columns, in the given order.
     pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
         let mut out = DataFrame::new(names.iter().map(|s| s.to_string()).collect());
-        let idx: Vec<usize> =
-            names.iter().map(|n| self.col_index(n)).collect::<Result<_>>()?;
+        let idx: Vec<usize> = names.iter().map(|n| self.col_index(n)).collect::<Result<_>>()?;
         out.columns = idx.iter().map(|&i| self.columns[i].clone()).collect();
         Ok(out)
     }
@@ -119,12 +118,8 @@ impl DataFrame {
     /// Rows where `pred(row_value_of(col))` holds.
     pub fn filter<F: Fn(&Value) -> bool>(&self, col: &str, pred: F) -> Result<DataFrame> {
         let ci = self.col_index(col)?;
-        let keep: Vec<usize> = self.columns[ci]
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| pred(v))
-            .map(|(i, _)| i)
-            .collect();
+        let keep: Vec<usize> =
+            self.columns[ci].iter().enumerate().filter(|(_, v)| pred(v)).map(|(i, _)| i).collect();
         Ok(self.take(&keep))
     }
 
@@ -155,7 +150,12 @@ impl DataFrame {
 
     /// Inner join on `self[left_on] == other[right_on]`. Columns of `other`
     /// are suffixed with `_r` when they collide.
-    pub fn inner_join(&self, other: &DataFrame, left_on: &str, right_on: &str) -> Result<DataFrame> {
+    pub fn inner_join(
+        &self,
+        other: &DataFrame,
+        left_on: &str,
+        right_on: &str,
+    ) -> Result<DataFrame> {
         let li = self.col_index(left_on)?;
         let ri = other.col_index(right_on)?;
         // hash the right side by the join key's display form (Value is not
@@ -200,9 +200,8 @@ impl DataFrame {
         let mut groups: HashMap<String, (Value, Vec<f64>)> = HashMap::new();
         for i in 0..self.n_rows() {
             let k = self.columns[ki][i].to_string();
-            let entry = groups
-                .entry(k)
-                .or_insert_with(|| (self.columns[ki][i].clone(), Vec::new()));
+            let entry =
+                groups.entry(k).or_insert_with(|| (self.columns[ki][i].clone(), Vec::new()));
             if let Some(x) = self.columns[vi][i].as_f64() {
                 entry.1.push(x);
             } else if agg == Agg::Count {
@@ -266,13 +265,10 @@ impl DataFrame {
             }
         }
         let mut out = String::new();
-        out.push_str(
-            &self.names.iter().map(|n| field(n.clone())).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&self.names.iter().map(|n| field(n.clone())).collect::<Vec<_>>().join(","));
         out.push('\n');
         for i in 0..self.n_rows() {
-            let row: Vec<String> =
-                self.row(i).iter().map(|v| field(v.to_string())).collect();
+            let row: Vec<String> = self.row(i).iter().map(|v| field(v.to_string())).collect();
             out.push_str(&row.join(","));
             out.push('\n');
         }
@@ -372,8 +368,7 @@ mod tests {
         // k=1 matches once, k=3 matches twice, k=2 drops
         assert_eq!(j.n_rows(), 3);
         assert_eq!(j.names(), &["k", "x", "tag", "y"]);
-        let ys: Vec<String> =
-            j.col("y").unwrap().iter().map(|v| v.to_string()).collect();
+        let ys: Vec<String> = j.col("y").unwrap().iter().map(|v| v.to_string()).collect();
         assert!(ys.contains(&"one".to_string()));
         assert!(ys.contains(&"tres".to_string()));
     }

@@ -116,9 +116,7 @@ pub fn signature(data: &RunData, gap_s: f64) -> PhaseSignature {
 pub(crate) mod tests_support {
     use dtf_core::events::{IoOp, IoRecord};
     use dtf_core::ids::{FileId, NodeId, RunId, ThreadId, WorkerId};
-    use dtf_core::provenance::{
-        HardwareInfo, JobInfo, ProvenanceChart, SystemInfo, WmsConfig,
-    };
+    use dtf_core::provenance::{HardwareInfo, JobInfo, ProvenanceChart, SystemInfo, WmsConfig};
     use dtf_core::time::{Dur, Time};
     use dtf_darshan::counters::PosixCounters;
     use dtf_darshan::log::{DarshanLog, LogHeader, LogSet};
@@ -251,9 +249,6 @@ mod tests {
         let data = run_with(vec![rec(IoOp::Read, 1.0, 0.5, 4096)]);
         let df = segments(&data);
         assert_eq!(df.n_rows(), 1);
-        assert_eq!(
-            df.names(),
-            &["thread", "op", "start_s", "stop_s", "size", "host"]
-        );
+        assert_eq!(df.names(), &["thread", "op", "start_s", "stop_s", "size", "host"]);
     }
 }

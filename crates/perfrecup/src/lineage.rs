@@ -48,11 +48,7 @@ pub fn build(data: &RunData, key: &TaskKey) -> Result<TaskLineage> {
 
     let mut locations = Vec::new();
     if let Some(d) = done {
-        locations.push(LineageLocation {
-            worker: d.worker,
-            thread: Some(d.thread),
-            since: d.stop,
-        });
+        locations.push(LineageLocation { worker: d.worker, thread: Some(d.thread), since: d.stop });
     }
     // replicas created by data movements of this key
     let movements: Vec<_> = data.comms.iter().filter(|c| &c.key == key).cloned().collect();

@@ -54,9 +54,7 @@ pub struct CoordsSummary {
 
 pub fn summary(data: &RunData) -> CoordsSummary {
     let df = coordinates(data);
-    let longest = df
-        .group_by("category", "duration_s", Agg::Mean)
-        .expect("group by category");
+    let longest = df.group_by("category", "duration_s", Agg::Mean).expect("group by category");
     let mut best = (String::new(), f64::NEG_INFINITY);
     let cats = longest.col("category").expect("category col");
     let means = longest.col_f64("duration_s_mean").expect("mean col");

@@ -123,18 +123,14 @@ mod tests {
     #[test]
     fn coordination_share_larger_for_short_workflows() {
         // same busy time, longer wall -> larger coordination share
-        let short = PhaseBreakdown::from_samples(&[PhaseSample {
-            wall_s: 50.0,
-            io_s: 64.0,
-            comm_s: 64.0,
-            compute_s: 512.0,
-        }], 64.0);
-        let long = PhaseBreakdown::from_samples(&[PhaseSample {
-            wall_s: 500.0,
-            io_s: 64.0,
-            comm_s: 64.0,
-            compute_s: 512.0,
-        }], 64.0);
+        let short = PhaseBreakdown::from_samples(
+            &[PhaseSample { wall_s: 50.0, io_s: 64.0, comm_s: 64.0, compute_s: 512.0 }],
+            64.0,
+        );
+        let long = PhaseBreakdown::from_samples(
+            &[PhaseSample { wall_s: 500.0, io_s: 64.0, comm_s: 64.0, compute_s: 512.0 }],
+            64.0,
+        );
         // with 64-way parallelism the busy time is 10 s
         assert!(short.coordination_share() < long.coordination_share());
         assert!(long.coordination_share() > 0.9);

@@ -20,13 +20,8 @@ use dtf_core::time::Time;
 /// For workflows with tens of thousands of tasks the exact O(n²) tau is
 /// costly; `max_tasks` caps the comparison by striding uniformly over the
 /// common keys (deterministic, no RNG).
-pub fn order_similarity(
-    a: &[(TaskKey, Time)],
-    b: &[(TaskKey, Time)],
-    max_tasks: usize,
-) -> f64 {
-    let rank_b: HashMap<&TaskKey, usize> =
-        b.iter().enumerate().map(|(i, (k, _))| (k, i)).collect();
+pub fn order_similarity(a: &[(TaskKey, Time)], b: &[(TaskKey, Time)], max_tasks: usize) -> f64 {
+    let rank_b: HashMap<&TaskKey, usize> = b.iter().enumerate().map(|(i, (k, _))| (k, i)).collect();
     let mut pairs: Vec<(f64, f64)> = a
         .iter()
         .enumerate()
@@ -37,9 +32,7 @@ pub fn order_similarity(
     }
     if pairs.len() > max_tasks.max(2) {
         let stride = pairs.len() as f64 / max_tasks as f64;
-        pairs = (0..max_tasks)
-            .map(|i| pairs[(i as f64 * stride) as usize])
-            .collect();
+        pairs = (0..max_tasks).map(|i| pairs[(i as f64 * stride) as usize]).collect();
     }
     let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
     kendall_tau(&xs, &ys)
@@ -72,10 +65,7 @@ mod tests {
     use super::*;
 
     fn order(keys: &[u32]) -> Vec<(TaskKey, Time)> {
-        keys.iter()
-            .enumerate()
-            .map(|(i, &k)| (TaskKey::new("t", 0, k), Time(i as u64)))
-            .collect()
+        keys.iter().enumerate().map(|(i, &k)| (TaskKey::new("t", 0, k), Time(i as u64))).collect()
     }
 
     #[test]
@@ -102,8 +92,7 @@ mod tests {
     #[test]
     fn disjoint_key_sets_are_trivially_similar() {
         let a = order(&[0, 1, 2]);
-        let b: Vec<(TaskKey, Time)> =
-            vec![(TaskKey::new("other", 9, 0), Time(0))];
+        let b: Vec<(TaskKey, Time)> = vec![(TaskKey::new("other", 9, 0), Time(0))];
         assert_eq!(order_similarity(&a, &b, 1000), 1.0);
     }
 

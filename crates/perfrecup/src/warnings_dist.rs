@@ -77,10 +77,7 @@ pub fn report(
             *by_cat.entry(d.key.prefix.as_str()).or_default() += 1;
         }
     }
-    let dominant_category = by_cat
-        .into_iter()
-        .max_by_key(|(_, n)| *n)
-        .map(|(c, _)| c.to_string());
+    let dominant_category = by_cat.into_iter().max_by_key(|(_, n)| *n).map(|(c, _)| c.to_string());
     WarningReport {
         total: data.warnings.len(),
         unresponsive,

@@ -50,22 +50,10 @@ fn clip(start: Time, stop: Time, t0: Time, t1: Time) -> Dur {
 pub fn events(data: &RunData, t0: Time, t1: Time) -> WindowEvents<'_> {
     assert!(t1 >= t0, "empty window");
     WindowEvents {
-        tasks: data
-            .task_done
-            .iter()
-            .filter(|d| d.start <= t1 && d.stop >= t0)
-            .collect(),
+        tasks: data.task_done.iter().filter(|d| d.start <= t1 && d.stop >= t0).collect(),
         comms: data.comms.iter().filter(|c| c.start <= t1 && c.stop >= t0).collect(),
-        io: data
-            .darshan
-            .all_records()
-            .filter(|r| r.start <= t1 && r.stop >= t0)
-            .collect(),
-        warnings: data
-            .warnings
-            .iter()
-            .filter(|w| w.time >= t0 && w.time <= t1)
-            .collect(),
+        io: data.darshan.all_records().filter(|r| r.start <= t1 && r.stop >= t0).collect(),
+        warnings: data.warnings.iter().filter(|w| w.time >= t0 && w.time <= t1).collect(),
     }
 }
 

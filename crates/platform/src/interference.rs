@@ -31,7 +31,13 @@ pub struct LoadProcess {
 }
 
 impl LoadProcess {
-    pub fn new(seed: u64, window: Dur, burst_prob: f64, burst: BoundedPareto, quiet_spread: f64) -> Self {
+    pub fn new(
+        seed: u64,
+        window: Dur,
+        burst_prob: f64,
+        burst: BoundedPareto,
+        quiet_spread: f64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&burst_prob));
         assert!(quiet_spread >= 0.0);
         assert!(window > Dur::ZERO);
@@ -137,8 +143,10 @@ mod tests {
     fn different_seeds_give_different_processes() {
         let a = LoadProcess::pfs_default(1);
         let b = LoadProcess::pfs_default(2);
-        let differs = (0..100)
-            .any(|i| a.factor(Time::from_secs_f64(i as f64 * 5.0)) != b.factor(Time::from_secs_f64(i as f64 * 5.0)));
+        let differs = (0..100).any(|i| {
+            a.factor(Time::from_secs_f64(i as f64 * 5.0))
+                != b.factor(Time::from_secs_f64(i as f64 * 5.0))
+        });
         assert!(differs);
     }
 }

@@ -124,9 +124,8 @@ mod tests {
         let mut js = JobScheduler::new(AllocPolicy::default());
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..50 {
-            let job = js
-                .allocate(&topo, &JobRequest::paper_default(), Time::ZERO, &mut rng)
-                .unwrap();
+            let job =
+                js.allocate(&topo, &JobRequest::paper_default(), Time::ZERO, &mut rng).unwrap();
             assert_eq!(job.allocated_nodes.len(), 3);
             let mut uniq = job.allocated_nodes.clone();
             uniq.dedup();
@@ -154,14 +153,10 @@ mod tests {
         let mut scattered = 0;
         let trials = 400;
         for _ in 0..trials {
-            let job = js
-                .allocate(&topo, &JobRequest::paper_default(), Time::ZERO, &mut rng)
-                .unwrap();
+            let job =
+                js.allocate(&topo, &JobRequest::paper_default(), Time::ZERO, &mut rng).unwrap();
             // packed allocations are contiguous node ranges
-            let contiguous = job
-                .allocated_nodes
-                .windows(2)
-                .all(|w| w[1].0 == w[0].0 + 1);
+            let contiguous = job.allocated_nodes.windows(2).all(|w| w[1].0 == w[0].0 + 1);
             if !contiguous {
                 scattered += 1;
             }
@@ -178,7 +173,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..50 {
             let job = js
-                .allocate(&topo, &JobRequest { nodes: 4, walltime_limit_s: 60, queue: "q".into() }, Time::ZERO, &mut rng)
+                .allocate(
+                    &topo,
+                    &JobRequest { nodes: 4, walltime_limit_s: 60, queue: "q".into() },
+                    Time::ZERO,
+                    &mut rng,
+                )
                 .unwrap();
             assert!(job.allocated_nodes.windows(2).all(|w| w[1].0 == w[0].0 + 1));
             // and switch-aligned

@@ -95,7 +95,14 @@ impl Pfs {
         } else {
             Jitter::none()
         };
-        Self { cfg, interference, jitter, by_path: HashMap::new(), files: Vec::new(), counters: PfsCounters::default() }
+        Self {
+            cfg,
+            interference,
+            jitter,
+            by_path: HashMap::new(),
+            files: Vec::new(),
+            counters: PfsCounters::default(),
+        }
     }
 
     pub fn config(&self) -> &PfsConfig {

@@ -44,6 +44,9 @@ struct Shared {
     clock: RealClock,
     work: Condvar,
     work_mutex: Mutex<()>,
+    /// Signalled (paired with the scheduler mutex) after every scheduler
+    /// state change; `gather`/`wait_all` block on it instead of polling.
+    progress: Condvar,
     stop: AtomicBool,
 }
 
@@ -72,6 +75,7 @@ impl LocalCluster {
             clock: RealClock::new(),
             work: Condvar::new(),
             work_mutex: Mutex::new(()),
+            progress: Condvar::new(),
             stop: AtomicBool::new(false),
         });
         let mut handles = Vec::new();
@@ -115,39 +119,37 @@ impl LocalCluster {
         process_fetches(&self.shared, &mut sched, actions, now);
         drop(sched);
         self.shared.work.notify_all();
+        self.shared.progress.notify_all();
         Ok(())
     }
 
     /// Block until `key` is in memory (or the cluster stopped); return its
-    /// value.
+    /// value. Sleeps on the progress condvar — woken by workers as tasks
+    /// finish — rather than polling the scheduler.
     pub fn gather(&self, key: &TaskKey) -> Result<Arc<TaskValue>> {
+        let mut sched = self.shared.scheduler.lock();
         loop {
-            {
-                let sched = self.shared.scheduler.lock();
-                match sched.task_state(key) {
-                    None => return Err(DtfError::NotFound(format!("task {key}"))),
-                    Some(TaskState::Memory) => break,
-                    Some(TaskState::Erred) => {
-                        return Err(DtfError::IllegalState(format!("task {key} erred")))
-                    }
-                    _ => {}
+            match sched.task_state(key) {
+                None => return Err(DtfError::NotFound(format!("task {key}"))),
+                Some(TaskState::Memory) => break,
+                Some(TaskState::Erred) => {
+                    return Err(DtfError::IllegalState(format!("task {key} erred")))
                 }
+                _ => {}
             }
-            std::thread::sleep(std::time::Duration::from_micros(200));
+            // the timeout is only a safety net against a stalled cluster
+            self.shared.progress.wait_for(&mut sched, std::time::Duration::from_millis(100));
         }
+        drop(sched);
         let data = self.shared.data.lock();
-        data.get(key)
-            .cloned()
-            .ok_or_else(|| DtfError::NotFound(format!("value of {key}")))
+        data.get(key).cloned().ok_or_else(|| DtfError::NotFound(format!("value of {key}")))
     }
 
     /// Block until every submitted task reached a terminal state.
     pub fn wait_all(&self) {
-        loop {
-            if self.shared.scheduler.lock().unfinished() == 0 {
-                return;
-            }
-            std::thread::sleep(std::time::Duration::from_micros(500));
+        let mut sched = self.shared.scheduler.lock();
+        while sched.unfinished() != 0 {
+            self.shared.progress.wait_for(&mut sched, std::time::Duration::from_millis(100));
         }
     }
 
@@ -156,6 +158,7 @@ impl LocalCluster {
     pub fn shutdown(self) -> PluginSet {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.work.notify_all();
+        self.shared.progress.notify_all();
         for h in self.handles {
             let _ = h.join();
         }
@@ -235,9 +238,7 @@ fn worker_loop(shared: Arc<Shared>, wid: WorkerId, thread_ordinal: u32) {
         };
         let dep_values: Vec<Arc<TaskValue>> = {
             let data = shared.data.lock();
-            deps.iter()
-                .map(|d| data.get(d).cloned().expect("dependency value resident"))
-                .collect()
+            deps.iter().map(|d| data.get(d).cloned().expect("dependency value resident")).collect()
         };
 
         let start = shared.clock.now();
@@ -255,6 +256,7 @@ fn worker_loop(shared: Arc<Shared>, wid: WorkerId, thread_ordinal: u32) {
             process_fetches(&shared, &mut sched, actions, stop);
         }
         shared.work.notify_all();
+        shared.progress.notify_all();
     }
 }
 
@@ -285,16 +287,8 @@ mod tests {
         let (cluster, collector) = cluster_with_collector(ExecConfig::default());
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
-        let a = b.add(
-            TaskKey::new("two", tok, 0),
-            vec![],
-            real_fn(|_| TaskValue::new(2i64, 8)),
-        );
-        let c = b.add(
-            TaskKey::new("three", tok, 0),
-            vec![],
-            real_fn(|_| TaskValue::new(3i64, 8)),
-        );
+        let a = b.add(TaskKey::new("two", tok, 0), vec![], real_fn(|_| TaskValue::new(2i64, 8)));
+        let c = b.add(TaskKey::new("three", tok, 0), vec![], real_fn(|_| TaskValue::new(3i64, 8)));
         let sum = b.add(
             TaskKey::new("sum", tok, 0),
             vec![a, c],
@@ -372,11 +366,8 @@ mod tests {
         let (cluster, _c) = cluster_with_collector(ExecConfig::default());
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
-        let base = b.add(
-            TaskKey::new("base", tok, 0),
-            vec![],
-            real_fn(|_| TaskValue::new(21i64, 8)),
-        );
+        let base =
+            b.add(TaskKey::new("base", tok, 0), vec![], real_fn(|_| TaskValue::new(21i64, 8)));
         cluster.submit(b.build(&HashSet::new()).unwrap()).unwrap();
         cluster.gather(&base).unwrap();
 
@@ -385,9 +376,7 @@ mod tests {
         let double = b2.add(
             TaskKey::new("double", tok2, 0),
             vec![base.clone()],
-            real_fn(|deps| {
-                TaskValue::new(deps[0].downcast_ref::<i64>().unwrap() * 2, 8)
-            }),
+            real_fn(|deps| TaskValue::new(deps[0].downcast_ref::<i64>().unwrap() * 2, 8)),
         );
         let mut ext = HashSet::new();
         ext.insert(base);

@@ -30,9 +30,9 @@ pub mod rundata;
 pub mod scheduler;
 pub mod sim;
 
-pub use graph::{GraphBuilder, IoCall, Payload, SimAction, TaskGraph, TaskSpec};
 pub use client::Delayed;
 pub use exec::{ExecConfig, LocalCluster};
+pub use graph::{GraphBuilder, IoCall, Payload, SimAction, TaskGraph, TaskSpec};
 pub use plugins::{CollectorPlugin, MofkaPlugin, WmsPlugin};
 pub use rundata::RunData;
 

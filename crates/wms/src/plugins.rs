@@ -338,9 +338,8 @@ mod tests {
         let back: TransitionEvent =
             serde_json::from_value(events[0].event.metadata.clone()).unwrap();
         assert_eq!(back.to, TaskState::Processing);
-        let mut c = svc
-            .consumer("task-done", ConsumerConfig { group: "t".into(), prefetch: 16 })
-            .unwrap();
+        let mut c =
+            svc.consumer("task-done", ConsumerConfig { group: "t".into(), prefetch: 16 }).unwrap();
         assert_eq!(c.drain_all().unwrap().len(), 1);
     }
 

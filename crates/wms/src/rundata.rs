@@ -9,8 +9,8 @@
 use serde::{Deserialize, Serialize};
 
 use dtf_core::events::{
-    CommEvent, IoRecord, LogEntry, TaskDoneEvent, TaskMetaEvent, TransitionEvent,
-    WarningEvent, WorkerTransitionEvent,
+    CommEvent, IoRecord, LogEntry, TaskDoneEvent, TaskMetaEvent, TransitionEvent, WarningEvent,
+    WorkerTransitionEvent,
 };
 use dtf_core::ids::{RunId, TaskKey};
 use dtf_core::provenance::ProvenanceChart;
@@ -58,15 +58,13 @@ impl RunData {
         steals: u64,
     ) -> dtf_core::Result<Self> {
         let group = format!("analysis-{run}");
-        fn drain<T: for<'de> serde::Deserialize<'de>>(
+        fn drain<T: serde::Deserialize>(
             svc: &MofkaService,
             topic: &str,
             group: &str,
         ) -> dtf_core::Result<Vec<T>> {
-            let mut consumer = svc.consumer(
-                topic,
-                ConsumerConfig { group: group.to_string(), prefetch: 4096 },
-            )?;
+            let mut consumer =
+                svc.consumer(topic, ConsumerConfig { group: group.to_string(), prefetch: 4096 })?;
             let mut out = Vec::new();
             for stored in consumer.drain_all()? {
                 out.push(serde_json::from_value(stored.event.metadata)?);

@@ -9,14 +9,14 @@
 //! returns. That separation is what lets both modes share one scheduling
 //! behaviour (and one instrumentation surface).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
 use dtf_core::error::{DtfError, Result};
 use dtf_core::events::{
-    Location, Stimulus, TaskDoneEvent, TaskMetaEvent, TaskState, TransitionEvent,
-    WorkerTaskState, WorkerTransitionEvent,
+    Location, Stimulus, TaskDoneEvent, TaskMetaEvent, TaskState, TransitionEvent, WorkerTaskState,
+    WorkerTransitionEvent,
 };
 use dtf_core::ids::{ClientId, GraphId, TaskKey, ThreadId, WorkerId};
 use dtf_core::time::Time;
@@ -77,13 +77,28 @@ struct TaskRecord {
     unfinished_deps: usize,
     /// Worker the task is assigned to while processing.
     assigned: Option<usize>,
-    /// Dependency data still in flight to the assigned worker.
-    pending_fetches: usize,
+    /// Dependencies whose data has not yet arrived at the assigned worker.
+    /// A task leaves `Flight` only when this drains — a counter cannot
+    /// distinguish a duplicate arrival of one dep from the arrival of
+    /// another.
+    missing_deps: BTreeSet<TaskKey>,
     /// Priority: lower runs earlier (submission order).
     priority: u64,
     nbytes: Option<u64>,
-    /// Workers holding this task's output.
-    who_has: Vec<usize>,
+    /// Workers holding this task's output (set: one entry per replica).
+    who_has: BTreeSet<usize>,
+}
+
+/// One dependency transfer in flight to one worker. At most one exists per
+/// `(worker, dep)` pair — that is the dedup invariant: a second task needing
+/// the same dep on the same worker joins `waiters` instead of triggering
+/// another transfer.
+#[derive(Debug)]
+struct Inflight {
+    /// Source worker index of the transfer.
+    from: usize,
+    /// Tasks on the destination worker waiting for this dep.
+    waiters: BTreeSet<TaskKey>,
 }
 
 #[derive(Debug)]
@@ -92,8 +107,11 @@ struct WorkerEntry {
     threads: u32,
     /// Tasks currently executing on a thread.
     executing: BTreeSet<TaskKey>,
-    /// Dispatched tasks whose inputs are all local, ordered by priority.
-    ready: VecDeque<TaskKey>,
+    /// Dispatched tasks whose inputs are all local, ordered by
+    /// `(priority, key)`: `pop_first` starts the highest-priority task in
+    /// O(log n) where the old `VecDeque` needed a linear position scan per
+    /// insert.
+    ready: BTreeSet<(u64, TaskKey)>,
     /// Dispatched tasks still waiting for dependency fetches.
     fetching: BTreeSet<TaskKey>,
     /// Output data resident on this worker: key -> nbytes.
@@ -116,9 +134,17 @@ pub struct Scheduler {
     cfg: SchedulerConfig,
     tasks: HashMap<TaskKey, TaskRecord>,
     workers: Vec<WorkerEntry>,
-    /// Runnable tasks held on the scheduler (state `queued`), FIFO by
-    /// priority.
-    queued: VecDeque<TaskKey>,
+    /// Runnable tasks held on the scheduler (state `queued`), ordered by
+    /// `(priority, key)`.
+    queued: BTreeSet<(u64, TaskKey)>,
+    /// In-flight dependency transfers: `(destination worker, dep)` → the
+    /// transfer and its waiting tasks. Doubles as the dedup guard (an
+    /// existing entry means the transfer is already under way) and as the
+    /// reverse index `fetch_done` uses to resolve waiters without scanning
+    /// every fetching task.
+    inflight: BTreeMap<(usize, TaskKey), Inflight>,
+    /// Worker id → index in `workers`.
+    worker_index: HashMap<WorkerId, usize>,
     plugins: PluginSet,
     next_priority: u64,
     /// Keys of all tasks ever submitted, for cross-graph dependency checks.
@@ -137,7 +163,9 @@ impl Scheduler {
             cfg,
             tasks: HashMap::new(),
             workers: Vec::new(),
-            queued: VecDeque::new(),
+            queued: BTreeSet::new(),
+            inflight: BTreeMap::new(),
+            worker_index: HashMap::new(),
             plugins,
             next_priority: 0,
             known_keys: HashSet::new(),
@@ -155,12 +183,14 @@ impl Scheduler {
             id,
             threads,
             executing: BTreeSet::new(),
-            ready: VecDeque::new(),
+            ready: BTreeSet::new(),
             fetching: BTreeSet::new(),
             has_data: BTreeMap::new(),
             alive: true,
         });
-        self.workers.len() - 1
+        let idx = self.workers.len() - 1;
+        self.worker_index.insert(id, idx);
+        idx
     }
 
     pub fn worker_ids(&self) -> Vec<WorkerId> {
@@ -268,9 +298,9 @@ impl Scheduler {
 
     /// Submit a validated graph. Returns fetch actions for the engine.
     pub fn submit_graph(&mut self, graph: TaskGraph, now: Time) -> Result<Vec<Action>> {
-        graph.validate(&self.known_keys).map_err(|e| {
-            DtfError::InvalidGraph(format!("graph {}: {e}", graph.id))
-        })?;
+        graph
+            .validate(&self.known_keys)
+            .map_err(|e| DtfError::InvalidGraph(format!("graph {}: {e}", graph.id)))?;
         if self.workers.is_empty() {
             return Err(DtfError::IllegalState("no workers connected".into()));
         }
@@ -283,10 +313,7 @@ impl Scheduler {
                 .deps
                 .iter()
                 .filter(|d| {
-                    self.tasks
-                        .get(*d)
-                        .map(|t| t.state != TaskState::Memory)
-                        .unwrap_or(true)
+                    self.tasks.get(*d).map(|t| t.state != TaskState::Memory).unwrap_or(true)
                 })
                 .count();
             for d in &spec.deps {
@@ -305,10 +332,10 @@ impl Scheduler {
                     dependents: Vec::new(),
                     unfinished_deps: unfinished,
                     assigned: None,
-                    pending_fetches: 0,
+                    missing_deps: BTreeSet::new(),
                     priority,
                     nbytes: None,
-                    who_has: Vec::new(),
+                    who_has: BTreeSet::new(),
                 },
             );
             new_keys.push(spec.key.clone());
@@ -391,20 +418,9 @@ impl Scheduler {
     /// A task's dependencies are met: queue it or dispatch it.
     fn make_runnable(&mut self, key: &TaskKey, now: Time) -> Vec<Action> {
         if self.all_saturated() {
-            self.emit_transition(
-                key,
-                TaskState::Queued,
-                Stimulus::Queue,
-                Location::Scheduler,
-                now,
-            );
+            self.emit_transition(key, TaskState::Queued, Stimulus::Queue, Location::Scheduler, now);
             let p = self.tasks[key].priority;
-            let pos = self
-                .queued
-                .iter()
-                .position(|k| self.tasks[k].priority > p)
-                .unwrap_or(self.queued.len());
-            self.queued.insert(pos, key.clone());
+            self.queued.insert((p, key.clone()));
             Vec::new()
         } else {
             self.dispatch(key, now)
@@ -424,55 +440,88 @@ impl Scheduler {
             self.no_worker.push(key.clone());
             return Vec::new();
         };
-        self.emit_transition(key, TaskState::Processing, Stimulus::Dispatched, Location::Scheduler, now);
+        self.emit_transition(
+            key,
+            TaskState::Processing,
+            Stimulus::Dispatched,
+            Location::Scheduler,
+            now,
+        );
         self.place_on_worker(key, widx, now)
     }
 
     /// Common path of dispatch and steal: set assignment, compute fetches.
+    /// A dep already in flight to `widx` (for an earlier task) is joined,
+    /// not re-fetched — one transfer per `(worker, dep)` pair.
     fn place_on_worker(&mut self, key: &TaskKey, widx: usize, now: Time) -> Vec<Action> {
         let deps = self.tasks[key].deps.clone();
         let to = self.workers[widx].id;
         let mut actions = Vec::new();
-        let mut pending = 0;
+        let mut missing = BTreeSet::new();
         for dep in &deps {
             if self.workers[widx].has_data.contains_key(dep) {
                 continue;
             }
-            let dep_rec = &self.tasks[dep];
-            // choose the lowest-indexed live holder
-            let holder = dep_rec
-                .who_has
-                .iter()
-                .copied()
-                .find(|&h| self.workers[h].alive)
-                .expect("runnable task has all inputs somewhere");
-            pending += 1;
-            actions.push(Action::Fetch {
-                dep: dep.clone(),
-                from: self.workers[holder].id,
-                to,
-                nbytes: dep_rec.nbytes.unwrap_or(0),
-            });
+            missing.insert(dep.clone());
+            match self.inflight.entry((widx, dep.clone())) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    // already being transferred for another task: join it
+                    e.get_mut().waiters.insert(key.clone());
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    let dep_rec = &self.tasks[dep];
+                    // choose the lowest-indexed live holder
+                    let holder = dep_rec
+                        .who_has
+                        .iter()
+                        .copied()
+                        .find(|&h| self.workers[h].alive)
+                        .expect("runnable task has all inputs somewhere");
+                    e.insert(Inflight {
+                        from: holder,
+                        waiters: std::iter::once(key.clone()).collect(),
+                    });
+                    actions.push(Action::Fetch {
+                        dep: dep.clone(),
+                        from: self.workers[holder].id,
+                        to,
+                        nbytes: dep_rec.nbytes.unwrap_or(0),
+                    });
+                }
+            }
         }
+        let pending = !missing.is_empty();
         {
             let rec = self.tasks.get_mut(key).expect("known task");
             rec.assigned = Some(widx);
-            rec.pending_fetches = pending;
+            rec.missing_deps = missing;
         }
-        if pending == 0 {
+        if !pending {
             let p = self.tasks[key].priority;
-            {
-                let tasks = &self.tasks;
-                let w = &mut self.workers[widx];
-                let pos =
-                    w.ready.iter().position(|k| tasks[k].priority > p).unwrap_or(w.ready.len());
-                w.ready.insert(pos, key.clone());
-            }
-            self.emit_worker_transition(key, widx, WorkerTaskState::Waiting, WorkerTaskState::Ready, now);
+            self.workers[widx].ready.insert((p, key.clone()));
+            self.emit_worker_transition(
+                key,
+                widx,
+                WorkerTaskState::Waiting,
+                WorkerTaskState::Ready,
+                now,
+            );
         } else {
             self.workers[widx].fetching.insert(key.clone());
-            self.emit_worker_transition(key, widx, WorkerTaskState::Waiting, WorkerTaskState::Fetch, now);
-            self.emit_worker_transition(key, widx, WorkerTaskState::Fetch, WorkerTaskState::Flight, now);
+            self.emit_worker_transition(
+                key,
+                widx,
+                WorkerTaskState::Waiting,
+                WorkerTaskState::Fetch,
+                now,
+            );
+            self.emit_worker_transition(
+                key,
+                widx,
+                WorkerTaskState::Fetch,
+                WorkerTaskState::Flight,
+                now,
+            );
         }
         actions
     }
@@ -482,44 +531,36 @@ impl Scheduler {
     // ------------------------------------------------------------------
 
     /// A dependency transfer finished: `dep`'s data is now also on `to`.
-    /// Returns tasks on `to` that became ready to execute.
-    pub fn fetch_done(&mut self, dep: &TaskKey, to: WorkerId, _now: Time) {
-        let widx = self.worker_index(to).expect("fetch target exists");
-        let nbytes = self.tasks[dep].nbytes.unwrap_or(0);
-        self.workers[widx].has_data.insert(dep.clone(), nbytes);
-        if !self.tasks[dep].who_has.contains(&widx) {
-            self.tasks.get_mut(dep).expect("dep known").who_has.push(widx);
+    /// Resolves the waiters registered under the `(to, dep)` in-flight
+    /// entry — no scan over the worker's fetching set. A replayed or stale
+    /// completion (no in-flight entry) still records the data but wakes
+    /// nobody, so it can never mark a task ready prematurely.
+    pub fn fetch_done(&mut self, dep: &TaskKey, to: WorkerId, now: Time) {
+        let Some(widx) = self.worker_index(to) else { return };
+        if self.workers[widx].alive {
+            let nbytes = self.tasks[dep].nbytes.unwrap_or(0);
+            self.workers[widx].has_data.insert(dep.clone(), nbytes);
+            self.tasks.get_mut(dep).expect("dep known").who_has.insert(widx);
         }
-        // any fetching task on this worker whose inputs are now all local?
-        let candidates: Vec<TaskKey> = self.workers[widx]
-            .fetching
-            .iter()
-            .filter(|k| self.tasks[*k].deps.contains(dep))
-            .cloned()
-            .collect();
-        for key in candidates {
-            let rec = self.tasks.get_mut(&key).expect("fetching task known");
-            rec.pending_fetches = rec.pending_fetches.saturating_sub(1);
-            if rec.pending_fetches == 0 {
+        let Some(flight) = self.inflight.remove(&(widx, dep.clone())) else { return };
+        for key in flight.waiters {
+            let Some(rec) = self.tasks.get_mut(&key) else { continue };
+            // the waiter may have been re-planned elsewhere meanwhile
+            if rec.assigned != Some(widx) {
+                continue;
+            }
+            rec.missing_deps.remove(dep);
+            if rec.missing_deps.is_empty() {
                 let p = rec.priority;
-                {
-                    let w = &mut self.workers[widx];
-                    w.fetching.remove(&key);
-                    let pos = {
-                        let tasks = &self.tasks;
-                        w.ready
-                            .iter()
-                            .position(|k| tasks[k].priority > p)
-                            .unwrap_or(w.ready.len())
-                    };
-                    w.ready.insert(pos, key.clone());
-                }
+                let w = &mut self.workers[widx];
+                w.fetching.remove(&key);
+                w.ready.insert((p, key.clone()));
                 self.emit_worker_transition(
                     &key,
                     widx,
                     WorkerTaskState::Flight,
                     WorkerTaskState::Ready,
-                    _now,
+                    now,
                 );
             }
         }
@@ -533,10 +574,16 @@ impl Scheduler {
         if !self.workers[widx].has_free_thread() {
             return None;
         }
-        let key = self.workers[widx].ready.pop_front()?;
+        let (_, key) = self.workers[widx].ready.pop_first()?;
         self.workers[widx].executing.insert(key.clone());
         self.start_order.push((key.clone(), now));
-        self.emit_worker_transition(&key, widx, WorkerTaskState::Ready, WorkerTaskState::Executing, now);
+        self.emit_worker_transition(
+            &key,
+            widx,
+            WorkerTaskState::Ready,
+            WorkerTaskState::Executing,
+            now,
+        );
         // worker-side observation of compute start
         let graph = self.tasks[&key].graph;
         let state = self.tasks[&key].state;
@@ -571,11 +618,23 @@ impl Scheduler {
         {
             let rec = self.tasks.get_mut(key).expect("known task");
             rec.nbytes = Some(nbytes);
-            rec.who_has.push(widx);
+            rec.who_has.insert(widx);
             rec.assigned = None;
         }
-        self.emit_worker_transition(key, widx, WorkerTaskState::Executing, WorkerTaskState::Memory, now);
-        self.emit_transition(key, TaskState::Memory, Stimulus::ComputeFinished, Location::Worker(worker), now);
+        self.emit_worker_transition(
+            key,
+            widx,
+            WorkerTaskState::Executing,
+            WorkerTaskState::Memory,
+            now,
+        );
+        self.emit_transition(
+            key,
+            TaskState::Memory,
+            Stimulus::ComputeFinished,
+            Location::Worker(worker),
+            now,
+        );
         let graph = self.tasks[key].graph;
         self.plugins.on_task_done(&TaskDoneEvent {
             key: key.clone(),
@@ -605,7 +664,7 @@ impl Scheduler {
     fn refill_from_queue(&mut self, now: Time) -> Vec<Action> {
         let mut actions = Vec::new();
         while !self.queued.is_empty() && !self.all_saturated() {
-            let key = self.queued.pop_front().expect("nonempty queue");
+            let (_, key) = self.queued.pop_first().expect("nonempty queue");
             actions.extend(self.dispatch(&key, now));
         }
         actions
@@ -669,7 +728,7 @@ impl Scheduler {
                 break;
             }
             // steal the lowest-priority (latest) ready task from the victim
-            let Some(key) = self.workers[victim].ready.pop_back() else { break };
+            let Some((_, key)) = self.workers[victim].ready.pop_last() else { break };
             self.steals += 1;
             let thief_id = self.workers[thief].id;
             self.emit_transition(
@@ -688,15 +747,29 @@ impl Scheduler {
     // Failure handling
     // ------------------------------------------------------------------
 
-    /// A worker died: re-plan everything it was running or holding.
-    /// Returns actions (fetches for re-dispatched tasks).
+    /// A worker died: re-plan everything it was running or holding, and
+    /// re-source or abandon the transfers it was serving to live workers.
+    /// Returns actions (fetches for re-dispatched tasks and re-issued
+    /// transfers).
     pub fn worker_died(&mut self, worker: WorkerId, now: Time) -> Vec<Action> {
         let Some(widx) = self.worker_index(worker) else { return Vec::new() };
         self.workers[widx].alive = false;
-        let executing: Vec<TaskKey> = std::mem::take(&mut self.workers[widx].executing).into_iter().collect();
-        let ready: Vec<TaskKey> = self.workers[widx].ready.drain(..).collect();
-        let fetching: Vec<TaskKey> = std::mem::take(&mut self.workers[widx].fetching).into_iter().collect();
-        let held: Vec<TaskKey> = std::mem::take(&mut self.workers[widx].has_data).into_keys().collect();
+        let executing: Vec<TaskKey> =
+            std::mem::take(&mut self.workers[widx].executing).into_iter().collect();
+        let ready: Vec<TaskKey> =
+            std::mem::take(&mut self.workers[widx].ready).into_iter().map(|(_, k)| k).collect();
+        let fetching: Vec<TaskKey> =
+            std::mem::take(&mut self.workers[widx].fetching).into_iter().collect();
+        let held: Vec<TaskKey> =
+            std::mem::take(&mut self.workers[widx].has_data).into_keys().collect();
+
+        // transfers TO the dead worker die with it; their waiters are
+        // exactly the dead worker's fetching tasks, re-planned below
+        let to_dead: Vec<(usize, TaskKey)> =
+            self.inflight.keys().filter(|(w, _)| *w == widx).cloned().collect();
+        for k in to_dead {
+            self.inflight.remove(&k);
+        }
 
         // outputs lost: remove replica; if it was the only one and the data
         // is still needed, the task must be recomputed
@@ -704,12 +777,11 @@ impl Scheduler {
         for key in held {
             {
                 let rec = self.tasks.get_mut(&key).expect("held task known");
-                rec.who_has.retain(|&w| w != widx);
+                rec.who_has.remove(&widx);
             }
             let rec = &self.tasks[&key];
             if rec.who_has.is_empty() && rec.state == TaskState::Memory {
-                let needed =
-                    rec.dependents.iter().any(|d| !self.tasks[d].state.is_terminal());
+                let needed = rec.dependents.iter().any(|d| !self.tasks[d].state.is_terminal());
                 if needed {
                     to_recompute.push(key);
                 }
@@ -718,13 +790,25 @@ impl Scheduler {
         let mut actions = Vec::new();
         for key in to_recompute {
             // Memory -> Released -> Waiting, then runnable again
-            self.emit_transition(&key, TaskState::Released, Stimulus::WorkerLost, Location::Scheduler, now);
-            self.emit_transition(&key, TaskState::Waiting, Stimulus::WorkerLost, Location::Scheduler, now);
+            self.emit_transition(
+                &key,
+                TaskState::Released,
+                Stimulus::WorkerLost,
+                Location::Scheduler,
+                now,
+            );
+            self.emit_transition(
+                &key,
+                TaskState::Waiting,
+                Stimulus::WorkerLost,
+                Location::Scheduler,
+                now,
+            );
             {
                 let rec = self.tasks.get_mut(&key).expect("known");
                 rec.nbytes = None;
                 rec.assigned = None;
-                rec.pending_fetches = 0;
+                rec.missing_deps.clear();
                 // recompute its unfinished deps (inputs may also be gone)
                 rec.unfinished_deps = 0;
             }
@@ -751,17 +835,77 @@ impl Scheduler {
         // in-flight work on the dead worker goes back to waiting and is
         // re-planned
         for key in executing.into_iter().chain(ready).chain(fetching) {
-            self.emit_transition(&key, TaskState::Waiting, Stimulus::WorkerLost, Location::Scheduler, now);
+            self.emit_transition(
+                &key,
+                TaskState::Waiting,
+                Stimulus::WorkerLost,
+                Location::Scheduler,
+                now,
+            );
             {
                 let rec = self.tasks.get_mut(&key).expect("known");
                 rec.assigned = None;
-                rec.pending_fetches = 0;
+                rec.missing_deps.clear();
             }
-            let ready_now = self.tasks[&key]
-                .deps
-                .iter()
-                .all(|d| self.tasks[d].state == TaskState::Memory);
+            let ready_now =
+                self.tasks[&key].deps.iter().all(|d| self.tasks[d].state == TaskState::Memory);
             if ready_now {
+                actions.extend(self.make_runnable(&key, now));
+            }
+        }
+        // transfers FROM the dead worker to live workers never complete:
+        // re-issue each from a surviving replica, or — when the last
+        // replica just died — abandon it and send its waiters back to
+        // waiting so the recompute path re-plans them. This pass runs last
+        // because the re-planning above may have joined tasks onto these
+        // very entries.
+        let from_dead: Vec<(usize, TaskKey)> =
+            self.inflight.iter().filter(|(_, f)| f.from == widx).map(|(k, _)| k.clone()).collect();
+        let mut orphans: BTreeSet<TaskKey> = BTreeSet::new();
+        for (to_widx, dep) in from_dead {
+            let new_holder =
+                self.tasks[&dep].who_has.iter().copied().find(|&h| self.workers[h].alive);
+            if let Some(holder) = new_holder {
+                let flight =
+                    self.inflight.get_mut(&(to_widx, dep.clone())).expect("entry collected above");
+                flight.from = holder;
+                actions.push(Action::Fetch {
+                    dep: dep.clone(),
+                    from: self.workers[holder].id,
+                    to: self.workers[to_widx].id,
+                    nbytes: self.tasks[&dep].nbytes.unwrap_or(0),
+                });
+            } else {
+                let flight = self.inflight.remove(&(to_widx, dep)).expect("entry collected above");
+                orphans.extend(flight.waiters);
+            }
+        }
+        for key in orphans {
+            let Some(rec) = self.tasks.get(&key) else { continue };
+            let Some(awidx) = rec.assigned else { continue };
+            self.workers[awidx].fetching.remove(&key);
+            // drop it from any other transfer it was waiting on; the
+            // transfers themselves proceed (arriving data is still recorded)
+            for flight in self.inflight.values_mut() {
+                flight.waiters.remove(&key);
+            }
+            self.emit_transition(
+                &key,
+                TaskState::Waiting,
+                Stimulus::WorkerLost,
+                Location::Scheduler,
+                now,
+            );
+            let deps = self.tasks[&key].deps.clone();
+            let unfinished =
+                deps.iter().filter(|d| self.tasks[*d].state != TaskState::Memory).count();
+            {
+                let rec = self.tasks.get_mut(&key).expect("known");
+                rec.assigned = None;
+                rec.missing_deps.clear();
+                rec.unfinished_deps = unfinished;
+            }
+            if unfinished == 0 {
                 actions.extend(self.make_runnable(&key, now));
             }
         }
@@ -769,7 +913,7 @@ impl Scheduler {
     }
 
     fn worker_index(&self, id: WorkerId) -> Option<usize> {
-        self.workers.iter().position(|w| w.id == id)
+        self.worker_index.get(&id).copied()
     }
 
     /// Consume the scheduler, returning its plugin set (end of run).
@@ -834,8 +978,7 @@ mod tests {
                 while let Some(key) = s.try_start(w, Time(t)) {
                     progressed = true;
                     t += 1;
-                    let more =
-                        s.task_finished(&key, w, ThreadId(1), Time(t - 1), Time(t), 100);
+                    let more = s.task_finished(&key, w, ThreadId(1), Time(t - 1), Time(t), 100);
                     actions.extend(more);
                 }
             }
@@ -896,7 +1039,8 @@ mod tests {
 
     #[test]
     fn dependency_on_remote_data_generates_fetch() {
-        let (mut s, collector) = sched(2, 1, SchedulerConfig { work_stealing: false, ..Default::default() });
+        let (mut s, collector) =
+            sched(2, 1, SchedulerConfig { work_stealing: false, ..Default::default() });
         // two roots land on different workers, join needs a fetch
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
@@ -913,10 +1057,8 @@ mod tests {
         actions.extend(s.task_finished(&k0, w0, ThreadId(1), Time(0), Time(1), 1000));
         actions.extend(s.task_finished(&k1, w1, ThreadId(1), Time(0), Time(1), 2000));
         // join was dispatched somewhere; one dep must be fetched
-        let fetches: Vec<&Action> = actions
-            .iter()
-            .filter(|a| matches!(a, Action::Fetch { .. }))
-            .collect();
+        let fetches: Vec<&Action> =
+            actions.iter().filter(|a| matches!(a, Action::Fetch { .. })).collect();
         assert_eq!(fetches.len(), 1, "exactly one remote dependency: {actions:?}");
         drive(&mut s, actions);
         assert_eq!(s.unfinished(), 0);
@@ -925,7 +1067,8 @@ mod tests {
 
     #[test]
     fn placement_prefers_data_locality_for_heavy_outputs() {
-        let (mut s, _c) = sched(2, 4, SchedulerConfig { work_stealing: false, ..Default::default() });
+        let (mut s, _c) =
+            sched(2, 4, SchedulerConfig { work_stealing: false, ..Default::default() });
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
         // 16 GB output: moving it costs far more than queueing behind peers
@@ -971,8 +1114,11 @@ mod tests {
 
     #[test]
     fn queuing_holds_tasks_when_saturated() {
-        let (mut s, collector) =
-            sched(1, 1, SchedulerConfig { queue_factor: 1.0, work_stealing: false, ..Default::default() });
+        let (mut s, collector) = sched(
+            1,
+            1,
+            SchedulerConfig { queue_factor: 1.0, work_stealing: false, ..Default::default() },
+        );
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
         for i in 0..5 {
@@ -981,11 +1127,7 @@ mod tests {
         let actions = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
         assert!(actions.is_empty());
         let events = collector.take();
-        let queued = events
-            .transitions
-            .iter()
-            .filter(|t| t.to == TaskState::Queued)
-            .count();
+        let queued = events.transitions.iter().filter(|t| t.to == TaskState::Queued).count();
         assert_eq!(queued, 4, "1 dispatched, 4 queued");
         drive(&mut s, Vec::new());
         assert_eq!(s.unfinished(), 0);
@@ -993,12 +1135,16 @@ mod tests {
 
     #[test]
     fn stealing_moves_backlog_to_idle_worker() {
-        let (mut s, collector) = sched(2, 1, SchedulerConfig {
-            work_stealing: true,
-            queue_factor: 100.0, // no scheduler-side queuing: eager dispatch
-            steal_backlog_per_thread: 1.0,
-            ..Default::default()
-        });
+        let (mut s, collector) = sched(
+            2,
+            1,
+            SchedulerConfig {
+                work_stealing: true,
+                queue_factor: 100.0, // no scheduler-side queuing: eager dispatch
+                steal_backlog_per_thread: 1.0,
+                ..Default::default()
+            },
+        );
         // a root chain pinned by locality to worker 0, then many children
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
@@ -1024,12 +1170,16 @@ mod tests {
 
     #[test]
     fn stealing_disabled_keeps_backlog() {
-        let (mut s, _c) = sched(2, 1, SchedulerConfig {
-            work_stealing: false,
-            queue_factor: 100.0,
-            steal_backlog_per_thread: 1.0,
-            ..Default::default()
-        });
+        let (mut s, _c) = sched(
+            2,
+            1,
+            SchedulerConfig {
+                work_stealing: false,
+                queue_factor: 100.0,
+                steal_backlog_per_thread: 1.0,
+                ..Default::default()
+            },
+        );
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
         let big = 32u64 << 30;
@@ -1049,7 +1199,8 @@ mod tests {
 
     #[test]
     fn worker_death_recovers_lost_outputs() {
-        let (mut s, collector) = sched(2, 2, SchedulerConfig { work_stealing: false, ..Default::default() });
+        let (mut s, collector) =
+            sched(2, 2, SchedulerConfig { work_stealing: false, ..Default::default() });
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
         let root = b.add_sim("root", tok, 0, vec![], SimAction::compute_only(Dur(1), 1 << 20));
@@ -1087,10 +1238,10 @@ mod tests {
         drive(&mut s, actions);
         assert_eq!(s.unfinished(), 0, "parked tasks recovered");
         let events = collector.take();
-        assert!(events
-            .transitions
-            .iter()
-            .any(|t| t.to == TaskState::NoWorker), "no-worker observed");
+        assert!(
+            events.transitions.iter().any(|t| t.to == TaskState::NoWorker),
+            "no-worker observed"
+        );
         assert_eq!(events.task_done.len(), 3);
     }
 
@@ -1101,6 +1252,174 @@ mod tests {
         plugins.register(Box::new(collector));
         let mut s = Scheduler::new(SchedulerConfig::default(), plugins);
         assert!(s.submit_graph(chain_graph(1), Time::ZERO).is_err());
+    }
+
+    /// Producers `d`, `g` (small outputs) land on w0/w1; `e` (huge) on w2.
+    /// Consumers pinned to w2 by `e`'s locality then share the small deps.
+    /// Returns `(sched, collector, d, g, e)` with all producers finished.
+    fn fetch_rig() -> (Scheduler, CollectorPlugin, TaskKey, TaskKey, TaskKey) {
+        let (mut s, collector) = sched(
+            3,
+            1,
+            SchedulerConfig { work_stealing: false, queue_factor: 100.0, ..Default::default() },
+        );
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        let d = b.add_sim("d", tok, 0, vec![], SimAction::compute_only(Dur(1), 1 << 10));
+        let g = b.add_sim("g", tok, 0, vec![], SimAction::compute_only(Dur(1), 1 << 10));
+        let e = b.add_sim("e", tok, 0, vec![], SimAction::compute_only(Dur(1), 32 << 30));
+        b.add_sim("t1", tok, 0, vec![e.clone(), d.clone()], SimAction::compute_only(Dur(1), 10));
+        b.add_sim(
+            "t2",
+            tok,
+            0,
+            vec![e.clone(), d.clone(), g.clone()],
+            SimAction::compute_only(Dur(1), 10),
+        );
+        let actions = s.submit_graph(b.build(&Set::new()).unwrap(), Time::ZERO).unwrap();
+        assert!(actions.is_empty(), "producers have no deps");
+        (s, collector, d, g, e)
+    }
+
+    /// Regression: two tasks on one worker sharing a missing dependency
+    /// must trigger exactly one transfer of it, and a duplicated (replayed)
+    /// completion must not mark a task ready while another of its deps is
+    /// still in flight. With the old counter bookkeeping the second arrival
+    /// of `d` decremented `t2`'s count for the still-missing `g`, starting
+    /// `t2` without its input (executor panic "dependency value resident").
+    #[test]
+    fn duplicate_fetch_completion_cannot_mark_ready_prematurely() {
+        let (mut s, _collector, d, g, e) = fetch_rig();
+        let (w0, w1, w2) = (s.worker_ids()[0], s.worker_ids()[1], s.worker_ids()[2]);
+        assert_eq!(s.try_start(w0, Time(0)).as_ref(), Some(&d));
+        assert_eq!(s.try_start(w1, Time(0)).as_ref(), Some(&g));
+        assert_eq!(s.try_start(w2, Time(0)).as_ref(), Some(&e));
+        let mut actions = s.task_finished(&d, w0, ThreadId(1), Time(0), Time(1), 1 << 10);
+        actions.extend(s.task_finished(&g, w1, ThreadId(1), Time(0), Time(1), 1 << 10));
+        // e's 32 GB output pins t1 {e,d} and t2 {e,d,g} to w2
+        actions.extend(s.task_finished(&e, w2, ThreadId(1), Time(0), Time(1), 32 << 30));
+        let (mut d_fetches, mut g_fetches) = (0, 0);
+        for a in &actions {
+            let Action::Fetch { dep, to, .. } = a;
+            assert_eq!(*to, w2, "all consumer inputs head for w2");
+            if *dep == d {
+                d_fetches += 1;
+            } else if *dep == g {
+                g_fetches += 1;
+            }
+        }
+        assert_eq!(
+            (d_fetches, g_fetches),
+            (1, 1),
+            "one transfer per (worker, dep): shared dep d must not be fetched twice: {actions:?}"
+        );
+        // d arrives twice (duplicate/replayed completion) before g arrives
+        s.fetch_done(&d, w2, Time(2));
+        s.fetch_done(&d, w2, Time(3));
+        let started = s.try_start(w2, Time(4)).expect("t1 has all inputs");
+        assert_eq!(started.prefix, "t1");
+        let _ = s.task_finished(&started, w2, ThreadId(1), Time(4), Time(5), 10);
+        // the thread is free again; only g's arrival may unblock t2
+        assert!(
+            s.try_start(w2, Time(5)).is_none(),
+            "t2 must stay in flight until g actually arrives"
+        );
+        s.fetch_done(&g, w2, Time(6));
+        let t2 = s.try_start(w2, Time(7)).expect("t2 ready once g arrived");
+        assert_eq!(t2.prefix, "t2");
+        let _ = s.task_finished(&t2, w2, ThreadId(1), Time(7), Time(8), 10);
+        assert_eq!(s.unfinished(), 0);
+    }
+
+    /// `who_has` is one entry per replica: completions and fetch arrivals
+    /// for the same worker must not accumulate duplicates (the old `Vec`
+    /// push in `task_finished` had no contains-check).
+    #[test]
+    fn who_has_stays_one_entry_per_replica() {
+        let (mut s, _collector, d, g, e) = fetch_rig();
+        let (w0, w1, w2) = (s.worker_ids()[0], s.worker_ids()[1], s.worker_ids()[2]);
+        assert_eq!(s.try_start(w0, Time(0)).as_ref(), Some(&d));
+        assert_eq!(s.try_start(w1, Time(0)).as_ref(), Some(&g));
+        assert_eq!(s.try_start(w2, Time(0)).as_ref(), Some(&e));
+        let mut actions = s.task_finished(&d, w0, ThreadId(1), Time(0), Time(1), 1 << 10);
+        actions.extend(s.task_finished(&g, w1, ThreadId(1), Time(0), Time(1), 1 << 10));
+        actions.extend(s.task_finished(&e, w2, ThreadId(1), Time(0), Time(1), 32 << 30));
+        // replayed completions for the same (dep, worker) pair
+        s.fetch_done(&d, w2, Time(2));
+        s.fetch_done(&d, w2, Time(3));
+        s.fetch_done(&g, w2, Time(4));
+        s.fetch_done(&g, w2, Time(4));
+        drive(&mut s, Vec::new());
+        assert_eq!(s.unfinished(), 0);
+        for (key, rec) in &s.tasks {
+            let replicas: Vec<usize> = rec.who_has.iter().copied().collect();
+            let mut deduped = replicas.clone();
+            deduped.dedup();
+            assert_eq!(replicas, deduped, "duplicate replica entry for {key}");
+            for &w in &rec.who_has {
+                assert!(
+                    s.workers[w].has_data.contains_key(key),
+                    "who_has of {key} lists worker {w} which does not hold it"
+                );
+            }
+        }
+    }
+
+    /// A transfer whose source dies mid-flight is re-issued from a
+    /// surviving replica; the waiting task completes without stalling in
+    /// `flight` forever.
+    #[test]
+    fn dead_fetch_source_reissues_from_surviving_replica() {
+        let (mut s, _collector, d, g, e) = fetch_rig();
+        let (w0, w1, w2) = (s.worker_ids()[0], s.worker_ids()[1], s.worker_ids()[2]);
+        assert_eq!(s.try_start(w0, Time(0)).as_ref(), Some(&d));
+        assert_eq!(s.try_start(w1, Time(0)).as_ref(), Some(&g));
+        assert_eq!(s.try_start(w2, Time(0)).as_ref(), Some(&e));
+        let _ = s.task_finished(&d, w0, ThreadId(1), Time(0), Time(1), 1 << 10);
+        let _ = s.task_finished(&g, w1, ThreadId(1), Time(0), Time(1), 1 << 10);
+        let actions = s.task_finished(&e, w2, ThreadId(1), Time(0), Time(1), 32 << 30);
+        assert_eq!(actions.len(), 2, "d and g head for w2");
+        // replicate d onto w1 so a second holder survives w0's death
+        s.fetch_done(&d, w1, Time(2));
+        // w0 dies while its transfer of d to w2 is still in flight
+        let recovery = s.worker_died(w0, Time(3));
+        let reissued: Vec<&Action> = recovery
+            .iter()
+            .filter(|a| {
+                matches!(a, Action::Fetch { dep, from, to, .. }
+                if dep == &d && *from == w1 && *to == w2)
+            })
+            .collect();
+        assert_eq!(reissued.len(), 1, "transfer re-issued from surviving replica: {recovery:?}");
+        // the original completion never arrives (source died); the
+        // re-issued one does
+        s.fetch_done(&d, w2, Time(4));
+        s.fetch_done(&g, w2, Time(5));
+        drive(&mut s, Vec::new());
+        assert_eq!(s.unfinished(), 0, "waiters must not stall in flight");
+    }
+
+    /// A transfer whose source dies holding the only replica: the waiters
+    /// go back to waiting and the recompute path re-plans everything.
+    #[test]
+    fn dead_fetch_source_without_replica_recomputes() {
+        let (mut s, collector, d, g, e) = fetch_rig();
+        let (w0, w1, w2) = (s.worker_ids()[0], s.worker_ids()[1], s.worker_ids()[2]);
+        assert_eq!(s.try_start(w0, Time(0)).as_ref(), Some(&d));
+        assert_eq!(s.try_start(w1, Time(0)).as_ref(), Some(&g));
+        assert_eq!(s.try_start(w2, Time(0)).as_ref(), Some(&e));
+        let _ = s.task_finished(&d, w0, ThreadId(1), Time(0), Time(1), 1 << 10);
+        let _ = s.task_finished(&g, w1, ThreadId(1), Time(0), Time(1), 1 << 10);
+        let _ = s.task_finished(&e, w2, ThreadId(1), Time(0), Time(1), 32 << 30);
+        // g's transfer (live source) completes; d's never will
+        s.fetch_done(&g, w2, Time(2));
+        // w0 dies holding the only replica of d; its transfer to w2 is lost
+        let recovery = s.worker_died(w0, Time(3));
+        drive(&mut s, recovery);
+        assert_eq!(s.unfinished(), 0, "recompute path must recover the waiters");
+        let done = collector.take().task_done;
+        let d_runs = done.iter().filter(|t| t.key == d).count();
+        assert_eq!(d_runs, 2, "d recomputed after its only replica died");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! sequential), execution, shutdown — and returns the fused [`RunData`].
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -21,9 +21,7 @@ use rand::Rng;
 
 use dtf_core::dist::{Exponential, Jitter, LogNormal, Sample};
 use dtf_core::error::{DtfError, Result};
-use dtf_core::events::{
-    CommEvent, LogEntry, LogLevel, LogSource, WarningEvent, WarningKind,
-};
+use dtf_core::events::{CommEvent, LogEntry, LogLevel, LogSource, WarningEvent, WarningKind};
 use dtf_core::ids::{ClientId, RunId, TaskKey, ThreadId, WorkerId};
 use dtf_core::provenance::WmsConfig;
 use dtf_core::rngx::RunRng;
@@ -32,8 +30,8 @@ use dtf_darshan::log::LogSet;
 use dtf_darshan::{DarshanRuntime, DxtConfig, InstrumentedPfs};
 use dtf_mofka::bedrock::BedrockConfig;
 use dtf_mofka::producer::ProducerConfig;
-use dtf_mofka::MofkaService;
 use dtf_mofka::ssg::SsgGroup;
+use dtf_mofka::MofkaService;
 use dtf_platform::job::{AllocPolicy, JobRequest, JobScheduler};
 use dtf_platform::{ClusterTopology, LoadProcess, NetworkConfig, NetworkModel, Pfs, PfsConfig};
 
@@ -207,6 +205,8 @@ pub struct SimCluster {
     topo: ClusterTopology,
     job: dtf_core::provenance::JobInfo,
     worker_ids: Vec<WorkerId>,
+    /// Worker id → index in `worker_ids` (the per-event lookup).
+    widx_of: HashMap<WorkerId, usize>,
     scheduler: Scheduler,
     net: NetworkModel,
     io: Vec<InstrumentedPfs>,
@@ -302,16 +302,15 @@ impl SimCluster {
             scheduler.add_worker(*w, cfg.wms.threads_per_worker);
         }
 
-        let slots = worker_ids
-            .iter()
-            .map(|_| vec![None; cfg.wms.threads_per_worker as usize])
-            .collect();
+        let slots =
+            worker_ids.iter().map(|_| vec![None; cfg.wms.threads_per_worker as usize]).collect();
         let n_workers = worker_ids.len();
         let compute_jitter = if cfg.compute_jitter_sigma > 0.0 {
             Jitter::new(cfg.compute_jitter_sigma, 3.0)
         } else {
             Jitter::none()
         };
+        let widx_of = worker_ids.iter().enumerate().map(|(i, w)| (*w, i)).collect();
         Ok(Self {
             ssg: SsgGroup::new("dask-workers", cfg.heartbeat_timeout),
             rng_io: rr.stream("io"),
@@ -322,6 +321,7 @@ impl SimCluster {
             topo,
             job,
             worker_ids,
+            widx_of,
             scheduler,
             net,
             io,
@@ -418,7 +418,9 @@ impl SimCluster {
                 }
                 Ev::FetchDone { dep, from, to, nbytes, start } => {
                     let widx = self.worker_index(to);
-                    if self.dead[widx] {
+                    if self.dead[widx] || self.dead[self.worker_index(from)] {
+                        // destination gone, or the source died mid-transfer
+                        // (the scheduler re-issued it from a live replica)
                         continue;
                     }
                     self.scheduler.plugins_mut().on_comm(&CommEvent {
@@ -440,9 +442,8 @@ impl SimCluster {
                     self.slots[worker][slot] = None;
                     let wid = self.worker_ids[worker];
                     let thread = ThreadId::synth(wid, slot as u32);
-                    let actions = self
-                        .scheduler
-                        .task_finished(&key, wid, thread, start, self.now, nbytes);
+                    let actions =
+                        self.scheduler.task_finished(&key, wid, thread, start, self.now, nbytes);
                     self.process_actions(actions);
                     self.last_done = self.now;
                     tasks_outstanding = tasks_outstanding.saturating_sub(1);
@@ -455,10 +456,7 @@ impl SimCluster {
                                 && workflow.submit == SubmitPolicy::Sequential
                                 && submitted < total_graphs
                             {
-                                self.push(
-                                    self.now + workflow.inter_graph,
-                                    Ev::Submit(submitted),
-                                );
+                                self.push(self.now + workflow.inter_graph, Ev::Submit(submitted));
                             }
                         }
                     }
@@ -486,8 +484,7 @@ impl SimCluster {
                 }
                 Ev::FaultCheck => {
                     for addr in self.ssg.evict_suspects(self.now) {
-                        if let Some(widx) =
-                            self.worker_ids.iter().position(|w| w.address() == addr)
+                        if let Some(widx) = self.worker_ids.iter().position(|w| w.address() == addr)
                         {
                             self.log(
                                 LogLevel::Warning,
@@ -542,7 +539,7 @@ impl SimCluster {
     }
 
     fn worker_index(&self, id: WorkerId) -> usize {
-        self.worker_ids.iter().position(|w| *w == id).expect("known worker")
+        *self.widx_of.get(&id).expect("known worker")
     }
 
     fn process_actions(&mut self, actions: Vec<Action>) {
@@ -681,11 +678,8 @@ impl SimCluster {
         for rt in &self.runtimes {
             rt.clear_sink(); // drops (and thereby flushes) online producers
         }
-        let logs: Vec<_> = self
-            .runtimes
-            .iter()
-            .map(|rt| rt.finalize(self.cfg.run, self.job.job_id))
-            .collect();
+        let logs: Vec<_> =
+            self.runtimes.iter().map(|rt| rt.finalize(self.cfg.run, self.job.job_id)).collect();
         let darshan = LogSet::new(logs);
         let chart = dtf_platform::sysprov::capture_chart(
             &self.topo,
@@ -790,14 +784,16 @@ mod tests {
 
     #[test]
     fn different_runs_vary() {
-        let a = SimCluster::new(SimConfig { campaign_seed: 7, run: RunId(0), ..Default::default() })
-            .unwrap()
-            .run(small_workflow(true))
-            .unwrap();
-        let b = SimCluster::new(SimConfig { campaign_seed: 7, run: RunId(1), ..Default::default() })
-            .unwrap()
-            .run(small_workflow(true))
-            .unwrap();
+        let a =
+            SimCluster::new(SimConfig { campaign_seed: 7, run: RunId(0), ..Default::default() })
+                .unwrap()
+                .run(small_workflow(true))
+                .unwrap();
+        let b =
+            SimCluster::new(SimConfig { campaign_seed: 7, run: RunId(1), ..Default::default() })
+                .unwrap()
+                .run(small_workflow(true))
+                .unwrap();
         assert_ne!(a.wall_time, b.wall_time, "runs should exhibit variability");
     }
 
@@ -829,7 +825,13 @@ mod tests {
         let mut b = GraphBuilder::new(GraphId(0));
         let tok = b.new_token();
         for i in 0..80 {
-            b.add_sim("slow", tok, i, vec![], SimAction::compute_only(Dur::from_secs_f64(4.0), 100));
+            b.add_sim(
+                "slow",
+                tok,
+                i,
+                vec![],
+                SimAction::compute_only(Dur::from_secs_f64(4.0), 100),
+            );
         }
         let wf = SimWorkflow {
             name: "death".into(),
@@ -840,10 +842,8 @@ mod tests {
             shutdown: Dur::ZERO,
             dataset: vec![],
         };
-        let cfg = SimConfig {
-            worker_death: Some((0, Time::from_secs_f64(2.5))),
-            ..Default::default()
-        };
+        let cfg =
+            SimConfig { worker_death: Some((0, Time::from_secs_f64(2.5))), ..Default::default() };
         let sim = SimCluster::new(cfg).unwrap();
         let data = sim.run(wf).unwrap();
         assert_eq!(data.distinct_tasks(), 80);
@@ -895,7 +895,12 @@ mod tests {
 
     #[test]
     fn config_roundtrips_through_json() {
-        let mut cfg = SimConfig { worker_nodes: 4, mofka_batch: 7, online_darshan: true, ..Default::default() };
+        let mut cfg = SimConfig {
+            worker_nodes: 4,
+            mofka_batch: 7,
+            online_darshan: true,
+            ..Default::default()
+        };
         cfg.scheduler.work_stealing = false;
         let json = cfg.to_json();
         let back = SimConfig::from_json(&json).unwrap();
@@ -914,7 +919,13 @@ mod tests {
             let mut b = GraphBuilder::new(GraphId(g));
             let tok = b.new_token();
             for i in 0..4 {
-                b.add_sim("step", tok, i, vec![], SimAction::compute_only(Dur::from_millis_f64(10.0), 10));
+                b.add_sim(
+                    "step",
+                    tok,
+                    i,
+                    vec![],
+                    SimAction::compute_only(Dur::from_millis_f64(10.0), 10),
+                );
             }
             let built = b.build(&ext).unwrap();
             for t in &built.tasks {

@@ -254,11 +254,8 @@ mod tests {
 
     #[test]
     fn range_of_empty_result_is_zero() {
-        let result = CampaignResult {
-            workload: Workload::ResNet152,
-            summaries: vec![],
-            first: None,
-        };
+        let result =
+            CampaignResult { workload: Workload::ResNet152, summaries: vec![], first: None };
         assert_eq!(result.range(|s| s.io_ops), (0, 0));
         assert_eq!(result.mean_wall(), Dur::ZERO);
     }

@@ -31,7 +31,11 @@ pub const CHUNK: u64 = 4 << 20;
 /// 3 phases + 453 store writes = 5283 I/O ops, centred in Table I's
 /// 5274–5287 band.
 pub fn chunks_of(img: u32) -> u64 {
-    if img % 3 == 2 { 10 } else { 11 }
+    if img % 3 == 2 {
+        10
+    } else {
+        11
+    }
 }
 
 /// Spatial chunks each loaded image is split into by `normalize`.
@@ -117,7 +121,18 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
     for img in 0..IMAGES {
         let read = imread(&mut g0, t_read0, img, stragglers[img as usize]);
         let norms: Vec<TaskKey> = (0..NORM_CHUNKS)
-            .map(|c| chunk_task(&mut g0, "normalize", t_norm, img, c, NORM_CHUNKS, vec![read.clone()], 850.0))
+            .map(|c| {
+                chunk_task(
+                    &mut g0,
+                    "normalize",
+                    t_norm,
+                    img,
+                    c,
+                    NORM_CHUNKS,
+                    vec![read.clone()],
+                    850.0,
+                )
+            })
             .collect();
         let mut grays = Vec::new();
         for c in 0..SEG_CHUNKS {
@@ -144,8 +159,20 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
     }
     // a couple of collection-level finalize tasks (graph metadata barriers)
     let t_fin0 = g0.new_token();
-    g0.add_sim("finalize", t_fin0, 0, vec![], SimAction::compute_only(Dur::from_millis_f64(30.0), 64));
-    g0.add_sim("finalize", t_fin0, 1, vec![], SimAction::compute_only(Dur::from_millis_f64(30.0), 64));
+    g0.add_sim(
+        "finalize",
+        t_fin0,
+        0,
+        vec![],
+        SimAction::compute_only(Dur::from_millis_f64(30.0), 64),
+    );
+    g0.add_sim(
+        "finalize",
+        t_fin0,
+        1,
+        vec![],
+        SimAction::compute_only(Dur::from_millis_f64(30.0), 64),
+    );
 
     // --- graph 1: imread -> gaussian_filter -> store (writes small images)
     let mut g1 = GraphBuilder::new(GraphId(1));
@@ -156,7 +183,16 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
         let read = imread(&mut g1, t_read1, img, stragglers[(IMAGES + img) as usize]);
         let mut parts = Vec::new();
         for c in 0..NORM_CHUNKS {
-            parts.push(chunk_task(&mut g1, "gaussian_filter", t_gauss, img, c, NORM_CHUNKS, vec![read.clone()], 950.0));
+            parts.push(chunk_task(
+                &mut g1,
+                "gaussian_filter",
+                t_gauss,
+                img,
+                c,
+                NORM_CHUNKS,
+                vec![read.clone()],
+                950.0,
+            ));
         }
         // one small write per image into the shared store (few KB)
         let write_size = 8 * 1024 + (img as u64 % 7) * 1024;
@@ -174,7 +210,13 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
         );
     }
     let t_fin1 = g1.new_token();
-    g1.add_sim("finalize", t_fin1, 0, vec![], SimAction::compute_only(Dur::from_millis_f64(30.0), 64));
+    g1.add_sim(
+        "finalize",
+        t_fin1,
+        0,
+        vec![],
+        SimAction::compute_only(Dur::from_millis_f64(30.0), 64),
+    );
 
     // --- graph 2: imread -> segmentation -> store (writes small masks)
     let mut g2 = GraphBuilder::new(GraphId(2));
@@ -185,7 +227,16 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
         let read = imread(&mut g2, t_read2, img, stragglers[(2 * IMAGES + img) as usize]);
         let mut parts = Vec::new();
         for c in 0..SEG_CHUNKS {
-            parts.push(chunk_task(&mut g2, "segmentation", t_seg, img, c, SEG_CHUNKS, vec![read.clone()], 1200.0));
+            parts.push(chunk_task(
+                &mut g2,
+                "segmentation",
+                t_seg,
+                img,
+                c,
+                SEG_CHUNKS,
+                vec![read.clone()],
+                1200.0,
+            ));
         }
         let write_size = 4 * 1024 + (img as u64 % 5) * 1024;
         g2.add_sim(
@@ -202,7 +253,13 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
         );
     }
     let t_fin2 = g2.new_token();
-    g2.add_sim("finalize", t_fin2, 0, vec![], SimAction::compute_only(Dur::from_millis_f64(30.0), 64));
+    g2.add_sim(
+        "finalize",
+        t_fin2,
+        0,
+        vec![],
+        SimAction::compute_only(Dur::from_millis_f64(30.0), 64),
+    );
 
     let external = std::collections::HashSet::new();
     SimWorkflow {

@@ -50,7 +50,7 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
     // per-run loader readahead: node memory pressure changes the image
     // decoder's read batching run to run, which is what varies the traced
     // I/O count under the fixed DXT budget (paper Table I: 2057-2302)
-    let readahead: u64 = [96 * 1024, 128 * 1024, 160 * 1024][rng.gen_range(0..3)];
+    let readahead: u64 = [96 * 1024, 128 * 1024, 160 * 1024][rng.gen_range(0..3usize)];
 
     let mut g = GraphBuilder::new(dtf_core::ids::GraphId(0));
     let t_load = g.new_token();

@@ -54,7 +54,7 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
     // 867-1670 I/O range across runs
     let base_reads: i64 = rng.gen_range(15..=26);
     let reads_per_file: Vec<u64> =
-        (0..FILES).map(|_| (base_reads + rng.gen_range(-1..=1)) as u64).collect();
+        (0..FILES).map(|_| (base_reads + rng.gen_range(-1i64..=1)) as u64).collect();
 
     let mut graphs = Vec::new();
     let mut external: std::collections::HashSet<TaskKey> = std::collections::HashSet::new();
@@ -268,8 +268,7 @@ pub fn build<R: Rng + ?Sized>(rng: &mut R) -> SimWorkflow {
     let mut gg = GraphBuilder::new(GraphId(6 + OP_GRAPHS));
     let t_gather = gg.new_token();
     for i in 0..10u32 {
-        let deps: Vec<TaskKey> =
-            preds.iter().skip(i as usize * 4).take(5).cloned().collect();
+        let deps: Vec<TaskKey> = preds.iter().skip(i as usize * 4).take(5).cloned().collect();
         gg.add_sim(
             "gather-metrics",
             t_gather,
@@ -383,12 +382,8 @@ mod tests {
         let wf = build(&mut rng);
         let g0_keys: std::collections::HashSet<&TaskKey> =
             wf.graphs[0].tasks.iter().map(|t| &t.key).collect();
-        let refs = wf.graphs[1]
-            .tasks
-            .iter()
-            .flat_map(|t| &t.deps)
-            .filter(|d| g0_keys.contains(d))
-            .count();
+        let refs =
+            wf.graphs[1].tasks.iter().flat_map(|t| &t.deps).filter(|d| g0_keys.contains(d)).count();
         assert!(refs > 0, "repartition must consume read outputs");
     }
 
@@ -396,12 +391,8 @@ mod tests {
     fn category_mix_matches_fig6() {
         let mut rng = SmallRng::seed_from_u64(5);
         let wf = build(&mut rng);
-        let prefixes: std::collections::HashSet<String> = wf
-            .graphs
-            .iter()
-            .flat_map(|g| &g.tasks)
-            .map(|t| t.key.prefix.clone())
-            .collect();
+        let prefixes: std::collections::HashSet<String> =
+            wf.graphs.iter().flat_map(|g| &g.tasks).map(|t| t.key.prefix.clone()).collect();
         for expected in [
             "read_parquet-fused-assign",
             "getitem",

@@ -29,13 +29,16 @@ fn main() {
         workflow.graphs.iter().map(|g| g.len()).sum::<usize>(),
         workflow.dataset.len()
     );
-    let data = SimCluster::new(cfg).expect("cluster allocates").run(workflow).expect("run completes");
+    let data =
+        SimCluster::new(cfg).expect("cluster allocates").run(workflow).expect("run completes");
 
-    println!("wall time {:.1}s, {} I/O ops, {} comms, {} warnings",
+    println!(
+        "wall time {:.1}s, {} I/O ops, {} comms, {} warnings",
         data.wall_time.as_secs_f64(),
         data.io_ops(),
         data.comm_count(),
-        data.warnings.len());
+        data.warnings.len()
+    );
 
     // Fig. 4: burst-phase detection over the fused Darshan trace
     let sig = io_timeline::signature(&data, 2.0);

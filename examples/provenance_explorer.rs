@@ -35,8 +35,7 @@ fn main() {
         .take(2)
         .collect();
     if keys.is_empty() {
-        let mut prefixes: Vec<&str> =
-            data.meta.iter().map(|m| m.key.prefix.as_str()).collect();
+        let mut prefixes: Vec<&str> = data.meta.iter().map(|m| m.key.prefix.as_str()).collect();
         prefixes.sort_unstable();
         prefixes.dedup();
         println!("no tasks with prefix '{prefix}'; available: {prefixes:?}");
@@ -62,7 +61,9 @@ fn main() {
         println!("  locations in distributed memory:");
         for loc in &l.locations {
             match loc.thread {
-                Some(t) => println!("    {} (computed on thread {t}) since {}", loc.worker, loc.since),
+                Some(t) => {
+                    println!("    {} (computed on thread {t}) since {}", loc.worker, loc.since)
+                }
                 None => println!("    {} (replica via transfer) since {}", loc.worker, loc.since),
             }
         }

@@ -68,8 +68,7 @@ fn main() {
             done.duration().as_millis_f64()
         );
     }
-    let workers: std::collections::HashSet<_> =
-        events.task_done.iter().map(|d| d.worker).collect();
+    let workers: std::collections::HashSet<_> = events.task_done.iter().map(|d| d.worker).collect();
     println!("  distinct workers used : {}", workers.len());
     let _ = Arc::strong_count(&result);
 }

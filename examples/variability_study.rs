@@ -41,14 +41,8 @@ fn main() {
     // were tasks scheduled in the same order run to run? (§IV-D)
     let orders: Vec<_> = result.summaries.iter().filter_map(|s| s.start_order.clone()).collect();
     let m = schedule_order::pairwise(&orders, 300);
-    println!(
-        "\nscheduling-order similarity (pairwise Kendall tau over {} runs):",
-        m.runs
-    );
-    println!(
-        "  mean {:.3}  min {:.3}  max {:.3}",
-        m.summary.mean, m.summary.min, m.summary.max
-    );
+    println!("\nscheduling-order similarity (pairwise Kendall tau over {} runs):", m.runs);
+    println!("  mean {:.3}  min {:.3}  max {:.3}", m.summary.mean, m.summary.min, m.summary.max);
     assert!(m.summary.mean > 0.5, "submission priority keeps orders similar");
     println!("\n  -> same code, same configuration, never the same schedule: the");
     println!("     dynamicity the paper identifies as a source of irreproducibility.");

@@ -96,24 +96,16 @@ fn interference_increases_io_time_variability() {
     let mean_io = |interference: bool| {
         let mut total = 0.0;
         for run in 0..4 {
-            let cfg = SimConfig {
-                campaign_seed: 5,
-                run: RunId(run),
-                interference,
-                ..Default::default()
-            };
-            let data =
-                SimCluster::new(cfg).unwrap().run(long_workflow(64, 0.2, true)).unwrap();
+            let cfg =
+                SimConfig { campaign_seed: 5, run: RunId(run), interference, ..Default::default() };
+            let data = SimCluster::new(cfg).unwrap().run(long_workflow(64, 0.2, true)).unwrap();
             total += data.io_time().as_secs_f64();
         }
         total / 4.0
     };
     let quiet = mean_io(false);
     let noisy = mean_io(true);
-    assert!(
-        noisy > quiet,
-        "background interference should increase I/O time ({noisy} vs {quiet})"
-    );
+    assert!(noisy > quiet, "background interference should increase I/O time ({noisy} vs {quiet})");
 }
 
 #[test]

@@ -73,10 +73,7 @@ fn live_consumer_sees_events_during_the_run() {
     cluster.shutdown();
 
     assert_eq!(total_seen, 40, "in-situ + post-hoc consumption covers every event");
-    assert!(
-        live_seen > 0,
-        "the analyst observed completions while the workflow was still live"
-    );
+    assert!(live_seen > 0, "the analyst observed completions while the workflow was still live");
 
     // a second, fresh consumer group replays everything post-hoc
     let mut replay = svc

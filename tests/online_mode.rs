@@ -29,11 +29,8 @@ fn online_streaming_bypasses_dxt_truncation() {
     // to Mofka at capture time
     let data = resnet_run(dtf::workflows::resnet::dxt_config(), true);
     assert!(data.darshan.any_truncated(), "DXT logs are still truncated");
-    let online_data_ops = data
-        .online_io
-        .iter()
-        .filter(|r| matches!(r.op, IoOp::Read | IoOp::Write))
-        .count() as u64;
+    let online_data_ops =
+        data.online_io.iter().filter(|r| matches!(r.op, IoOp::Read | IoOp::Write)).count() as u64;
     // the online stream saw *every* operation the counters saw
     assert_eq!(online_data_ops, data.io_ops_complete());
     assert!(online_data_ops > data.io_ops(), "more than the truncated trace");
@@ -62,18 +59,9 @@ fn adaptive_capture_keeps_run_tail_under_pressure() {
     // truncation loses the tail of the run: the last traced operation is
     // far before the last actual one; adaptive sampling covers the tail
     let last = |d: &dtf::wms::RunData| {
-        d.darshan
-            .all_records()
-            .map(|r| r.stop)
-            .max()
-            .expect("records exist")
-            .as_secs_f64()
+        d.darshan.all_records().map(|r| r.stop).max().expect("records exist").as_secs_f64()
     };
-    let complete_end = truncate
-        .task_done
-        .iter()
-        .map(|t| t.stop.as_secs_f64())
-        .fold(0.0, f64::max);
+    let complete_end = truncate.task_done.iter().map(|t| t.stop.as_secs_f64()).fold(0.0, f64::max);
     let t_last = last(&truncate);
     let a_last = last(&adaptive);
     assert!(a_last > t_last, "adaptive trace extends later ({a_last:.1} vs {t_last:.1})");

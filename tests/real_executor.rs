@@ -16,11 +16,7 @@ fn collector_cluster(workers: u32, threads: u32) -> (LocalCluster, CollectorPlug
     let mut plugins = PluginSet::new();
     plugins.register(Box::new(collector.clone()));
     let cluster = LocalCluster::start(
-        ExecConfig {
-            workers,
-            threads_per_worker: threads,
-            scheduler: SchedulerConfig::default(),
-        },
+        ExecConfig { workers, threads_per_worker: threads, scheduler: SchedulerConfig::default() },
         plugins,
     );
     (cluster, collector)
@@ -31,9 +27,8 @@ fn two_level_reduction_computes_correctly() {
     let (cluster, collector) = collector_cluster(3, 2);
     let mut client = Delayed::new(&cluster);
     // 60 leaves -> 6 partial sums -> 1 total
-    let leaves: Vec<TaskKey> = (0..60i64)
-        .map(|i| client.delayed("leaf", vec![], move |_| TaskValue::new(i, 8)))
-        .collect();
+    let leaves: Vec<TaskKey> =
+        (0..60i64).map(|i| client.delayed("leaf", vec![], move |_| TaskValue::new(i, 8))).collect();
     let partials: Vec<TaskKey> = leaves
         .chunks(10)
         .map(|chunk| {
@@ -126,10 +121,7 @@ fn many_small_graphs_chain_like_xgboost() {
     for step in 0..20u64 {
         let deps: Vec<TaskKey> = prev.iter().cloned().collect();
         let key = client.delayed("step", deps, move |inputs| {
-            let base = inputs
-                .first()
-                .map(|d| *d.downcast_ref::<u64>().unwrap())
-                .unwrap_or(0);
+            let base = inputs.first().map(|d| *d.downcast_ref::<u64>().unwrap()).unwrap_or(0);
             TaskValue::new(base + step, 8)
         });
         client.compute().unwrap(); // one graph per step, like xgboost's 74
@@ -149,9 +141,7 @@ fn many_small_graphs_chain_like_xgboost() {
 fn values_larger_than_threshold_still_pass_between_workers() {
     let (cluster, _collector) = collector_cluster(2, 1);
     let mut client = Delayed::new(&cluster);
-    let big = client.delayed("big", vec![], |_| {
-        TaskValue::new(vec![7u8; 1 << 20], 1 << 20)
-    });
+    let big = client.delayed("big", vec![], |_| TaskValue::new(vec![7u8; 1 << 20], 1 << 20));
     let len = client.delayed("len", vec![big], |deps| {
         let v = deps[0].downcast_ref::<Vec<u8>>().unwrap();
         TaskValue::new(v.len() as u64, 8)

@@ -1,0 +1,157 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the same surface the workspace benches use
+//! (`criterion_group!` / `criterion_main!` / `Criterion` /
+//! `benchmark_group` / `Bencher::iter` / `Throughput`) with a simple
+//! wall-clock measurement loop: warm up, pick an iteration count that
+//! targets a fixed measurement window, then report the mean time per
+//! iteration (and throughput when configured).
+
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 100_000;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the total elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibration pass: one iteration to estimate the per-iter cost.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters =
+        (MEASURE_WINDOW.as_nanos() / per_iter.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            format!("  ({rate:.0} elem/s)")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+            format!("  ({rate:.1} MiB/s)")
+        }
+        None => String::new(),
+    };
+    println!("{name:<60} {:>14}/iter  x{iters}{extra}", format_ns(mean_ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10).throughput(Throughput::Elements(100));
+        g.bench_function("inner", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,384 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro,
+//! `any::<T>()`, range / tuple / string-regex / `Just` / `prop_map` /
+//! `prop_oneof!` strategies, `proptest::collection::vec`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Cases are generated from a seed derived from the test name, so runs
+//! are deterministic. There is no shrinking: a failing case fails the
+//! test with the plain assertion message.
+
+#![allow(clippy::all)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+#[doc(hidden)]
+pub fn rng_for(test_name: &str) -> SmallRng {
+    // FNV-1a over the test name: deterministic per test, differs between
+    // tests so sibling properties don't see correlated inputs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+// ------------------------------------------------------------- strategies
+
+/// A generator of values of type [`Strategy::Value`].
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, func: f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for "any value of T" via the `rand` Standard distribution.
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T>() -> Any<T>
+where
+    rand::Standard: rand::Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    rand::Standard: rand::Distribution<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+/// `lo..hi` draws uniformly from the half-open range.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Tuples of strategies generate tuples of values.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// String strategies from a tiny regex subset: `[class]{m,n}` (or `{m}`),
+/// where the class holds literal chars and `a-z` style ranges.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let (alphabet, min, max) = parse_simple_regex(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (stub supports `[class]{{m,n}}`)")
+        });
+        let len = rng.gen_range(min..=max);
+        (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+    }
+}
+
+fn parse_simple_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in lo..=hi {
+                alphabet.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let reps = &rest[close + 1..];
+    if reps.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let reps = reps.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match reps.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((alphabet, min, max))
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives — built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Fn(&mut SmallRng) -> T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Fn(&mut SmallRng) -> T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        (self.arms[idx])(rng)
+    }
+}
+
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `Vec` strategy with a uniformly chosen length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+// ----------------------------------------------------------------- macros
+
+/// Property-test harness: runs the body `cases` times over generated
+/// inputs. The `#[test]` attribute written inside the block is forwarded
+/// verbatim, matching real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut proptest_rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut proptest_rng);)+
+                    { $body }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold. (The real
+/// proptest retries; the stub simply runs one fewer case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(
+                {
+                    let strat = $strat;
+                    Box::new(move |rng: &mut $crate::__SmallRng| {
+                        $crate::Strategy::generate(&strat, rng)
+                    }) as Box<dyn Fn(&mut $crate::__SmallRng) -> _>
+                }
+            ),+
+        ])
+    };
+}
+
+#[doc(hidden)]
+pub use rand::rngs::SmallRng as __SmallRng;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..9, f in -2.0f64..2.0, s in "[a-z0-9]{0,12}") {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn tuples_and_vecs(ops in crate::collection::vec((0u8..4, any::<u8>()), 1..20)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+            prop_assert!(ops.iter().all(|(op, _)| *op < 4));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_arms() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum V {
+            A,
+            B(bool),
+            S(String),
+        }
+        let strat =
+            prop_oneof![Just(V::A), any::<bool>().prop_map(V::B), "[a-z_]{1,20}".prop_map(V::S),];
+        let mut rng = crate::rng_for("oneof_and_map_cover_arms");
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                V::A => saw[0] = true,
+                V::B(_) => saw[1] = true,
+                V::S(s) => {
+                    assert!((1..=20).contains(&s.len()));
+                    saw[2] = true;
+                }
+            }
+        }
+        assert!(saw.iter().all(|&b| b), "all arms exercised");
+    }
+}

@@ -1,0 +1,359 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's format-generic visitor data model, this stub
+//! serializes directly into a JSON value tree ([`Value`]) — the only
+//! format the workspace uses (via the sibling `serde_json` facade, which
+//! re-exports the tree plus the text parser/printer defined here).
+//!
+//! `#[derive(Serialize, Deserialize)]` works through the sibling
+//! `serde_derive` stub and targets the [`Serialize::to_content`] /
+//! [`Deserialize::from_content`] methods below.
+
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Error, Number, Value};
+
+#[doc(hidden)]
+pub mod json_impl {
+    //! Machinery re-exported by the `serde_json` facade crate.
+    pub use crate::value::{
+        from_slice, from_str, from_value, to_string, to_string_pretty, to_value, to_vec, Error,
+        Number, Value,
+    };
+}
+
+/// Serialize into the JSON value tree.
+pub trait Serialize {
+    fn to_content(&self) -> Value;
+}
+
+/// Deserialize from the JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_content(v: &Value) -> Result<Self, Error>;
+}
+
+// ----------------------------------------------------- blanket references
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        T::from_content(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+
+// -------------------------------------------------------------- integers
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::type_mismatch(stringify!($t), "unsigned integer", v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::type_mismatch(stringify!($t), "integer", v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------- floats
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F64(*self))
+        } else {
+            // JSON has no NaN/Inf; serde_json renders them as null
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::type_mismatch("f64", "number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Value {
+        (*self as f64).to_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        f64::from_content(v).map(|f| f as f32)
+    }
+}
+
+// -------------------------------------------------------- bool / strings
+
+impl Serialize for bool {
+    fn to_content(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", "boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("String", "string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        let s = String::from_content(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------- Option / containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_content(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::type_mismatch("Vec", "array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Value {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_content(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+/// Maps: string-keyed maps serialize as JSON objects; any other key type
+/// serializes as an array of `[key, value]` pairs (real serde_json would
+/// stringify the key — the pair form round-trips without key parsing).
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Value {
+        let pairs: Vec<(Value, Value)> =
+            self.iter().map(|(k, v)| (k.to_content(), v.to_content())).collect();
+        if pairs.iter().all(|(k, _)| matches!(k, Value::String(_))) {
+            Value::Object(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Value::String(s) => (s, v),
+                        _ => unreachable!("checked all-string keys"),
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Array(pairs.into_iter().map(|(k, v)| Value::Array(vec![k, v])).collect())
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_content(&Value::String(k.clone()))?;
+                    Ok((key, V::from_content(v)?))
+                })
+                .collect(),
+            Value::Array(pairs) => pairs
+                .iter()
+                .map(|pair| {
+                    let (k, v) = <(Value, Value)>::from_content(pair)?;
+                    Ok((K::from_content(&k)?, V::from_content(&v)?))
+                })
+                .collect(),
+            other => Err(Error::type_mismatch("BTreeMap", "object or pair array", other)),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_content(&self) -> Value {
+        // sort for deterministic output, matching BTreeMap/serde_json
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(entries.into_iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                m.iter().map(|(k, v)| V::from_content(v).map(|v| (k.clone(), v))).collect()
+            }
+            other => Err(Error::type_mismatch("HashMap", "object", other)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- tuples
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::type_mismatch("tuple", "array", v))?;
+                let expected = [$($idx),+].len();
+                if a.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of length {expected}, got {}",
+                        a.len()
+                    )));
+                }
+                Ok(($($t::from_content(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// Value itself round-trips trivially.
+impl Serialize for Value {
+    fn to_content(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

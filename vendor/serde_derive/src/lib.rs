@@ -1,0 +1,476 @@
+//! Offline stand-in for `serde_derive`, written against the raw
+//! `proc_macro` API (no syn/quote available in this container).
+//!
+//! Supports the shapes this workspace uses:
+//! - named-field structs (serialized as JSON objects)
+//! - tuple structs with one field (newtype: serialized transparently)
+//! - tuple structs with several fields (serialized as arrays)
+//! - enums of unit variants (`"Variant"`), one-field newtype variants
+//!   (`{"Variant": value}`), and struct variants
+//!   (`{"Variant": {fields...}}`) — serde's external tagging
+//! - field attributes `#[serde(skip_serializing_if = "path")]` and
+//!   `#[serde(default = "path")]`
+//!
+//! Generics are not supported (none of the workspace types need them).
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Field {
+    name: String,
+    is_option: bool,
+    skip_serializing_if: Option<String>,
+    default_fn: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    /// Exactly one unnamed payload field.
+    Newtype,
+    /// Named payload fields.
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    /// Tuple struct; the count of unnamed fields.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Field-level serde attributes we honor.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip_serializing_if: Option<String>,
+    default_fn: Option<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // skip outer attributes and visibility
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) stub does not support generics on {name}");
+        }
+    }
+
+    let body = match &tokens[i] {
+        TokenTree::Group(g) => g,
+        other => panic!("expected body of {name}, found {other}"),
+    };
+
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Struct(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_variants(body.stream())),
+        _ => panic!("unsupported item shape for {name}"),
+    };
+    Item { name, shape }
+}
+
+/// Parse `#[serde(...)]` bracket-group content already stripped of `#`.
+fn parse_serde_attr(group: &proc_macro::Group, out: &mut SerdeAttrs) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // expect: serde ( ... )
+    let is_serde =
+        matches!(&inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else { return };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let key = match &args[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (args.get(j + 1), args.get(j + 2))
+        {
+            if eq.as_char() == '=' {
+                let raw = lit.to_string();
+                let path = raw.trim_matches('"').to_string();
+                match key.as_str() {
+                    "skip_serializing_if" => out.skip_serializing_if = Some(path),
+                    "default" => out.default_fn = Some(path),
+                    other => panic!("unsupported serde attribute `{other}` in stub derive"),
+                }
+                j += 3;
+                // skip separating comma
+                if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                continue;
+            }
+        }
+        panic!("unsupported serde attribute form `{key}` in stub derive");
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        // attributes (doc comments, serde(...))
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                parse_serde_attr(g, &mut attrs);
+            }
+            i += 2;
+        }
+        // visibility
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let Some(TokenTree::Ident(fname)) = tokens.get(i) else { break };
+        let name = fname.to_string();
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field {name}"
+        );
+        i += 1;
+        // type tokens: scan to a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        let mut first_ty_ident = None;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Ident(id) if first_ty_ident.is_none() => {
+                    first_ty_ident = Some(id.to_string());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name,
+            is_option: first_ty_ident.as_deref() == Some("Option"),
+            skip_serializing_if: attrs.skip_serializing_if,
+            default_fn: attrs.default_fn,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut any = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // attributes / doc comments
+        }
+        let Some(TokenTree::Ident(vname)) = tokens.get(i) else { break };
+        let name = vname.to_string();
+        i += 1;
+        let mut shape = VariantShape::Unit;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    assert!(
+                        n == 1,
+                        "stub derive supports only 1-field tuple variants ({name} has {n})"
+                    );
+                    shape = VariantShape::Newtype;
+                }
+                Delimiter::Brace => {
+                    shape = VariantShape::Struct(parse_named_fields(g.stream()));
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // skip an explicit discriminant if present: `= expr`
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while let Some(tok) = tokens.get(i) {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                let insert = format!(
+                    "m.insert(\"{n}\".to_string(), ::serde::Serialize::to_content(&self.{n}));\n",
+                    n = f.name
+                );
+                if let Some(pred) = &f.skip_serializing_if {
+                    s.push_str(&format!("if !({pred})(&self.{}) {{ {insert} }}\n", f.name));
+                } else {
+                    s.push_str(&insert);
+                }
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(inner) => {{ \
+                         let mut m = ::std::collections::BTreeMap::new(); \
+                         m.insert(\"{v}\".to_string(), ::serde::Serialize::to_content(inner)); \
+                         ::serde::Value::Object(m) }}\n",
+                        v = v.name
+                    )),
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "fm.insert(\"{n}\".to_string(), \
+                                 ::serde::Serialize::to_content({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ \
+                             let mut fm = ::std::collections::BTreeMap::new();\n{inserts}\
+                             let mut m = ::std::collections::BTreeMap::new(); \
+                             m.insert(\"{v}\".to_string(), ::serde::Value::Object(fm)); \
+                             ::serde::Value::Object(m) }}\n",
+                            v = v.name,
+                            binds = bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let m = v.as_object().ok_or_else(|| \
+                 ::serde::Error::type_mismatch(\"{name}\", \"object\", v))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                let missing = if let Some(default_fn) = &f.default_fn {
+                    format!("{default_fn}()")
+                } else if f.is_option {
+                    "::std::option::Option::None".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(\
+                         ::serde::Error::missing_field(\"{name}\", \"{n}\"))",
+                        n = f.name
+                    )
+                };
+                s.push_str(&format!(
+                    "{n}: match m.get(\"{n}\") {{ \
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::from_content(x)?, \
+                     ::std::option::Option::None => {missing} }},\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let a = v.as_array().ok_or_else(|| \
+                 ::serde::Error::type_mismatch(\"{name}\", \"array\", v))?;\n\
+                 if a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n"
+            );
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_content(&a[{i}])?")).collect();
+            s.push_str(&format!("::std::result::Result::Ok({name}({}))", elems.join(", ")));
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Newtype => newtype_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_content(inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let mut field_inits = String::new();
+                        for f in fields {
+                            let missing = if let Some(default_fn) = &f.default_fn {
+                                format!("{default_fn}()")
+                            } else if f.is_option {
+                                "::std::option::Option::None".to_string()
+                            } else {
+                                format!(
+                                    "return ::std::result::Result::Err(\
+                                     ::serde::Error::missing_field(\"{name}\", \"{n}\"))",
+                                    n = f.name
+                                )
+                            };
+                            field_inits.push_str(&format!(
+                                "{n}: match fm.get(\"{n}\") {{ \
+                                 ::std::option::Option::Some(x) => \
+                                 ::serde::Deserialize::from_content(x)?, \
+                                 ::std::option::Option::None => {missing} }},\n",
+                                n = f.name
+                            ));
+                        }
+                        newtype_arms.push_str(&format!(
+                            "\"{v}\" => {{ \
+                             let fm = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::type_mismatch(\"{name}\", \"object\", inner))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{field_inits}}}) }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+                 }} else if let ::std::option::Option::Some(m) = v.as_object() {{\n\
+                 if m.len() != 1 {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"expected single-key object for enum {name}\")); }}\n\
+                 let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{newtype_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+                 }} else {{\n\
+                 ::std::result::Result::Err(::serde::Error::type_mismatch(\"{name}\", \"string or object\", v))\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
