@@ -7,6 +7,10 @@
 //!   table1   fig3   fig4   fig5   fig6   fig7   fig8
 //!   ablation-stealing   ablation-dxt-buffer   ablation-dxt-threads
 //!   ablation-schedule-order   ablation-mofka-batch
+//!   chaos           (--seed N --schedules K: seeded fault-schedule campaign;
+//!                    exits nonzero on any oracle/determinism failure)
+//!   chaos-replay    (--seed N --index I: replay one schedule, print its
+//!                    JSON and outcome)
 //!   all      (everything above, in order)
 //! ```
 //!
@@ -19,6 +23,8 @@ fn main() {
     let mut cmd = None;
     let mut seed = 42u64;
     let mut runs: Option<u32> = None;
+    let mut schedules = 50u64;
+    let mut index = 0u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,12 +36,25 @@ fn main() {
                 i += 1;
                 runs = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
+            "--schedules" => {
+                i += 1;
+                schedules = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--index" => {
+                i += 1;
+                index = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             c if cmd.is_none() => cmd = Some(c.to_string()),
             _ => usage(),
         }
         i += 1;
     }
     let Some(cmd) = cmd else { usage() };
+    match cmd.as_str() {
+        "chaos" => std::process::exit(chaos_campaign(seed, schedules)),
+        "chaos-replay" => std::process::exit(chaos_replay(seed, index)),
+        _ => {}
+    }
     let ablation_runs = runs.unwrap_or(6);
     let run_one = |name: &str| match name {
         "table1" => experiments::table1(seed, runs),
@@ -101,11 +120,61 @@ fn main() {
     }
 }
 
+/// Run a chaos campaign: K seeded fault schedules, each run twice under
+/// virtual time with live invariant checks, gated on byte-identical
+/// transition logs, judged by the post-run oracles. Returns the exit code.
+fn chaos_campaign(seed: u64, schedules: u64) -> i32 {
+    use dtf_chaos::{run_schedule, ChaosConfig};
+    let chaos = ChaosConfig::default();
+    println!("chaos campaign: seed {seed}, {schedules} schedules");
+    let mut passed = 0u64;
+    let mut failed = 0u64;
+    for i in 0..schedules {
+        let outcome = run_schedule(seed, i, &chaos);
+        if outcome.passed() {
+            passed += 1;
+        } else {
+            failed += 1;
+            println!("{}", outcome.describe());
+            println!("  replay: repro chaos-replay --seed {seed} --index {i}");
+            println!("  schedule: {}", outcome.schedule.to_json());
+        }
+    }
+    println!("chaos campaign: {passed}/{schedules} passed, {failed} failed");
+    if failed > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Replay one schedule of a campaign and print everything a bug report
+/// needs: the schedule JSON and the full outcome. Returns the exit code.
+fn chaos_replay(seed: u64, index: u64) -> i32 {
+    use dtf_chaos::{run_schedule, schedule_seed, ChaosConfig};
+    let outcome = run_schedule(seed, index, &ChaosConfig::default());
+    println!(
+        "campaign seed {seed}, index {index} -> schedule seed {:016x}",
+        schedule_seed(seed, index)
+    );
+    println!("schedule: {}", outcome.schedule.to_json());
+    println!("{}", outcome.describe());
+    for v in &outcome.violations {
+        println!("  violation: {v}");
+    }
+    if outcome.passed() {
+        0
+    } else {
+        1
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|\\
 ablation-stealing|ablation-dxt-buffer|ablation-dxt-threads|\\
-ablation-schedule-order|ablation-mofka-batch|overhead|all> [--seed N] [--runs N]"
+ablation-schedule-order|ablation-mofka-batch|overhead|\\
+chaos|chaos-replay|all> [--seed N] [--runs N] [--schedules K] [--index I]"
     );
     std::process::exit(2)
 }

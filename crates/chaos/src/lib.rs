@@ -1,0 +1,40 @@
+//! # dtf-chaos
+//!
+//! Deterministic chaos testing for the simulated WMS stack, in the
+//! FoundationDB/TigerBeetle tradition: every run perturbation is a *seeded
+//! fault schedule* — plain data generated from a seed — applied under the
+//! simulator's virtual clock, so a failing schedule replays byte-identically
+//! from its seed (or its archived JSON) with no wall-clock or thread-timing
+//! nondeterminism in between.
+//!
+//! Three layers:
+//!
+//! * [`schedule`] — the seeded generator: worker deaths, delayed/duplicated
+//!   dependency-transfer completions, heartbeat-suppression windows (the
+//!   "healthy worker looks dead" failure), Mofka partition stalls, and
+//!   forced PFS interference bursts.
+//! * [`oracle`] — invariant oracles evaluated on the fused [`RunData`]
+//!   after a run: a reference model of the Dask task state machine replayed
+//!   transition-by-transition, plus cross-layer checks (delivery
+//!   exactly-once per task, provenance lineage acyclic/complete/temporal,
+//!   Darshan↔WMS join-key alignment, steal accounting). The *live*
+//!   structural invariants (ready ⇒ no undrained `missing_deps`, ≤1
+//!   transfer per `(worker, dep)`, `who_has` ⊆ live workers, …) run inside
+//!   the simulator after every event via
+//!   `Scheduler::invariant_violations`, enabled by
+//!   `SimConfig::invariant_checks`.
+//! * [`runner`] — the campaign driver: generates K schedules from one
+//!   campaign seed, runs each twice, diffs the canonical transition logs
+//!   byte-for-byte (the determinism gate), and evaluates every oracle.
+//!
+//! [`RunData`]: dtf_wms::RunData
+
+pub mod oracle;
+pub mod runner;
+pub mod schedule;
+
+pub use oracle::check_run;
+pub use runner::{
+    run_campaign, run_schedule, schedule_seed, transition_log, CampaignReport, ScheduleOutcome,
+};
+pub use schedule::{ChaosConfig, STALLABLE_TOPICS};

@@ -1,0 +1,231 @@
+//! Seeded fault-schedule generation.
+//!
+//! A schedule is a pure function of its seed: the generator draws every
+//! perturbation from one labelled [`RunRng`] stream in a fixed order, so
+//! the same seed always yields the same [`FaultSchedule`] — the property
+//! the replay workflow rests on. Worker ordinal 0 is never killed and
+//! never has heartbeats suppressed: at least one worker must survive or a
+//! perturbed run could deadlock by construction rather than by bug.
+
+use rand::Rng;
+
+use dtf_core::fault::{
+    FaultSchedule, FetchFault, HeartbeatDrop, InterferenceBurst, MofkaStall, WorkerDeath,
+};
+use dtf_core::ids::RunId;
+use dtf_core::rngx::RunRng;
+use dtf_core::time::{Dur, Time};
+
+/// Topics the generator may stall (the 4-partition provenance topics of
+/// the default Mofka deployment).
+pub const STALLABLE_TOPICS: [&str; 6] = [
+    "task-meta",
+    "task-transitions",
+    "worker-transitions",
+    "task-done",
+    "comm-events",
+    "io-records",
+];
+
+/// Generator intensity knobs. Defaults match the default simulated cluster
+/// (2 worker nodes × 4 workers) and a run horizon of tens of seconds.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Workers in the perturbed run (ordinal 0 is protected).
+    pub workers: u32,
+    /// Window fault times are drawn from (roughly the run length).
+    pub horizon: Dur,
+    /// Maximum worker deaths per schedule.
+    pub max_deaths: u32,
+    /// Probability of each successive death being scheduled.
+    pub death_prob: f64,
+    /// Maximum perturbed dependency transfers per schedule.
+    pub max_fetch_faults: u32,
+    /// Fetch issue-order indices are drawn from `0..fetch_index_range`.
+    pub fetch_index_range: u64,
+    /// Upper bound of the extra delay added to a perturbed transfer.
+    pub max_fetch_delay: Dur,
+    /// Maximum heartbeat-suppression windows per schedule.
+    pub max_heartbeat_drops: u32,
+    /// Longest suppression window (longer than the 3 s detection timeout,
+    /// so some windows evict perfectly healthy workers).
+    pub max_drop_window: Dur,
+    /// Maximum Mofka partition stalls per schedule.
+    pub max_mofka_stalls: u32,
+    /// Maximum forced PFS interference bursts per schedule.
+    pub max_pfs_bursts: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            horizon: Dur::from_secs_f64(25.0),
+            max_deaths: 2,
+            death_prob: 0.45,
+            max_fetch_faults: 6,
+            fetch_index_range: 48,
+            max_fetch_delay: Dur::from_secs_f64(8.0),
+            max_heartbeat_drops: 2,
+            max_drop_window: Dur::from_secs_f64(6.0),
+            max_mofka_stalls: 2,
+            max_pfs_bursts: 2,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Generate the schedule for `seed`. Deterministic: the same config and
+    /// seed always produce the same schedule.
+    pub fn generate(&self, seed: u64) -> FaultSchedule {
+        let rr = RunRng::new(seed, RunId(0));
+        let mut rng = rr.stream("fault-schedule");
+        let horizon = self.horizon.as_secs_f64();
+        let mut s = FaultSchedule { seed, ..Default::default() };
+
+        // worker deaths (never ordinal 0)
+        if self.workers >= 2 {
+            let mut killed = std::collections::BTreeSet::new();
+            for _ in 0..self.max_deaths {
+                if rng.gen::<f64>() >= self.death_prob {
+                    break;
+                }
+                let worker = 1 + rng.gen_range(0..self.workers - 1);
+                if !killed.insert(worker) {
+                    continue; // a worker dies at most once
+                }
+                let time = Time::from_secs_f64(horizon * (0.05 + 0.85 * rng.gen::<f64>()));
+                s.deaths.push(WorkerDeath { worker, time });
+            }
+            s.deaths.sort_by_key(|d| (d.time, d.worker));
+        }
+
+        // fetch faults, keyed on transfer issue order, distinct indices
+        let n_fetch = rng.gen_range(0..=self.max_fetch_faults);
+        let mut used = std::collections::BTreeSet::new();
+        for _ in 0..n_fetch {
+            let index = rng.gen_range(0..self.fetch_index_range.max(1));
+            let extra_delay =
+                Dur::from_secs_f64(rng.gen::<f64>() * self.max_fetch_delay.as_secs_f64());
+            let duplicate = rng.gen::<f64>() < 0.5;
+            if used.insert(index) {
+                s.fetch_faults.push(FetchFault { index, extra_delay, duplicate });
+            }
+        }
+        s.fetch_faults.sort_by_key(|f| f.index);
+
+        // heartbeat-suppression windows (never ordinal 0)
+        if self.workers >= 2 {
+            let n_drops = rng.gen_range(0..=self.max_heartbeat_drops);
+            for _ in 0..n_drops {
+                let worker = 1 + rng.gen_range(0..self.workers - 1);
+                let start = Time::from_secs_f64(horizon * 0.8 * rng.gen::<f64>());
+                let len = 0.5 + (self.max_drop_window.as_secs_f64() - 0.5) * rng.gen::<f64>();
+                let stop = start + Dur::from_secs_f64(len);
+                s.heartbeat_drops.push(HeartbeatDrop { worker, start, stop });
+            }
+            s.heartbeat_drops.sort_by_key(|d| (d.start, d.worker));
+        }
+
+        // Mofka partition stalls
+        let n_stalls = rng.gen_range(0..=self.max_mofka_stalls);
+        for _ in 0..n_stalls {
+            let topic = STALLABLE_TOPICS[rng.gen_range(0..STALLABLE_TOPICS.len())].to_string();
+            let partition = rng.gen_range(0..4u32);
+            let start = Time::from_secs_f64(horizon * 0.9 * rng.gen::<f64>());
+            let stop = start + Dur::from_secs_f64(1.0 + 14.0 * rng.gen::<f64>());
+            s.mofka_stalls.push(MofkaStall { topic, partition, start, stop });
+        }
+        s.mofka_stalls.sort_by_key(|m| (m.start, m.topic.clone(), m.partition));
+
+        // forced PFS interference bursts
+        let n_bursts = rng.gen_range(0..=self.max_pfs_bursts);
+        for _ in 0..n_bursts {
+            let start = Time::from_secs_f64(horizon * 0.9 * rng.gen::<f64>());
+            let stop = start + Dur::from_secs_f64(1.0 + 5.0 * rng.gen::<f64>());
+            let factor = 2.0 + 6.0 * rng.gen::<f64>();
+            s.pfs_bursts.push(InterferenceBurst { start, stop, factor });
+        }
+        s.pfs_bursts.sort_by_key(|a| (a.start, a.stop));
+
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..64 {
+            assert_eq!(cfg.generate(seed), cfg.generate(seed));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = ChaosConfig::default();
+        let distinct: std::collections::HashSet<String> =
+            (0..32).map(|s| cfg.generate(s).to_json()).collect();
+        assert!(distinct.len() > 16, "only {} distinct schedules in 32 seeds", distinct.len());
+    }
+
+    #[test]
+    fn worker_zero_is_protected() {
+        let cfg = ChaosConfig { max_deaths: 8, death_prob: 1.0, ..Default::default() };
+        for seed in 0..256 {
+            let s = cfg.generate(seed);
+            assert!(s.deaths.iter().all(|d| d.worker != 0), "seed {seed} kills worker 0");
+            assert!(
+                s.heartbeat_drops.iter().all(|d| d.worker != 0),
+                "seed {seed} suppresses worker 0"
+            );
+            assert!(s.deaths.iter().all(|d| d.worker < cfg.workers));
+        }
+    }
+
+    #[test]
+    fn schedules_are_well_formed() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..256 {
+            let s = cfg.generate(seed);
+            // one death per worker at most
+            let workers: Vec<u32> = s.deaths.iter().map(|d| d.worker).collect();
+            let mut dedup = workers.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(workers.len(), dedup.len());
+            // fetch indices distinct and sorted
+            for w in s.fetch_faults.windows(2) {
+                assert!(w[0].index < w[1].index);
+            }
+            // windows are non-empty
+            assert!(s.heartbeat_drops.iter().all(|d| d.stop > d.start));
+            assert!(s.mofka_stalls.iter().all(|m| m.stop > m.start));
+            assert!(s.pfs_bursts.iter().all(|b| b.stop > b.start && b.factor >= 1.0));
+            // schedules roundtrip through their archive format
+            assert_eq!(FaultSchedule::from_json(&s.to_json()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn generator_actually_produces_each_fault_kind() {
+        let cfg = ChaosConfig::default();
+        let (mut d, mut f, mut h, mut m, mut p) = (0, 0, 0, 0, 0);
+        for seed in 0..128 {
+            let s = cfg.generate(seed);
+            d += s.deaths.len();
+            f += s.fetch_faults.len();
+            h += s.heartbeat_drops.len();
+            m += s.mofka_stalls.len();
+            p += s.pfs_bursts.len();
+        }
+        assert!(d > 0 && f > 0 && h > 0 && m > 0 && p > 0, "({d},{f},{h},{m},{p})");
+        assert!(
+            cfg.generate(3).fetch_faults.iter().chain(cfg.generate(7).fetch_faults.iter()).count()
+                > 0
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Fault-schedule schema: the serializable description of one adversarial
+//! run perturbation.
+//!
+//! A [`FaultSchedule`] is the unit of deterministic chaos testing: it lists
+//! every perturbation the simulator will apply to a run — worker deaths,
+//! fetch-completion delays and duplications, heartbeat suppression windows,
+//! Mofka partition stalls, and forced PFS interference bursts. Because the
+//! schedule is plain data (and serde-serializable, like [`crate::provenance`]
+//! records), a failing schedule can be archived, diffed, and replayed
+//! byte-identically: the simulator draws nothing from ambient randomness
+//! while applying it. Schedules are normally *generated* from a seed (see
+//! `dtf-chaos`), and `seed` records that provenance; hand-written schedules
+//! set it to 0.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Dur, Time};
+
+/// Kill worker `ordinal` (index into the run's worker list) at `time`.
+/// The worker stops heartbeating and completing work; the WMS detects the
+/// loss through the heartbeat timeout, exactly as for a real crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerDeath {
+    pub worker: u32,
+    pub time: Time,
+}
+
+/// Perturb the `index`-th dependency transfer the engine issues (counted in
+/// issue order from 0). `extra_delay` stretches its completion;
+/// `duplicate` replays the completion event a second time — the scheduler
+/// must treat the replay as a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FetchFault {
+    pub index: u64,
+    pub extra_delay: Dur,
+    pub duplicate: bool,
+}
+
+/// Suppress every heartbeat worker `ordinal` would deliver in
+/// `[start, stop)`. A window longer than the heartbeat timeout makes the
+/// scheduler evict a perfectly healthy worker — the "stalled event loop"
+/// failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatDrop {
+    pub worker: u32,
+    pub start: Time,
+    pub stop: Time,
+}
+
+/// Stall one partition of one Mofka topic in `[start, stop)`: appends are
+/// accepted but stay invisible to consumers until the stall lifts. Delivery
+/// must remain exactly-once and in partition order regardless.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MofkaStall {
+    pub topic: String,
+    pub partition: u32,
+    pub start: Time,
+    pub stop: Time,
+}
+
+/// Force a PFS interference burst: every I/O issued in `[start, stop)` is
+/// additionally slowed by `factor` (on top of the stochastic background
+/// load process).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceBurst {
+    pub start: Time,
+    pub stop: Time,
+    pub factor: f64,
+}
+
+/// One run's complete fault schedule. The empty (default) schedule is a
+/// no-op: a run with it is bit-identical to a run without one.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Seed the schedule was generated from (0 for hand-written schedules).
+    pub seed: u64,
+    pub deaths: Vec<WorkerDeath>,
+    pub fetch_faults: Vec<FetchFault>,
+    pub heartbeat_drops: Vec<HeartbeatDrop>,
+    pub mofka_stalls: Vec<MofkaStall>,
+    pub pfs_bursts: Vec<InterferenceBurst>,
+}
+
+impl FaultSchedule {
+    /// Whether the schedule perturbs anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.deaths.is_empty()
+            && self.fetch_faults.is_empty()
+            && self.heartbeat_drops.is_empty()
+            && self.mofka_stalls.is_empty()
+            && self.pfs_bursts.is_empty()
+    }
+
+    /// Total number of scheduled perturbations.
+    pub fn len(&self) -> usize {
+        self.deaths.len()
+            + self.fetch_faults.len()
+            + self.heartbeat_drops.len()
+            + self.mofka_stalls.len()
+            + self.pfs_bursts.len()
+    }
+
+    /// The fault (if any) registered for the `index`-th issued fetch.
+    pub fn fetch_fault(&self, index: u64) -> Option<&FetchFault> {
+        self.fetch_faults.iter().find(|f| f.index == index)
+    }
+
+    /// Whether a heartbeat from worker `ordinal` at `now` is suppressed.
+    pub fn heartbeat_dropped(&self, worker: u32, now: Time) -> bool {
+        self.heartbeat_drops.iter().any(|d| d.worker == worker && d.start <= now && now < d.stop)
+    }
+
+    /// Archive the schedule (pretty JSON).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fault schedule serializes")
+    }
+
+    /// Parse an archived schedule.
+    pub fn from_json(json: &str) -> crate::error::Result<Self> {
+        Ok(serde_json::from_str(json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        let s = FaultSchedule::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.fetch_fault(0).is_none());
+        assert!(!s.heartbeat_dropped(0, Time::ZERO));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = FaultSchedule {
+            seed: 1,
+            deaths: vec![WorkerDeath { worker: 1, time: Time::from_secs_f64(2.0) }],
+            fetch_faults: vec![FetchFault {
+                index: 3,
+                extra_delay: Dur::from_secs_f64(1.0),
+                duplicate: true,
+            }],
+            heartbeat_drops: vec![HeartbeatDrop {
+                worker: 2,
+                start: Time::from_secs_f64(1.0),
+                stop: Time::from_secs_f64(5.0),
+            }],
+            mofka_stalls: vec![],
+            pfs_bursts: vec![],
+        };
+        assert_eq!(s.len(), 3);
+        assert!(s.fetch_fault(3).unwrap().duplicate);
+        assert!(s.fetch_fault(2).is_none());
+        assert!(s.heartbeat_dropped(2, Time::from_secs_f64(1.0)));
+        assert!(s.heartbeat_dropped(2, Time::from_secs_f64(4.9)));
+        assert!(!s.heartbeat_dropped(2, Time::from_secs_f64(5.0)), "stop is exclusive");
+        assert!(!s.heartbeat_dropped(1, Time::from_secs_f64(2.0)), "other worker unaffected");
+    }
+
+    #[test]
+    fn schedule_roundtrips_through_json() {
+        let s = FaultSchedule {
+            seed: 42,
+            deaths: vec![WorkerDeath { worker: 0, time: Time(7) }],
+            fetch_faults: vec![FetchFault { index: 0, extra_delay: Dur(5), duplicate: false }],
+            heartbeat_drops: vec![],
+            mofka_stalls: vec![MofkaStall {
+                topic: "task-transitions".into(),
+                partition: 1,
+                start: Time(0),
+                stop: Time(9),
+            }],
+            pfs_bursts: vec![InterferenceBurst { start: Time(0), stop: Time(3), factor: 4.0 }],
+        };
+        let back = FaultSchedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert!(FaultSchedule::from_json("nope").is_err());
+    }
+}

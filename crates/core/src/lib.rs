@@ -17,6 +17,7 @@
 pub mod dist;
 pub mod error;
 pub mod events;
+pub mod fault;
 pub mod ids;
 pub mod provenance;
 pub mod rngx;

@@ -118,6 +118,15 @@ impl Summary {
         }
         w.summary()
     }
+
+    /// Coefficient of variation (std / mean); 0 for a zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
 }
 
 /// Percentile with linear interpolation (values need not be sorted).

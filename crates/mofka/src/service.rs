@@ -91,6 +91,25 @@ impl MofkaService {
         Ok(Consumer::new(self.topic(topic)?, self.yokan.clone(), cfg))
     }
 
+    /// Stall one partition of `topic` (fault injection): appends stage
+    /// invisibly until the stall lifts.
+    pub fn stall_partition(&self, topic: &str, partition: u32) -> Result<()> {
+        self.topic(topic)?.stall(partition)
+    }
+
+    /// Lift a stall on one partition of `topic`, draining staged events.
+    pub fn unstall_partition(&self, topic: &str, partition: u32) -> Result<()> {
+        self.topic(topic)?.unstall(partition)
+    }
+
+    /// Lift every stall on every topic (end of run: nothing may stay
+    /// invisible when the post-run consumers drain).
+    pub fn unstall_all(&self) {
+        for t in self.topics.read().values() {
+            t.unstall_all();
+        }
+    }
+
     /// The shared KV micro-service (exposed for group-offset inspection and
     /// for components that need durable metadata, e.g. Bedrock).
     pub fn yokan(&self) -> &Arc<Yokan> {

@@ -37,9 +37,21 @@ struct Slot {
     payload: Option<BlobId>,
 }
 
+/// A partition log plus its stall state. While stalled, appended events
+/// are staged — durable but invisible to readers — and drain into the log
+/// in arrival order when the stall lifts. Offsets are assigned at append
+/// time (past the staged tail), so ids stay stable across the stall: a
+/// stall delays visibility, it never loses, duplicates, or reorders.
+#[derive(Debug, Default)]
+struct PartitionState {
+    slots: Vec<Slot>,
+    staged: Vec<Slot>,
+    stalled: bool,
+}
+
 #[derive(Debug, Default)]
 struct Partition {
-    slots: RwLock<Vec<Slot>>,
+    state: RwLock<PartitionState>,
 }
 
 /// A named, partitioned, persistent event log.
@@ -76,7 +88,8 @@ impl Topic {
 
     /// Append a batch of events to one partition; returns their ids.
     /// One lock acquisition per batch — this is the amortization producers'
-    /// batching buys.
+    /// batching buys. A stalled partition stages the batch instead (ids are
+    /// still assigned, past the staged tail).
     pub fn append_batch(&self, p: u32, events: Vec<Event>) -> Result<Vec<EventId>> {
         let part = self.partition(p)?;
         // store payloads outside the partition lock
@@ -87,27 +100,62 @@ impl Topic {
                 payload: if e.data.is_empty() { None } else { Some(self.warabi.put(e.data)) },
             })
             .collect();
-        let mut log = part.slots.write();
-        let base = log.len() as u64;
+        let mut state = part.state.write();
+        let base = (state.slots.len() + state.staged.len()) as u64;
         let n = slots.len();
-        log.extend(slots);
+        if state.stalled {
+            state.staged.extend(slots);
+        } else {
+            state.slots.extend(slots);
+        }
         Ok((0..n).map(|i| EventId { partition: p, offset: base + i as u64 }).collect())
     }
 
-    /// Number of events currently stored in partition `p`.
-    pub fn partition_len(&self, p: u32) -> Result<u64> {
-        Ok(self.partition(p)?.slots.read().len() as u64)
+    /// Stall partition `p`: subsequent appends are staged, invisible to
+    /// readers, until [`Self::unstall`]. Idempotent.
+    pub fn stall(&self, p: u32) -> Result<()> {
+        self.partition(p)?.state.write().stalled = true;
+        Ok(())
     }
 
-    /// Total events across all partitions.
+    /// Lift a stall on partition `p`, draining staged events into the log
+    /// in arrival order. Idempotent (a no-op on an unstalled partition).
+    pub fn unstall(&self, p: u32) -> Result<()> {
+        let part = self.partition(p)?;
+        let mut state = part.state.write();
+        state.stalled = false;
+        let staged = std::mem::take(&mut state.staged);
+        state.slots.extend(staged);
+        Ok(())
+    }
+
+    /// Lift stalls on every partition of this topic.
+    pub fn unstall_all(&self) {
+        for p in 0..self.num_partitions() {
+            let _ = self.unstall(p);
+        }
+    }
+
+    /// Events staged behind a stall on partition `p`.
+    pub fn staged_len(&self, p: u32) -> Result<u64> {
+        Ok(self.partition(p)?.state.read().staged.len() as u64)
+    }
+
+    /// Number of events currently visible in partition `p`.
+    pub fn partition_len(&self, p: u32) -> Result<u64> {
+        Ok(self.partition(p)?.state.read().slots.len() as u64)
+    }
+
+    /// Total visible events across all partitions.
     pub fn total_len(&self) -> u64 {
-        self.partitions.iter().map(|p| p.slots.read().len() as u64).sum()
+        self.partitions.iter().map(|p| p.state.read().slots.len() as u64).sum()
     }
 
     /// Read up to `max` events from partition `p` starting at `offset`.
     pub fn read(&self, p: u32, offset: u64, max: usize) -> Result<Vec<StoredEvent>> {
         let part = self.partition(p)?;
-        let log = part.slots.read();
+        let state = part.state.read();
+        let log = &state.slots;
         let start = (offset as usize).min(log.len());
         let end = start.saturating_add(max).min(log.len());
         Ok(log[start..end]
@@ -181,6 +229,38 @@ mod tests {
         assert!(t.append_batch(2, vec![]).is_err());
         assert!(t.read(5, 0, 1).is_err());
         assert!(t.partition_len(9).is_err());
+    }
+
+    #[test]
+    fn stalled_partition_stages_and_drains_in_order() {
+        let t = topic(2);
+        t.append_batch(0, vec![Event::meta_only(json!(0))]).unwrap();
+        t.stall(0).unwrap();
+        let ids = t
+            .append_batch(0, vec![Event::meta_only(json!(1)), Event::meta_only(json!(2))])
+            .unwrap();
+        // ids assigned past the staged tail, but nothing visible yet
+        assert_eq!(ids[0].offset, 1);
+        assert_eq!(ids[1].offset, 2);
+        assert_eq!(t.partition_len(0).unwrap(), 1);
+        assert_eq!(t.staged_len(0).unwrap(), 2);
+        // other partitions unaffected
+        t.append_batch(1, vec![Event::meta_only(json!(9))]).unwrap();
+        assert_eq!(t.partition_len(1).unwrap(), 1);
+        // reads see only the visible prefix
+        assert_eq!(t.read(0, 0, 10).unwrap().len(), 1);
+        t.unstall(0).unwrap();
+        assert_eq!(t.staged_len(0).unwrap(), 0);
+        let got = t.read(0, 0, 10).unwrap();
+        assert_eq!(got.len(), 3);
+        for (i, se) in got.iter().enumerate() {
+            assert_eq!(se.id.offset, i as u64, "order preserved across the stall");
+            assert_eq!(se.event.metadata, json!(i));
+        }
+        // idempotent
+        t.unstall(0).unwrap();
+        t.unstall_all();
+        assert_eq!(t.total_len(), 4);
     }
 
     #[test]

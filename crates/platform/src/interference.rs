@@ -28,6 +28,9 @@ pub struct LoadProcess {
     burst: BoundedPareto,
     /// Quiet-regime maximum extra load (uniform in `[1, 1 + quiet_spread]`).
     quiet_spread: f64,
+    /// Scheduled bursts `(start, stop, factor)` multiplied on top of the
+    /// stochastic factor while `start <= t < stop` (fault injection).
+    forced: Vec<(Time, Time, f64)>,
 }
 
 impl LoadProcess {
@@ -41,7 +44,16 @@ impl LoadProcess {
         assert!((0.0..=1.0).contains(&burst_prob));
         assert!(quiet_spread >= 0.0);
         assert!(window > Dur::ZERO);
-        Self { seed, window, burst_prob, burst, quiet_spread }
+        Self { seed, window, burst_prob, burst, quiet_spread, forced: Vec::new() }
+    }
+
+    /// Overlay deterministic burst windows `(start, stop, factor)`; within
+    /// a window the stochastic factor is multiplied by `factor`. Used by
+    /// the chaos harness to schedule interference at chosen times.
+    pub fn with_forced_bursts(mut self, bursts: Vec<(Time, Time, f64)>) -> Self {
+        assert!(bursts.iter().all(|(s, e, f)| e > s && *f >= 1.0));
+        self.forced = bursts;
+        self
     }
 
     /// Typical PFS interference: 5 s windows, 8 % burst probability,
@@ -66,6 +78,12 @@ impl LoadProcess {
 
     /// Load factor (>= 1) in effect at time `t`.
     pub fn factor(&self, t: Time) -> f64 {
+        let forced: f64 =
+            self.forced.iter().filter(|(s, e, _)| *s <= t && t < *e).map(|(_, _, f)| f).product();
+        forced * self.base_factor(t)
+    }
+
+    fn base_factor(&self, t: Time) -> f64 {
         let w = self.window_index(t);
         // splitmix-style mix of seed and window index for an independent
         // per-window stream
@@ -137,6 +155,32 @@ mod tests {
         for i in 0..1000 {
             assert_eq!(p.factor(Time::from_secs_f64(i as f64)), 1.0);
         }
+    }
+
+    #[test]
+    fn forced_bursts_multiply_within_their_window_only() {
+        let base = LoadProcess::none(3);
+        let p = base.clone().with_forced_bursts(vec![(
+            Time::from_secs_f64(10.0),
+            Time::from_secs_f64(20.0),
+            4.0,
+        )]);
+        assert_eq!(p.factor(Time::from_secs_f64(9.9)), base.factor(Time::from_secs_f64(9.9)));
+        assert_eq!(
+            p.factor(Time::from_secs_f64(10.0)),
+            4.0 * base.factor(Time::from_secs_f64(10.0))
+        );
+        assert_eq!(
+            p.factor(Time::from_secs_f64(19.9)),
+            4.0 * base.factor(Time::from_secs_f64(19.9))
+        );
+        assert_eq!(p.factor(Time::from_secs_f64(20.0)), base.factor(Time::from_secs_f64(20.0)));
+        // overlapping bursts compound
+        let q = LoadProcess::none(3).with_forced_bursts(vec![
+            (Time::ZERO, Time::from_secs_f64(5.0), 2.0),
+            (Time::ZERO, Time::from_secs_f64(5.0), 3.0),
+        ]);
+        assert_eq!(q.factor(Time::from_secs_f64(1.0)), 6.0);
     }
 
     #[test]

@@ -772,8 +772,12 @@ impl Scheduler {
         }
 
         // outputs lost: remove replica; if it was the only one and the data
-        // is still needed, the task must be recomputed
-        let mut to_recompute = Vec::new();
+        // is still needed, the task must be recomputed. "Needed" is
+        // transitive over this batch: a lost output whose only dependent is
+        // another lost output is needed exactly when that dependent is —
+        // both died with this worker, and recomputing the dependent will
+        // re-read the input.
+        let mut candidates = Vec::new();
         for key in held {
             {
                 let rec = self.tasks.get_mut(&key).expect("held task known");
@@ -781,13 +785,34 @@ impl Scheduler {
             }
             let rec = &self.tasks[&key];
             if rec.who_has.is_empty() && rec.state == TaskState::Memory {
-                let needed = rec.dependents.iter().any(|d| !self.tasks[d].state.is_terminal());
-                if needed {
-                    to_recompute.push(key);
-                }
+                candidates.push(key);
             }
         }
+        let mut needed_set: BTreeSet<TaskKey> = BTreeSet::new();
+        loop {
+            // fixpoint; terminates because the dependency graph is acyclic
+            let mut changed = false;
+            for key in &candidates {
+                if needed_set.contains(key) {
+                    continue;
+                }
+                let needed = self.tasks[key]
+                    .dependents
+                    .iter()
+                    .any(|d| !self.tasks[d].state.is_terminal() || needed_set.contains(d));
+                if needed {
+                    needed_set.insert(key.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let to_recompute: Vec<TaskKey> =
+            candidates.into_iter().filter(|k| needed_set.contains(k)).collect();
         let mut actions = Vec::new();
+        let mut recomputed = Vec::new();
         for key in to_recompute {
             // Memory -> Released -> Waiting, then runnable again
             self.emit_transition(
@@ -828,7 +853,14 @@ impl Scheduler {
                     drec.unfinished_deps += 1;
                 }
             }
-            if unfinished == 0 {
+            recomputed.push(key);
+        }
+        // Dispatch only after every lost output has been revoked: a task
+        // early in the batch can look ready (its dep still reads `memory`)
+        // until a later entry — that dep, whose only replica also died —
+        // sends it back to waiting and bumps the count.
+        for key in recomputed {
+            if self.tasks[&key].unfinished_deps == 0 {
                 actions.extend(self.make_runnable(&key, now));
             }
         }
@@ -914,6 +946,203 @@ impl Scheduler {
 
     fn worker_index(&self, id: WorkerId) -> Option<usize> {
         self.worker_index.get(&id).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant oracle
+    // ------------------------------------------------------------------
+
+    /// Structural-coherence oracle: cross-check the task table, the worker
+    /// tables, and the in-flight transfer ledger against each other.
+    /// Returns one message per violated invariant (empty = consistent).
+    /// Pure observation — no mutation — so engines (and the chaos harness)
+    /// can call it after every event.
+    ///
+    /// Checked here (the transition-*history* invariants — legality of each
+    /// step, exactly-one-terminal — live in the `dtf-chaos` reference
+    /// model, which replays the emitted log):
+    /// - a `ready` task has no undrained `missing_deps` and all inputs
+    ///   resident on its worker;
+    /// - a `fetching` task's every missing dep has an in-flight entry on
+    ///   that worker listing the task as a waiter (the ≤1-transfer-per-
+    ///   `(worker, dep)` half is structural: `inflight` is keyed by the
+    ///   pair, so this check makes the bound exact);
+    /// - in-flight transfers connect live workers and known deps;
+    /// - `who_has` ⊆ live workers, each entry backed by the worker's
+    ///   `has_data`;
+    /// - thread occupancy bounds and state agreement for executing/ready/
+    ///   queued tasks; dead workers hold neither work nor data.
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for (widx, w) in self.workers.iter().enumerate() {
+            if w.executing.len() > w.threads as usize {
+                v.push(format!(
+                    "worker {} executing {} tasks on {} threads",
+                    w.id,
+                    w.executing.len(),
+                    w.threads
+                ));
+            }
+            if !w.alive
+                && (!w.executing.is_empty()
+                    || !w.ready.is_empty()
+                    || !w.fetching.is_empty()
+                    || !w.has_data.is_empty())
+            {
+                v.push(format!("dead worker {} still holds work or data", w.id));
+            }
+            for (p, key) in &w.ready {
+                let Some(rec) = self.tasks.get(key) else {
+                    v.push(format!("ready task {key} on {} unknown to the task table", w.id));
+                    continue;
+                };
+                if !rec.missing_deps.is_empty() {
+                    v.push(format!(
+                        "task {key} ready on {} with undrained missing_deps {:?}",
+                        w.id, rec.missing_deps
+                    ));
+                }
+                if rec.assigned != Some(widx) {
+                    v.push(format!(
+                        "task {key} ready on {} but assigned to {:?}",
+                        w.id, rec.assigned
+                    ));
+                }
+                if *p != rec.priority {
+                    v.push(format!(
+                        "task {key} ready under priority {p}, record says {}",
+                        rec.priority
+                    ));
+                }
+                if rec.state != TaskState::Processing {
+                    v.push(format!(
+                        "task {key} ready on {} in scheduler state {}",
+                        w.id,
+                        rec.state.as_str()
+                    ));
+                }
+                for d in &rec.deps {
+                    if !w.has_data.contains_key(d) {
+                        v.push(format!("task {key} ready on {} without dep {d} resident", w.id));
+                    }
+                }
+            }
+            for key in &w.fetching {
+                let Some(rec) = self.tasks.get(key) else {
+                    v.push(format!("fetching task {key} on {} unknown to the task table", w.id));
+                    continue;
+                };
+                if rec.missing_deps.is_empty() {
+                    v.push(format!("task {key} fetching on {} with nothing missing", w.id));
+                }
+                if rec.assigned != Some(widx) {
+                    v.push(format!(
+                        "task {key} fetching on {} but assigned to {:?}",
+                        w.id, rec.assigned
+                    ));
+                }
+                for d in &rec.missing_deps {
+                    match self.inflight.get(&(widx, d.clone())) {
+                        None => v.push(format!(
+                            "task {key} on {} waits for {d} with no transfer in flight",
+                            w.id
+                        )),
+                        Some(f) if !f.waiters.contains(key) => v.push(format!(
+                            "task {key} on {} waits for {d} but is not a registered waiter",
+                            w.id
+                        )),
+                        _ => {}
+                    }
+                }
+            }
+            for key in &w.executing {
+                let Some(rec) = self.tasks.get(key) else {
+                    v.push(format!("executing task {key} on {} unknown to the task table", w.id));
+                    continue;
+                };
+                if rec.state != TaskState::Processing {
+                    v.push(format!(
+                        "task {key} executing on {} in scheduler state {}",
+                        w.id,
+                        rec.state.as_str()
+                    ));
+                }
+                if rec.assigned != Some(widx) {
+                    v.push(format!(
+                        "task {key} executing on {} but assigned to {:?}",
+                        w.id, rec.assigned
+                    ));
+                }
+            }
+        }
+        for ((widx, dep), flight) in &self.inflight {
+            if !self.tasks.contains_key(dep) {
+                v.push(format!("in-flight transfer of unknown dep {dep}"));
+                continue;
+            }
+            match self.workers.get(*widx) {
+                None => v.push(format!("transfer of {dep} to out-of-range worker index {widx}")),
+                Some(w) if !w.alive => v.push(format!("transfer of {dep} to dead worker {}", w.id)),
+                _ => {}
+            }
+            match self.workers.get(flight.from) {
+                None => v.push(format!(
+                    "transfer of {dep} from out-of-range worker index {}",
+                    flight.from
+                )),
+                Some(w) if !w.alive => {
+                    v.push(format!("transfer of {dep} sourced from dead worker {}", w.id))
+                }
+                _ => {}
+            }
+            for waiter in &flight.waiters {
+                let Some(rec) = self.tasks.get(waiter) else {
+                    v.push(format!("unknown task {waiter} waits on transfer of {dep}"));
+                    continue;
+                };
+                // a waiter re-planned elsewhere is tolerated (fetch_done
+                // skips it); one still assigned here must list the dep
+                if rec.assigned == Some(*widx) && !rec.missing_deps.contains(dep) {
+                    v.push(format!(
+                        "task {waiter} registered as waiter for {dep} it no longer misses"
+                    ));
+                }
+            }
+        }
+        for (key, rec) in &self.tasks {
+            for &h in &rec.who_has {
+                match self.workers.get(h) {
+                    None => v.push(format!("who_has of {key} lists out-of-range worker index {h}")),
+                    Some(w) if !w.alive => {
+                        v.push(format!("who_has of {key} lists dead worker {}", w.id))
+                    }
+                    Some(w) if !w.has_data.contains_key(key) => v.push(format!(
+                        "who_has of {key} lists worker {} which does not hold the data",
+                        w.id
+                    )),
+                    _ => {}
+                }
+            }
+        }
+        for (p, key) in &self.queued {
+            let Some(rec) = self.tasks.get(key) else {
+                v.push(format!("queued task {key} unknown to the task table"));
+                continue;
+            };
+            if rec.state != TaskState::Queued {
+                v.push(format!("task {key} queued in scheduler state {}", rec.state.as_str()));
+            }
+            if rec.assigned.is_some() {
+                v.push(format!("queued task {key} assigned to {:?}", rec.assigned));
+            }
+            if *p != rec.priority {
+                v.push(format!(
+                    "task {key} queued under priority {p}, record says {}",
+                    rec.priority
+                ));
+            }
+        }
+        v
     }
 
     /// Consume the scheduler, returning its plugin set (end of run).
@@ -1420,6 +1649,41 @@ mod tests {
         let done = collector.take().task_done;
         let d_runs = done.iter().filter(|t| t.key == d).count();
         assert_eq!(d_runs, 2, "d recomputed after its only replica died");
+    }
+
+    /// The invariant oracle stays silent across normal operation, fetch
+    /// replay, and worker death — and speaks up on a corrupted table.
+    #[test]
+    fn invariant_oracle_clean_under_faults_and_detects_corruption() {
+        let (mut s, _collector, d, g, e) = fetch_rig();
+        assert_eq!(s.invariant_violations(), Vec::<String>::new());
+        let (w0, w1, w2) = (s.worker_ids()[0], s.worker_ids()[1], s.worker_ids()[2]);
+        assert_eq!(s.try_start(w0, Time(0)).as_ref(), Some(&d));
+        assert_eq!(s.try_start(w1, Time(0)).as_ref(), Some(&g));
+        assert_eq!(s.try_start(w2, Time(0)).as_ref(), Some(&e));
+        assert_eq!(s.invariant_violations(), Vec::<String>::new());
+        let _ = s.task_finished(&d, w0, ThreadId(1), Time(0), Time(1), 1 << 10);
+        let _ = s.task_finished(&g, w1, ThreadId(1), Time(0), Time(1), 1 << 10);
+        let _ = s.task_finished(&e, w2, ThreadId(1), Time(0), Time(1), 32 << 30);
+        // consumers are mid-fetch on w2: the ledger must be coherent
+        assert_eq!(s.invariant_violations(), Vec::<String>::new());
+        s.fetch_done(&d, w1, Time(2));
+        let _ = s.worker_died(w0, Time(3));
+        assert_eq!(s.invariant_violations(), Vec::<String>::new());
+        s.fetch_done(&d, w2, Time(4));
+        s.fetch_done(&d, w2, Time(5)); // replay
+        s.fetch_done(&g, w2, Time(6));
+        assert_eq!(s.invariant_violations(), Vec::<String>::new());
+        drive(&mut s, Vec::new());
+        assert_eq!(s.unfinished(), 0);
+        assert_eq!(s.invariant_violations(), Vec::<String>::new());
+        // corrupt the table: a replica entry nobody backs
+        s.tasks.get_mut(&d).unwrap().who_has.insert(0);
+        let violations = s.invariant_violations();
+        assert!(
+            violations.iter().any(|m| m.contains("who_has")),
+            "corruption must be reported: {violations:?}"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use rand::Rng;
 use dtf_core::dist::{Exponential, Jitter, LogNormal, Sample};
 use dtf_core::error::{DtfError, Result};
 use dtf_core::events::{CommEvent, LogEntry, LogLevel, LogSource, WarningEvent, WarningKind};
+use dtf_core::fault::FaultSchedule;
 use dtf_core::ids::{ClientId, RunId, TaskKey, ThreadId, WorkerId};
 use dtf_core::provenance::WmsConfig;
 use dtf_core::rngx::RunRng;
@@ -103,6 +104,16 @@ pub struct SimConfig {
     /// record time (the paper's future-work "fully online system"). Online
     /// records bypass DXT buffer limits.
     pub online_darshan: bool,
+    /// Fault schedule applied to this run (chaos testing). The default
+    /// (empty) schedule perturbs nothing, so old config documents parse
+    /// unchanged and run identically.
+    #[serde(default = "Default::default")]
+    pub faults: FaultSchedule,
+    /// Evaluate the scheduler's structural invariants after every event and
+    /// fail the run on the first violation (chaos testing; off by default —
+    /// the check scans the whole task table).
+    #[serde(default = "Default::default")]
+    pub invariant_checks: bool,
 }
 
 impl Default for SimConfig {
@@ -124,6 +135,8 @@ impl Default for SimConfig {
             worker_death: None,
             mofka_batch: 64,
             online_darshan: false,
+            faults: FaultSchedule::default(),
+            invariant_checks: false,
         }
     }
 }
@@ -149,6 +162,8 @@ enum Ev {
     Heartbeat { worker: usize },
     FaultCheck,
     Kill { worker: usize },
+    MofkaStall { topic: String, partition: u32 },
+    MofkaUnstall { topic: String, partition: u32 },
 }
 
 struct Queued {
@@ -222,6 +237,9 @@ pub struct SimCluster {
     queue: BinaryHeap<Reverse<Queued>>,
     seq: u64,
     now: Time,
+    /// Dependency transfers issued so far, in issue order — the index the
+    /// fault schedule's fetch faults key on.
+    fetch_seq: u64,
     // per-worker thread slots (None = free)
     slots: Vec<Vec<Option<TaskKey>>>,
     dead: Vec<bool>,
@@ -255,11 +273,16 @@ impl SimCluster {
         }
 
         let interference_seed = rr.stream("interference").gen::<u64>();
-        let pfs_load = if cfg.interference {
+        let mut pfs_load = if cfg.interference {
             LoadProcess::pfs_default(interference_seed)
         } else {
             LoadProcess::none(interference_seed)
         };
+        if !cfg.faults.pfs_bursts.is_empty() {
+            pfs_load = pfs_load.with_forced_bursts(
+                cfg.faults.pfs_bursts.iter().map(|b| (b.start, b.stop, b.factor)).collect(),
+            );
+        }
         let net_load = if cfg.interference {
             LoadProcess::network_default(interference_seed ^ 0x5a5a)
         } else {
@@ -330,6 +353,7 @@ impl SimCluster {
             queue: BinaryHeap::new(),
             seq: 0,
             now: Time::ZERO,
+            fetch_seq: 0,
             slots,
             dead: vec![false; n_workers],
             last_done: Time::ZERO,
@@ -383,6 +407,16 @@ impl SimCluster {
         if let Some((w, t)) = self.cfg.worker_death {
             self.push(t, Ev::Kill { worker: w as usize });
         }
+        // the fault schedule's perturbations all become ordinary queue
+        // events, so they replay under the same virtual clock as the run
+        let faults = self.cfg.faults.clone();
+        for d in &faults.deaths {
+            self.push(d.time, Ev::Kill { worker: d.worker as usize });
+        }
+        for s in &faults.mofka_stalls {
+            self.push(s.start, Ev::MofkaStall { topic: s.topic.clone(), partition: s.partition });
+            self.push(s.stop, Ev::MofkaUnstall { topic: s.topic.clone(), partition: s.partition });
+        }
 
         // graph bookkeeping for sequential submission
         let mut remaining: Vec<usize> = workflow.graphs.iter().map(|g| g.len()).collect();
@@ -390,6 +424,12 @@ impl SimCluster {
         let total_graphs = graphs.len();
         let mut submitted = 0usize;
         let mut tasks_outstanding: usize = 0;
+        // tasks that completed at least once: a recomputed task (its output
+        // lost to a worker death) completes a second time, which must not
+        // decrement `tasks_outstanding` again — the periodic loops
+        // (heartbeats, fault checks, rebalance) key their liveness on it,
+        // and an early zero would strand unrecovered work
+        let mut completed_once: std::collections::HashSet<TaskKey> = Default::default();
 
         while let Some(Reverse(q)) = self.queue.pop() {
             self.now = q.time;
@@ -446,17 +486,22 @@ impl SimCluster {
                         self.scheduler.task_finished(&key, wid, thread, start, self.now, nbytes);
                     self.process_actions(actions);
                     self.last_done = self.now;
-                    tasks_outstanding = tasks_outstanding.saturating_sub(1);
-                    // sequential submission: next graph when this one drains
-                    // (graph ids are dense 0..n in workflow graphs)
-                    if let Some(gid) = self.graph_of_done(&key) {
-                        if let Some(r) = remaining.get_mut(gid as usize) {
-                            *r = r.saturating_sub(1);
-                            if *r == 0
-                                && workflow.submit == SubmitPolicy::Sequential
-                                && submitted < total_graphs
-                            {
-                                self.push(self.now + workflow.inter_graph, Ev::Submit(submitted));
+                    if completed_once.insert(key.clone()) {
+                        tasks_outstanding = tasks_outstanding.saturating_sub(1);
+                        // sequential submission: next graph when this one
+                        // drains (graph ids are dense 0..n in workflow graphs)
+                        if let Some(gid) = self.graph_of_done(&key) {
+                            if let Some(r) = remaining.get_mut(gid as usize) {
+                                *r = r.saturating_sub(1);
+                                if *r == 0
+                                    && workflow.submit == SubmitPolicy::Sequential
+                                    && submitted < total_graphs
+                                {
+                                    self.push(
+                                        self.now + workflow.inter_graph,
+                                        Ev::Submit(submitted),
+                                    );
+                                }
                             }
                         }
                     }
@@ -475,8 +520,13 @@ impl SimCluster {
                     if self.dead[worker] {
                         continue;
                     }
-                    let addr = self.worker_ids[worker].address();
-                    self.ssg.heartbeat(&addr, self.now);
+                    // a suppression window swallows the beat but the worker
+                    // keeps its schedule — the "stalled event loop" fault:
+                    // the process is healthy yet looks dead to SSG
+                    if !self.cfg.faults.heartbeat_dropped(worker as u32, self.now) {
+                        let addr = self.worker_ids[worker].address();
+                        self.ssg.heartbeat(&addr, self.now);
+                    }
                     if tasks_outstanding > 0 || submitted < total_graphs {
                         let t = self.now + self.cfg.heartbeat_interval;
                         self.push(t, Ev::Heartbeat { worker });
@@ -491,6 +541,12 @@ impl SimCluster {
                                 LogSource::Scheduler,
                                 format!("worker {addr} lost (missed heartbeats)"),
                             );
+                            // fence the evicted worker: even if its process
+                            // is actually healthy (heartbeat suppression),
+                            // the scheduler has re-planned its work, so any
+                            // completion it still delivers must be ignored
+                            // (we do not model reconnection)
+                            self.dead[widx] = true;
                             // free its slots
                             for s in self.slots[widx].iter_mut() {
                                 *s = None;
@@ -517,6 +573,29 @@ impl SimCluster {
                         );
                         // it stops heartbeating; FaultCheck will evict it
                     }
+                }
+                Ev::MofkaStall { topic, partition } => {
+                    // stall injection: appends to the partition stage
+                    // invisibly until the matching unstall
+                    let _ = self.mofka.stall_partition(&topic, partition);
+                }
+                Ev::MofkaUnstall { topic, partition } => {
+                    let _ = self.mofka.unstall_partition(&topic, partition);
+                }
+            }
+            if tasks_outstanding > 0 && self.dead.iter().all(|d| *d) {
+                return Err(DtfError::IllegalState(
+                    "fault schedule killed every worker with tasks outstanding".into(),
+                ));
+            }
+            if self.cfg.invariant_checks {
+                let violations = self.scheduler.invariant_violations();
+                if !violations.is_empty() {
+                    return Err(DtfError::IllegalState(format!(
+                        "scheduler invariant violated at {}: {}",
+                        self.now,
+                        violations.join("; ")
+                    )));
                 }
             }
         }
@@ -546,7 +625,7 @@ impl SimCluster {
         for action in actions {
             match action {
                 Action::Fetch { dep, from, to, nbytes } => {
-                    let (dur, _first) = self.net.transfer_time(
+                    let (mut dur, _first) = self.net.transfer_time(
                         &self.topo,
                         hash_addr(from),
                         from.node,
@@ -556,8 +635,20 @@ impl SimCluster {
                         self.now,
                         &mut self.rng_net,
                     );
+                    // fetch faults key on issue order: delay stretches the
+                    // transfer, duplicate replays its completion (which the
+                    // scheduler must absorb as a no-op)
+                    let fault = self.cfg.faults.fetch_fault(self.fetch_seq).copied();
+                    self.fetch_seq += 1;
+                    if let Some(f) = &fault {
+                        dur += f.extra_delay;
+                    }
                     let start = self.now;
-                    self.push(self.now + dur, Ev::FetchDone { dep, from, to, nbytes, start });
+                    let done = self.now + dur;
+                    self.push(done, Ev::FetchDone { dep: dep.clone(), from, to, nbytes, start });
+                    if fault.map(|f| f.duplicate).unwrap_or(false) {
+                        self.push(done, Ev::FetchDone { dep, from, to, nbytes, start });
+                    }
                 }
             }
         }
@@ -678,6 +769,9 @@ impl SimCluster {
         for rt in &self.runtimes {
             rt.clear_sink(); // drops (and thereby flushes) online producers
         }
+        // stalls whose windows outlived the run must not hide events from
+        // the post-run drain
+        self.mofka.unstall_all();
         let logs: Vec<_> =
             self.runtimes.iter().map(|rt| rt.finalize(self.cfg.run, self.job.job_id)).collect();
         let darshan = LogSet::new(logs);

@@ -9,11 +9,14 @@
 //! * [`mofka`] — event streaming service used to aggregate instrumentation.
 //! * [`darshan`] — I/O characterization (POSIX counters + DXT tracing).
 //! * [`wms`] — the Dask.distributed-analog workflow management system.
+//! * [`chaos`] — deterministic chaos harness: seeded fault schedules,
+//!   invariant oracles, replayable campaigns.
 //! * [`perfrecup`] — multi-source analysis and view engine.
 //! * [`workflows`] — the paper's three workloads and the campaign driver.
 //!
 //! See `examples/quickstart.rs` for a minimal end-to-end characterization.
 
+pub use dtf_chaos as chaos;
 pub use dtf_core as core;
 pub use dtf_darshan as darshan;
 pub use dtf_mofka as mofka;

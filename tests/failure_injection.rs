@@ -93,19 +93,79 @@ fn worker_death_transitions_carry_worker_lost_stimulus() {
 
 #[test]
 fn interference_increases_io_time_variability() {
-    let mean_io = |interference: bool| {
-        let mut total = 0.0;
-        for run in 0..4 {
-            let cfg =
-                SimConfig { campaign_seed: 5, run: RunId(run), interference, ..Default::default() };
-            let data = SimCluster::new(cfg).unwrap().run(long_workflow(64, 0.2, true)).unwrap();
-            total += data.io_time().as_secs_f64();
+    // Seeded 8-run campaigns per arm: interference must raise not just the
+    // mean I/O time but its run-to-run coefficient of variation — the
+    // paper's variability signature — and every run of a pair must be
+    // deterministic given (seed, run, arm).
+    // The workload must give the interference model something to bite on:
+    // 8 MiB reads are bandwidth-bound (the windowed load factor scales the
+    // bandwidth term, not the fixed latency), and 320 two-second tasks
+    // stretch each run across several 5 s interference windows so bursts
+    // can land. Compute jitter is off so the quiet arm isolates the I/O
+    // path's own run-to-run noise.
+    let io_workflow = || {
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        for i in 0..320u32 {
+            let action = SimAction {
+                compute: Dur::from_secs_f64(2.0),
+                io: vec![IoCall::read(
+                    dtf::core::ids::FileId(0),
+                    (i as u64 % 16) * (8 << 20),
+                    8 << 20,
+                )],
+                output_nbytes: 1 << 16,
+                stall_rate: 0.0,
+            };
+            b.add_sim("work", tok, i, vec![], action);
         }
-        total / 4.0
+        SimWorkflow {
+            name: "interference-test".into(),
+            graphs: vec![b.build(&HashSet::new()).unwrap()],
+            submit: SubmitPolicy::AllAtOnce,
+            startup: Dur::from_secs_f64(1.0),
+            inter_graph: Dur::ZERO,
+            shutdown: Dur::ZERO,
+            dataset: vec![("/data".into(), 1 << 30, 4)],
+        }
     };
-    let quiet = mean_io(false);
-    let noisy = mean_io(true);
-    assert!(noisy > quiet, "background interference should increase I/O time ({noisy} vs {quiet})");
+    let io_times = |interference: bool| -> Vec<f64> {
+        (0..12)
+            .map(|run| {
+                let cfg = SimConfig {
+                    campaign_seed: 5,
+                    run: RunId(run),
+                    interference,
+                    compute_jitter_sigma: 0.0,
+                    ..Default::default()
+                };
+                let data = SimCluster::new(cfg).unwrap().run(io_workflow()).unwrap();
+                data.io_time().as_secs_f64()
+            })
+            .collect()
+    };
+    let quiet = dtf::core::stats::Summary::of(&io_times(false));
+    let noisy = dtf::core::stats::Summary::of(&io_times(true));
+    assert!(
+        noisy.mean > quiet.mean,
+        "background interference should increase mean I/O time ({} vs {})",
+        noisy.mean,
+        quiet.mean
+    );
+    assert!(
+        noisy.cv() > quiet.cv(),
+        "background interference should increase run-to-run I/O variability \
+         (CV {} vs {})",
+        noisy.cv(),
+        quiet.cv()
+    );
+    // the burst regime dominates the quiet arm's residual noise
+    assert!(
+        noisy.cv() > 1.5 * quiet.cv(),
+        "interference CV should clearly dominate the quiet arm ({} vs {})",
+        noisy.cv(),
+        quiet.cv()
+    );
 }
 
 #[test]

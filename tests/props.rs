@@ -4,10 +4,13 @@ use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 
-use dtf::core::events::TaskState;
+use dtf::core::events::{Stimulus, TaskState};
+use dtf::core::fault::{
+    FaultSchedule, FetchFault, HeartbeatDrop, InterferenceBurst, MofkaStall, WorkerDeath,
+};
 use dtf::core::ids::{GraphId, RunId, TaskKey};
 use dtf::core::stats::kendall_tau;
-use dtf::core::time::Dur;
+use dtf::core::time::{Dur, Time};
 use dtf::mofka::bedrock::BedrockConfig;
 use dtf::mofka::producer::{PartitionStrategy, ProducerConfig};
 use dtf::mofka::{ConsumerConfig, Event, TopicConfig};
@@ -193,6 +196,252 @@ proptest! {
             prop_assert_eq!(t.row().len(), TransitionEvent::schema().len());
         }
     }
+}
+
+/// Like [`random_dag`], but with task durations (60–500 ms) and dependency
+/// edges both drawn from the byte stream, and 1 MiB outputs so dependency
+/// transfers actually cross workers. Faults land mid-run instead of after
+/// the whole graph has drained.
+fn random_dag_heavy(layers: usize, width: usize, bytes: Vec<u8>) -> TaskGraph {
+    let mut b = GraphBuilder::new(GraphId(0));
+    let tok = b.new_token();
+    let mut prev: Vec<TaskKey> = Vec::new();
+    let mut byte_iter = bytes.into_iter().cycle();
+    for layer in 0..layers {
+        let mut current = Vec::new();
+        for i in 0..width {
+            let deps: Vec<TaskKey> = prev
+                .iter()
+                .filter(|_| byte_iter.next().unwrap_or(0).is_multiple_of(3))
+                .cloned()
+                .collect();
+            let ms = 60.0 + 4.0 * (byte_iter.next().unwrap_or(0) % 110) as f64;
+            current.push(b.add_sim(
+                "node",
+                tok,
+                (layer * width + i) as u32,
+                deps,
+                SimAction::compute_only(Dur::from_millis_f64(ms), 1 << 20),
+            ));
+        }
+        prev = current;
+    }
+    b.build(&HashSet::new()).expect("layered DAG is acyclic")
+}
+
+fn workflow_of(graph: TaskGraph) -> SimWorkflow {
+    SimWorkflow {
+        name: "prop".into(),
+        graphs: vec![graph],
+        submit: SubmitPolicy::AllAtOnce,
+        startup: Dur::from_secs_f64(1.0),
+        inter_graph: Dur::ZERO,
+        shutdown: Dur::ZERO,
+        dataset: vec![],
+    }
+}
+
+/// Strategy over arbitrary [`FaultSchedule`] values for the default
+/// 8-worker cluster: up to two deaths and heartbeat-suppression windows
+/// (never ordinal 0 — someone must survive), up to six perturbed
+/// transfers, plus Mofka partition stalls and forced PFS bursts. Fault
+/// times are fractions of `horizon_s`, which should roughly match the
+/// run length so the perturbations land mid-run.
+fn fault_schedule_strategy(horizon_s: f64) -> impl Strategy<Value = FaultSchedule> {
+    let deaths = proptest::collection::vec((1u32..8, 0.1f64..0.9), 0..3).prop_map(move |ds| {
+        let mut out: Vec<WorkerDeath> = Vec::new();
+        for (worker, frac) in ds {
+            if out.iter().all(|d| d.worker != worker) {
+                out.push(WorkerDeath { worker, time: Time::from_secs_f64(horizon_s * frac) });
+            }
+        }
+        out
+    });
+    let fetches =
+        proptest::collection::vec((0u64..48, 0.0f64..6.0, any::<bool>()), 0..7).prop_map(|fs| {
+            let mut out: Vec<FetchFault> = Vec::new();
+            for (index, delay, duplicate) in fs {
+                if out.iter().all(|f| f.index != index) {
+                    out.push(FetchFault {
+                        index,
+                        extra_delay: Dur::from_secs_f64(delay),
+                        duplicate,
+                    });
+                }
+            }
+            out
+        });
+    let drops =
+        proptest::collection::vec((1u32..8, 0.0f64..0.8, 0.5f64..6.0), 0..3).prop_map(move |ds| {
+            ds.into_iter()
+                .map(|(worker, frac, len)| HeartbeatDrop {
+                    worker,
+                    start: Time::from_secs_f64(horizon_s * frac),
+                    stop: Time::from_secs_f64(horizon_s * frac + len),
+                })
+                .collect::<Vec<_>>()
+        });
+    let stalls = proptest::collection::vec((0usize..6, 0u32..4, 0.0f64..0.9, 1.0f64..15.0), 0..3)
+        .prop_map(move |ss| {
+            ss.into_iter()
+                .map(|(topic, partition, frac, len)| MofkaStall {
+                    topic: dtf::chaos::STALLABLE_TOPICS[topic].into(),
+                    partition,
+                    start: Time::from_secs_f64(horizon_s * frac),
+                    stop: Time::from_secs_f64(horizon_s * frac + len),
+                })
+                .collect::<Vec<_>>()
+        });
+    let bursts = proptest::collection::vec((0.0f64..0.9, 1.0f64..5.0, 1.5f64..8.0), 0..3).prop_map(
+        move |bs| {
+            bs.into_iter()
+                .map(|(frac, len, factor)| InterferenceBurst {
+                    start: Time::from_secs_f64(horizon_s * frac),
+                    stop: Time::from_secs_f64(horizon_s * frac + len),
+                    factor,
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    (deaths, fetches, drops, stalls, bursts).prop_map(
+        |(deaths, fetch_faults, heartbeat_drops, mofka_stalls, pfs_bursts)| FaultSchedule {
+            seed: 0,
+            deaths,
+            fetch_faults,
+            heartbeat_drops,
+            mofka_stalls,
+            pfs_bursts,
+        },
+    )
+}
+
+proptest! {
+    // the chaos cases run each schedule twice (replay gate), so keep the
+    // case count modest
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chaos soundness: any fault schedule over any layered DAG completes
+    /// every task, passes the live scheduler invariants and every post-run
+    /// oracle, and replays byte-identically.
+    #[test]
+    fn arbitrary_fault_schedules_uphold_all_oracles(
+        layers in 2usize..4,
+        width in 2usize..6,
+        bytes in proptest::collection::vec(any::<u8>(), 4..48),
+        faults in fault_schedule_strategy(4.0),
+        seed in 0u64..500,
+    ) {
+        let graph = random_dag_heavy(layers, width, bytes);
+        let n_tasks = graph.len();
+        let wf = workflow_of(graph);
+        let cfg = SimConfig {
+            campaign_seed: seed,
+            run: RunId(0),
+            faults,
+            invariant_checks: true,
+            compute_jitter_sigma: 0.0,
+            ..Default::default()
+        };
+        // invariant_checks makes the run itself fail on the first live
+        // structural violation, so the unwrap is part of the property
+        let data = SimCluster::new(cfg.clone()).unwrap().run(wf.clone()).unwrap();
+        prop_assert_eq!(data.distinct_tasks(), n_tasks, "every task completes");
+        let violations = dtf::chaos::check_run(&data);
+        prop_assert!(violations.is_empty(), "oracle violations: {violations:?}");
+        // replay gate: the same seed + schedule is byte-identical
+        let again = SimCluster::new(cfg).unwrap().run(wf).unwrap();
+        prop_assert_eq!(
+            dtf::chaos::transition_log(&data),
+            dtf::chaos::transition_log(&again),
+            "fault schedule must replay deterministically"
+        );
+    }
+
+    /// Work stealing never violates dependency order, and the accounting
+    /// agrees everywhere: `RunData::steals` equals the number of
+    /// WorkStolen transitions, and is zero when stealing is disabled.
+    #[test]
+    fn work_stealing_safe_and_accounted(
+        layers in 1usize..4,
+        width in 2usize..10,
+        bytes in proptest::collection::vec(any::<u8>(), 4..48),
+        seed in 0u64..500,
+        stealing in any::<bool>(),
+    ) {
+        let graph = random_dag_heavy(layers, width, bytes);
+        let n_tasks = graph.len();
+        let deps: HashMap<TaskKey, Vec<TaskKey>> =
+            graph.tasks.iter().map(|t| (t.key.clone(), t.deps.clone())).collect();
+        let mut cfg = SimConfig {
+            campaign_seed: seed,
+            run: RunId(0),
+            invariant_checks: true,
+            ..Default::default()
+        };
+        cfg.scheduler.work_stealing = stealing;
+        let data = SimCluster::new(cfg).unwrap().run(workflow_of(graph)).unwrap();
+        prop_assert_eq!(data.task_done.len(), n_tasks);
+        let finish: HashMap<TaskKey, Time> =
+            data.task_done.iter().map(|d| (d.key.clone(), d.stop)).collect();
+        for d in &data.task_done {
+            for dep in &deps[&d.key] {
+                prop_assert!(
+                    finish[dep] <= d.start,
+                    "stolen or not, a task never starts before its deps are in memory"
+                );
+            }
+        }
+        let stolen =
+            data.transitions.iter().filter(|t| t.stimulus == Stimulus::WorkStolen).count() as u64;
+        prop_assert_eq!(data.steals, stolen, "steal counter matches WorkStolen transitions");
+        if !stealing {
+            prop_assert_eq!(data.steals, 0, "stealing off means no steals");
+        }
+    }
+}
+
+/// Companion to [`work_stealing_safe_and_accounted`]: on a deliberately
+/// skewed workload stealing actually engages, so the property above is not
+/// vacuously true.
+#[test]
+fn stealing_engages_on_skewed_load() {
+    use dtf::wms::sim::SimCluster;
+    let mut b = GraphBuilder::new(GraphId(0));
+    let tok = b.new_token();
+    for root_idx in 0..4u32 {
+        let root = b.add_sim(
+            "shard",
+            tok,
+            root_idx,
+            vec![],
+            SimAction::compute_only(Dur::from_secs_f64(1.0), 8 << 30),
+        );
+        // skewed fan-out: shard k has 10k children, pinned by an 8 GB dep
+        for c in 0..(10 * root_idx) {
+            b.add_sim(
+                "analyze",
+                tok + 1 + root_idx,
+                c,
+                vec![root.clone()],
+                SimAction::compute_only(Dur::from_secs_f64(2.0), 1 << 20),
+            );
+        }
+    }
+    let graph = b.build(&HashSet::new()).unwrap();
+    let run = |stealing: bool| {
+        let mut cfg = SimConfig { campaign_seed: 7, run: RunId(0), ..Default::default() };
+        cfg.scheduler.work_stealing = stealing;
+        SimCluster::new(cfg).unwrap().run(workflow_of(graph.clone())).unwrap()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert!(on.steals > 0, "skewed load must trigger stealing");
+    assert_eq!(
+        on.steals,
+        on.transitions.iter().filter(|t| t.stimulus == Stimulus::WorkStolen).count() as u64
+    );
+    assert_eq!(off.steals, 0);
+    assert_eq!(on.distinct_tasks(), off.distinct_tasks());
 }
 
 #[test]
