@@ -11,6 +11,9 @@
 //!                    exits nonzero on any oracle/determinism failure)
 //!   chaos-replay    (--seed N --index I: replay one schedule, print its
 //!                    JSON and outcome)
+//!   bench           (--runs N --jobs J: timed perf sweep — scheduler
+//!                    throughput, frame kernels, sequential-vs-parallel
+//!                    campaigns — written to BENCH_repro.json)
 //!   all      (everything above, in order)
 //! ```
 //!
@@ -25,9 +28,14 @@ fn main() {
     let mut runs: Option<u32> = None;
     let mut schedules = 50u64;
     let mut index = 0u64;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "--seed" => {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
@@ -53,6 +61,7 @@ fn main() {
     match cmd.as_str() {
         "chaos" => std::process::exit(chaos_campaign(seed, schedules)),
         "chaos-replay" => std::process::exit(chaos_replay(seed, index)),
+        "bench" => std::process::exit(perf_bench(seed, runs.unwrap_or(3), jobs)),
         _ => {}
     }
     let ablation_runs = runs.unwrap_or(6);
@@ -169,12 +178,30 @@ fn chaos_replay(seed: u64, index: u64) -> i32 {
     }
 }
 
+/// Timed perf sweep. Writes `BENCH_repro.json` to the working directory
+/// and prints a short summary; exits nonzero if the artifact could not be
+/// written (the parallel-vs-sequential identity check asserts internally).
+fn perf_bench(seed: u64, runs: u32, jobs: Option<usize>) -> i32 {
+    let (json, text) = dtf_bench::perf::bench_artifact(seed, runs, jobs);
+    print!("{text}");
+    match std::fs::write("BENCH_repro.json", json) {
+        Ok(()) => {
+            println!("wrote BENCH_repro.json");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write BENCH_repro.json: {e}");
+            1
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|\\
 ablation-stealing|ablation-dxt-buffer|ablation-dxt-threads|\\
 ablation-schedule-order|ablation-mofka-batch|overhead|\\
-chaos|chaos-replay|all> [--seed N] [--runs N] [--schedules K] [--index I]"
+chaos|chaos-replay|bench|all> [--seed N] [--runs N] [--schedules K] [--index I] [--jobs J]"
     );
     std::process::exit(2)
 }

@@ -9,5 +9,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::{fig3, fig4, fig5, fig6, fig7, fig8, table1};
+pub use perf::{bench_artifact, bench_report, BenchReport};

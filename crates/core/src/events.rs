@@ -162,7 +162,7 @@ impl Tabular for WorkerTransitionEvent {
     fn row(&self) -> Vec<Value> {
         vec![
             Value::Str(self.key.to_string()),
-            Value::Str(self.key.prefix.clone()),
+            Value::Str(self.key.prefix.as_str().to_string()),
             Value::U64(self.graph.0 as u64),
             Value::Str(self.worker.address()),
             Value::Str(self.from.as_str().to_string()),
@@ -259,7 +259,7 @@ impl Tabular for TaskMetaEvent {
         vec![
             Value::Str(self.key.to_string()),
             Value::Str(self.key.group()),
-            Value::Str(self.key.prefix.clone()),
+            Value::Str(self.key.prefix.as_str().to_string()),
             Value::U64(self.graph.0 as u64),
             Value::Str(self.client.to_string()),
             Value::U64(self.deps.len() as u64),
@@ -423,7 +423,7 @@ impl Tabular for TransitionEvent {
         vec![
             Value::Str(self.key.to_string()),
             Value::Str(self.key.group()),
-            Value::Str(self.key.prefix.clone()),
+            Value::Str(self.key.prefix.as_str().to_string()),
             Value::U64(self.graph.0 as u64),
             Value::Str(self.from.as_str().to_string()),
             Value::Str(self.to.as_str().to_string()),
@@ -458,7 +458,7 @@ impl Tabular for TaskDoneEvent {
         vec![
             Value::Str(self.key.to_string()),
             Value::Str(self.key.group()),
-            Value::Str(self.key.prefix.clone()),
+            Value::Str(self.key.prefix.as_str().to_string()),
             Value::U64(self.graph.0 as u64),
             Value::Str(self.worker.address()),
             Value::Str(self.worker.node.hostname()),

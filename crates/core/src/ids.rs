@@ -7,7 +7,11 @@
 //! timestamps. The types below are those identifiers.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::collections::HashSet;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Identifier of one end-to-end execution of a workflow (one "run" of a
 /// campaign). Runs of the same workflow differ only by seed / placement.
@@ -32,23 +36,159 @@ impl fmt::Display for GraphId {
     }
 }
 
+/// An interned task prefix: a shared, immutable `Arc<str>`.
+///
+/// A workflow has tens of distinct prefixes but tens of thousands of tasks,
+/// and the scheduler's hot event loop clones [`TaskKey`]s on every
+/// transition, dispatch, and fetch. Interning turns every one of those
+/// clones from a heap-allocating `String` copy into a reference-count bump.
+/// Ordering, hashing, and equality all delegate to the underlying `str`, so
+/// `TaskPrefix` behaves exactly like the `String` it replaced in maps, sets,
+/// and sorted containers.
+#[derive(Debug, Clone)]
+pub struct TaskPrefix(Arc<str>);
+
+/// The global prefix table. Append-only; a handful of entries per workload.
+fn interner() -> &'static Mutex<HashSet<Arc<str>>> {
+    static INTERNER: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+impl TaskPrefix {
+    /// Intern `s`: return the canonical shared allocation for this spelling.
+    pub fn intern(s: &str) -> Self {
+        let mut table = interner().lock().expect("prefix interner poisoned");
+        if let Some(existing) = table.get(s) {
+            return Self(existing.clone());
+        }
+        let arc: Arc<str> = Arc::from(s);
+        table.insert(arc.clone());
+        Self(arc)
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for TaskPrefix {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for TaskPrefix {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for TaskPrefix {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for TaskPrefix {
+    fn eq(&self, other: &Self) -> bool {
+        // interned: pointer equality short-circuits the common case
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+impl Eq for TaskPrefix {}
+
+impl PartialEq<str> for TaskPrefix {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for TaskPrefix {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for TaskPrefix {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl std::hash::Hash for TaskPrefix {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // must agree with str's Hash (Borrow<str> contract)
+        (*self.0).hash(state)
+    }
+}
+
+impl PartialOrd for TaskPrefix {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TaskPrefix {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Display for TaskPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TaskPrefix {
+    fn from(s: &str) -> Self {
+        Self::intern(s)
+    }
+}
+
+impl From<String> for TaskPrefix {
+    fn from(s: String) -> Self {
+        Self::intern(&s)
+    }
+}
+
+impl From<&TaskPrefix> for String {
+    fn from(p: &TaskPrefix) -> String {
+        p.as_str().to_string()
+    }
+}
+
+impl Serialize for TaskPrefix {
+    fn to_content(&self) -> serde::json_impl::Value {
+        serde::json_impl::Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for TaskPrefix {
+    fn from_content(v: &serde::json_impl::Value) -> Result<Self, serde::json_impl::Error> {
+        String::from_content(v).map(|s| Self::intern(&s))
+    }
+}
+
 /// A task key, mirroring Dask's `(prefix-token, index)` convention, e.g.
 /// `('getitem__get_categories-24266c..', 63)`.
 ///
 /// * `prefix` — the human-readable operation category (Dask calls the
 ///   deduplicated form "task prefix"; groups of tasks sharing a token form a
-///   "task group").
+///   "task group"). Interned: cloning a `TaskKey` bumps a reference count
+///   instead of copying the string.
 /// * `token` — a hash-like token distinguishing groups with the same prefix.
 /// * `index` — position within the group (chunk / partition number).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskKey {
-    pub prefix: String,
+    pub prefix: TaskPrefix,
     pub token: u32,
     pub index: u32,
 }
 
 impl TaskKey {
-    pub fn new(prefix: impl Into<String>, token: u32, index: u32) -> Self {
+    pub fn new(prefix: impl Into<TaskPrefix>, token: u32, index: u32) -> Self {
         Self { prefix: prefix.into(), token, index }
     }
 
@@ -159,6 +299,22 @@ mod tests {
         let k = TaskKey::new("getitem__get_categories", 0x24266c, 63);
         assert_eq!(k.to_string(), "('getitem__get_categories-24266c', 63)");
         assert_eq!(k.group(), "getitem__get_categories-24266c");
+    }
+
+    #[test]
+    fn prefixes_are_interned_and_compare_like_strings() {
+        let a = TaskKey::new("getitem", 1, 0);
+        let b = TaskKey::new("getitem", 2, 5);
+        // one shared allocation per spelling
+        assert!(Arc::ptr_eq(&a.prefix.0, &b.prefix.0));
+        assert_eq!(a.prefix, "getitem");
+        assert_eq!(a.prefix.as_str(), "getitem");
+        assert!(a.prefix == b.prefix);
+        assert!(TaskPrefix::intern("a") < TaskPrefix::intern("b"));
+        // Hash agrees with str (Borrow<str> contract): usable as map key
+        let mut m = std::collections::HashMap::new();
+        m.insert(a.prefix.clone(), 1u32);
+        assert_eq!(m.get("getitem"), Some(&1));
     }
 
     #[test]

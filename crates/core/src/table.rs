@@ -97,6 +97,135 @@ impl Value {
     }
 }
 
+/// Borrowed key form of a [`Value`]: `Hash + Eq + Ord` over the typed
+/// variants, so join indexes and group tables can hash rows without
+/// rendering each cell to a fresh `String` (the old per-row `to_string()`
+/// allocation in `inner_join`/`group_by`).
+///
+/// Equality semantics match what display-form hashing gave the identifier
+/// columns the analyses join on: `U64` and non-negative `I64` canonicalize
+/// to one integer variant (both rendered `"1"`), floats keep their own
+/// identity (rendered `"1.000000"`, never equal to an integer cell), and
+/// `-0.0`/`NaN` are folded to canonical bit patterns so equal-displaying
+/// floats hash together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKey<'a> {
+    Null,
+    Bool(bool),
+    /// Strictly negative `I64`.
+    NegInt(i64),
+    /// `U64`, and `I64 >= 0` canonicalized onto it.
+    UInt(u64),
+    /// `F64` by canonical bits (`-0.0` → `0.0`, any NaN → one quiet NaN).
+    F64(u64),
+    Str(&'a str),
+}
+
+const CANON_NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
+
+fn canon_f64_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        CANON_NAN_BITS
+    } else if v == 0.0 {
+        0 // folds -0.0 onto +0.0
+    } else {
+        v.to_bits()
+    }
+}
+
+impl<'a> ValueKey<'a> {
+    fn rank(&self) -> u8 {
+        match self {
+            ValueKey::Null => 0,
+            ValueKey::Bool(_) => 1,
+            ValueKey::NegInt(_) | ValueKey::UInt(_) | ValueKey::F64(_) => 2,
+            ValueKey::Str(_) => 3,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            ValueKey::NegInt(v) => Some(*v as f64),
+            ValueKey::UInt(v) => Some(*v as f64),
+            ValueKey::F64(bits) => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// Exactly [`Value::cmp_total`]'s ordering — Null < Bool < numbers <
+    /// Str, numbers by value with NaN last — including its Equal verdict
+    /// for numerically equal cells of different variants, so a stable sort
+    /// over `ValueKey`s reorders nothing a stable sort over `cmp_total`
+    /// would keep.
+    pub fn cmp_sort(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        match (self, other) {
+            (ValueKey::Null, ValueKey::Null) => Equal,
+            (ValueKey::Bool(a), ValueKey::Bool(b)) => a.cmp(b),
+            (ValueKey::Str(a), ValueKey::Str(b)) => a.cmp(b),
+            (a, b) if a.rank() == 2 && b.rank() == 2 => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.partial_cmp(&y).unwrap_or_else(|| match (x.is_nan(), y.is_nan()) {
+                    (true, true) => Equal,
+                    (true, false) => Greater,
+                    (false, true) => Less,
+                    _ => unreachable!(),
+                })
+            }
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+
+    /// Exact-payload tiebreak used to make [`Ord`] agree with [`Eq`] where
+    /// `cmp_sort` reports Equal for distinct keys (cross-variant numeric
+    /// ties, and integers beyond f64 precision).
+    fn tiebreak(&self, other: &Self) -> std::cmp::Ordering {
+        fn sub(v: &ValueKey<'_>) -> u8 {
+            match v {
+                ValueKey::NegInt(_) => 0,
+                ValueKey::UInt(_) => 1,
+                ValueKey::F64(_) => 2,
+                _ => 3,
+            }
+        }
+        sub(self).cmp(&sub(other)).then_with(|| match (self, other) {
+            (ValueKey::NegInt(a), ValueKey::NegInt(b)) => a.cmp(b),
+            (ValueKey::UInt(a), ValueKey::UInt(b)) => a.cmp(b),
+            (ValueKey::F64(a), ValueKey::F64(b)) => a.cmp(b),
+            _ => std::cmp::Ordering::Equal,
+        })
+    }
+}
+
+impl Ord for ValueKey<'_> {
+    /// Total order consistent with `Eq`: `cmp_sort`'s verdict, with exact
+    /// payloads breaking its cross-variant numeric ties.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp_sort(other).then_with(|| self.tiebreak(other))
+    }
+}
+
+impl PartialOrd for ValueKey<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Value {
+    /// The borrowed key form of this cell (see [`ValueKey`]).
+    pub fn key(&self) -> ValueKey<'_> {
+        match self {
+            Value::Null => ValueKey::Null,
+            Value::Bool(b) => ValueKey::Bool(*b),
+            Value::I64(v) if *v < 0 => ValueKey::NegInt(*v),
+            Value::I64(v) => ValueKey::UInt(*v as u64),
+            Value::U64(v) => ValueKey::UInt(*v),
+            Value::F64(v) => ValueKey::F64(canon_f64_bits(*v)),
+            Value::Str(s) => ValueKey::Str(s),
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -182,6 +311,68 @@ mod tests {
         assert_eq!(Value::F64(f64::NAN).cmp_total(&Value::F64(1.0)), Ordering::Greater);
         assert_eq!(Value::F64(1.0).cmp_total(&Value::F64(f64::NAN)), Ordering::Less);
         assert_eq!(Value::F64(f64::NAN).cmp_total(&Value::F64(f64::NAN)), Ordering::Equal);
+    }
+
+    // Pinned behaviour for the ValueKey kernels: cmp_total across every
+    // pair of variants, including the Equal verdicts the stable sorts in
+    // the analysis layer rely on.
+    #[test]
+    fn cmp_total_pins_mixed_variant_ordering() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::I64(-2),
+            Value::U64(1),
+            Value::F64(1.5),
+            Value::Str("a".into()),
+        ];
+        // strictly ascending as listed
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                let expect = i.cmp(&j);
+                assert_eq!(vals[i].cmp_total(&vals[j]), expect, "{:?} vs {:?}", vals[i], vals[j]);
+            }
+        }
+        // cross-variant numeric ties are Equal, not variant-ordered
+        assert_eq!(Value::I64(1).cmp_total(&Value::U64(1)), Ordering::Equal);
+        assert_eq!(Value::U64(2).cmp_total(&Value::F64(2.0)), Ordering::Equal);
+        assert_eq!(Value::I64(-1).cmp_total(&Value::F64(-1.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn value_key_matches_cmp_total_and_display_equality() {
+        use std::cmp::Ordering;
+        // cmp_sort reproduces cmp_total on every pair
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::I64(-2),
+            Value::I64(3),
+            Value::U64(3),
+            Value::U64(9),
+            Value::F64(3.0),
+            Value::F64(f64::NAN),
+            Value::Str("s".into()),
+        ];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    a.key().cmp_sort(&b.key()),
+                    a.cmp_total(b),
+                    "cmp_sort diverges from cmp_total for {a:?} vs {b:?}"
+                );
+            }
+        }
+        // hashing equality matches the display forms of identifier columns
+        assert_eq!(Value::I64(3).key(), Value::U64(3).key(), "both render \"3\"");
+        assert_ne!(Value::F64(3.0).key(), Value::U64(3).key(), "\"3.000000\" != \"3\"");
+        assert_ne!(Value::Str("3".into()).key(), Value::U64(3).key(), "typed, unlike display");
+        assert_eq!(Value::F64(0.0).key(), Value::F64(-0.0).key());
+        assert_eq!(Value::F64(f64::NAN).key(), Value::F64(-f64::NAN).key());
+        // Ord is total and consistent with Eq (ties broken by payload)
+        assert_ne!(Value::U64(3).key().cmp(&Value::F64(3.0).key()), Ordering::Equal);
+        assert_eq!(Value::U64(3).key().cmp(&Value::U64(3).key()), Ordering::Equal);
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub fn per_category(data: &RunData) -> Vec<CategoryStats> {
         io_ops: u64,
         io_bytes: u64,
     }
-    let mut acc: HashMap<String, Acc> = HashMap::new();
+    // keyed by the interned prefix: no per-task string allocation
+    let mut acc: HashMap<dtf_core::ids::TaskPrefix, Acc> = HashMap::new();
     for d in &data.task_done {
         let a = acc.entry(d.key.prefix.clone()).or_insert_with(|| Acc {
             duration: Welford::new(),
@@ -75,7 +76,7 @@ pub fn per_category(data: &RunData) -> Vec<CategoryStats> {
     let mut out: Vec<CategoryStats> = acc
         .into_iter()
         .map(|(category, a)| CategoryStats {
-            category,
+            category: category.as_str().to_string(),
             tasks: a.duration.count() as usize,
             duration: a.duration.summary(),
             output_nbytes: a.nbytes.summary(),

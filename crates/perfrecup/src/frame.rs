@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use dtf_core::error::{DtfError, Result};
-use dtf_core::table::{Tabular, Value};
+use dtf_core::table::{Tabular, Value, ValueKey};
 
 /// Column-major table with string column names.
 ///
@@ -49,10 +49,18 @@ impl DataFrame {
     pub fn from_tabular<T: Tabular>(records: &[T]) -> Self {
         let names: Vec<String> = T::schema().into_iter().map(str::to_string).collect();
         let mut df = DataFrame::new(names);
+        df.reserve(records.len());
         for r in records {
             df.push_row(r.row()).expect("schema-conforming row");
         }
         df
+    }
+
+    /// Reserve capacity for `additional` more rows in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for col in &mut self.columns {
+            col.reserve(additional);
+        }
     }
 
     pub fn n_rows(&self) -> usize {
@@ -134,11 +142,15 @@ impl DataFrame {
         }
     }
 
-    /// Stable sort by a column, ascending.
+    /// Stable sort by a column, ascending ([`Value::cmp_total`] order).
     pub fn sort_by(&self, col: &str) -> Result<DataFrame> {
         let ci = self.col_index(col)?;
+        // extract each cell's typed key once instead of re-matching the
+        // Value variants on every comparison; cmp_sort preserves
+        // cmp_total's verdicts exactly, so the stable sort is unchanged
+        let keys: Vec<ValueKey<'_>> = self.columns[ci].iter().map(Value::key).collect();
         let mut order: Vec<usize> = (0..self.n_rows()).collect();
-        order.sort_by(|&a, &b| self.columns[ci][a].cmp_total(&self.columns[ci][b]));
+        order.sort_by(|&a, &b| keys[a].cmp_sort(&keys[b]));
         Ok(self.take(&order))
     }
 
@@ -158,11 +170,12 @@ impl DataFrame {
     ) -> Result<DataFrame> {
         let li = self.col_index(left_on)?;
         let ri = other.col_index(right_on)?;
-        // hash the right side by the join key's display form (Value is not
-        // Hash; display form is injective for our identifier columns)
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        // hash the right side by the borrowed typed key — zero per-row
+        // string rendering (the old code allocated a display-form String
+        // for every row of both sides)
+        let mut index: HashMap<ValueKey<'_>, Vec<usize>> = HashMap::with_capacity(other.n_rows());
         for (i, v) in other.columns[ri].iter().enumerate() {
-            index.entry(v.to_string()).or_default().push(i);
+            index.entry(v.key()).or_default().push(i);
         }
         let mut names = self.names.clone();
         for (j, n) in other.names.iter().enumerate() {
@@ -175,41 +188,49 @@ impl DataFrame {
                 names.push(n.clone());
             }
         }
-        let mut out = DataFrame::new(names);
+        // probe pass: collect the (left, right) row pairs so every output
+        // column can be assembled column-major with exact capacity
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         for i in 0..self.n_rows() {
-            if let Some(matches) = index.get(&self.columns[li][i].to_string()) {
-                for &j in matches {
-                    let mut row = self.row(i);
-                    for (cj, c) in other.columns.iter().enumerate() {
-                        if cj != ri {
-                            row.push(c[j].clone());
-                        }
-                    }
-                    out.push_row(row)?;
-                }
+            if let Some(matches) = index.get(&self.columns[li][i].key()) {
+                pairs.extend(matches.iter().map(|&j| (i, j)));
             }
+        }
+        let mut out = DataFrame::new(names);
+        for (ci, col) in self.columns.iter().enumerate() {
+            let mut vals = Vec::with_capacity(pairs.len());
+            vals.extend(pairs.iter().map(|&(i, _)| col[i].clone()));
+            out.columns[ci] = vals;
+        }
+        for (cj, col) in other.columns.iter().enumerate().filter(|&(cj, _)| cj != ri) {
+            let mut vals = Vec::with_capacity(pairs.len());
+            vals.extend(pairs.iter().map(|&(_, j)| col[j].clone()));
+            let oi = self.columns.len() + if cj < ri { cj } else { cj - 1 };
+            out.columns[oi] = vals;
         }
         Ok(out)
     }
 
     /// Group by a key column and aggregate a value column.
-    /// Returns a frame with columns `[key, agg]`, ordered by key.
+    /// Returns a frame with columns `[key, agg]`, ordered by key
+    /// ([`Value::cmp_total`] order; string keys sort exactly as before,
+    /// numeric keys sort numerically rather than by their rendered digits).
     pub fn group_by(&self, key: &str, value: &str, agg: Agg) -> Result<DataFrame> {
         let ki = self.col_index(key)?;
         let vi = self.col_index(value)?;
-        let mut groups: HashMap<String, (Value, Vec<f64>)> = HashMap::new();
+        // keyed by the borrowed typed key; the first-seen row index stands
+        // in for the cloned key Value the old String-keyed table carried
+        let mut groups: HashMap<ValueKey<'_>, (usize, Vec<f64>)> = HashMap::new();
         for i in 0..self.n_rows() {
-            let k = self.columns[ki][i].to_string();
-            let entry =
-                groups.entry(k).or_insert_with(|| (self.columns[ki][i].clone(), Vec::new()));
+            let entry = groups.entry(self.columns[ki][i].key()).or_insert_with(|| (i, Vec::new()));
             if let Some(x) = self.columns[vi][i].as_f64() {
                 entry.1.push(x);
             } else if agg == Agg::Count {
                 entry.1.push(0.0); // counting non-numeric rows still counts
             }
         }
-        let mut keys: Vec<&String> = groups.keys().collect();
-        keys.sort();
+        let mut keys: Vec<&ValueKey<'_>> = groups.keys().collect();
+        keys.sort(); // Ord: cmp_total order with exact-payload tiebreak
         let agg_name = match agg {
             Agg::Count => "count",
             Agg::Sum => "sum",
@@ -218,8 +239,10 @@ impl DataFrame {
             Agg::Max => "max",
         };
         let mut out = DataFrame::new(vec![key.to_string(), format!("{value}_{agg_name}")]);
+        out.reserve(keys.len());
         for k in keys {
-            let (kv, vals) = &groups[k];
+            let (first_row, vals) = &groups[k];
+            let kv = &self.columns[ki][*first_row];
             let v = match agg {
                 Agg::Count => Value::U64(vals.len() as u64),
                 Agg::Sum => Value::F64(vals.iter().sum()),
@@ -396,6 +419,71 @@ mod tests {
         assert_eq!(g.col_f64("x_mean").unwrap()[0], 20.0);
         let g = d.group_by("tag", "x", Agg::Max).unwrap();
         assert_eq!(g.col_f64("x_max").unwrap(), vec![30.0, 20.0]);
+    }
+
+    // Pinned behaviour: `Agg::Count` counts *every* row of the group,
+    // numeric or not — a non-numeric value column still contributes to the
+    // count (pandas' `size` semantics, which the warnings views rely on).
+    #[test]
+    fn count_includes_non_numeric_rows() {
+        let mut d = DataFrame::new(vec!["k".into(), "v".into()]);
+        d.push_row(vec![Value::Str("a".into()), Value::Str("x".into())]).unwrap();
+        d.push_row(vec![Value::Str("a".into()), Value::F64(1.0)]).unwrap();
+        d.push_row(vec![Value::Str("a".into()), Value::Null]).unwrap();
+        d.push_row(vec![Value::Str("b".into()), Value::Bool(true)]).unwrap();
+        let g = d.group_by("k", "v", Agg::Count).unwrap();
+        assert_eq!(g.col("v_count").unwrap()[0].as_u64(), Some(3), "a: str+f64+null all count");
+        assert_eq!(g.col("v_count").unwrap()[1].as_u64(), Some(1), "b: bool counts");
+        // ...while numeric aggregations keep skipping non-numeric cells
+        let g = d.group_by("k", "v", Agg::Sum).unwrap();
+        assert_eq!(g.col_f64("v_sum").unwrap()[0], 1.0);
+    }
+
+    // Pinned behaviour: grouping keys of mixed *numeric* variants collapse
+    // when their values coincide (U64(1) and I64(1) are one group), floats
+    // keep their own identity, and strings never merge with numbers.
+    #[test]
+    fn group_keys_unify_cross_typed_integers() {
+        let mut d = DataFrame::new(vec!["k".into(), "x".into()]);
+        d.push_row(vec![Value::U64(1), Value::F64(10.0)]).unwrap();
+        d.push_row(vec![Value::I64(1), Value::F64(20.0)]).unwrap();
+        d.push_row(vec![Value::F64(1.0), Value::F64(40.0)]).unwrap();
+        let g = d.group_by("k", "x", Agg::Sum).unwrap();
+        assert_eq!(g.n_rows(), 2, "U64(1)+I64(1) merge; F64(1.0) stays separate");
+        let sums: Vec<f64> = g.col_f64("x_sum").unwrap();
+        assert!(sums.contains(&30.0) && sums.contains(&40.0));
+    }
+
+    #[test]
+    fn join_matches_cross_typed_integer_keys() {
+        let mut left = DataFrame::new(vec!["k".into(), "x".into()]);
+        left.push_row(vec![Value::U64(7), Value::F64(1.0)]).unwrap();
+        let mut right = DataFrame::new(vec!["k".into(), "y".into()]);
+        right.push_row(vec![Value::I64(7), Value::F64(2.0)]).unwrap();
+        let j = left.inner_join(&right, "k", "k").unwrap();
+        assert_eq!(j.n_rows(), 1, "U64(7) joins I64(7)");
+    }
+
+    #[test]
+    fn sort_by_is_stable_across_mixed_variants() {
+        // mixed column: cmp_total ranks Null < Bool < numbers < Str and the
+        // sort must be stable for equal-comparing cells
+        let mut d = DataFrame::new(vec!["v".into(), "i".into()]);
+        let cells = [
+            Value::Str("z".into()),
+            Value::F64(2.0),
+            Value::U64(2), // compares Equal to F64(2.0): stability matters
+            Value::Null,
+            Value::Bool(true),
+            Value::I64(-1),
+        ];
+        for (i, c) in cells.iter().enumerate() {
+            d.push_row(vec![c.clone(), Value::U64(i as u64)]).unwrap();
+        }
+        let s = d.sort_by("v").unwrap();
+        let order: Vec<u64> = s.col("i").unwrap().iter().map(|v| v.as_u64().unwrap()).collect();
+        // Null(3), Bool(4), -1(5), then 2.0(1) before 2(2) by stability, Str(0)
+        assert_eq!(order, vec![3, 4, 5, 1, 2, 0]);
     }
 
     #[test]

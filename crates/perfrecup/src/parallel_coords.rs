@@ -29,7 +29,7 @@ pub fn coordinates(data: &RunData) -> DataFrame {
     for d in &data.task_done {
         df.push_row(vec![
             Value::F64(d.stop.as_secs_f64()),
-            Value::Str(d.key.prefix.clone()),
+            Value::Str(d.key.prefix.as_str().to_string()),
             Value::U64(d.thread.0),
             Value::F64(d.nbytes as f64 / (1 << 20) as f64),
             Value::F64(d.duration().as_secs_f64()),
@@ -68,7 +68,7 @@ pub fn summary(data: &RunData) -> CoordsSummary {
     for d in &data.task_done {
         if d.nbytes > RECOMMENDED_NBYTES {
             oversized += 1;
-            *oversized_by_cat.entry(d.key.prefix.clone()).or_default() += 1;
+            *oversized_by_cat.entry(d.key.prefix.as_str().to_string()).or_default() += 1;
         }
     }
     let mut oversized_categories: Vec<(String, usize)> = oversized_by_cat.into_iter().collect();

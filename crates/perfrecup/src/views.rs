@@ -99,7 +99,7 @@ impl<'a> RunViews<'a> {
             match found {
                 Some((_, _, key)) => {
                     keys.push(Value::Str(key.to_string()));
-                    prefixes.push(Value::Str(key.prefix.clone()));
+                    prefixes.push(Value::Str(key.prefix.as_str().to_string()));
                 }
                 None => {
                     keys.push(Value::Null);

@@ -1,6 +1,16 @@
 //! Multi-run campaigns: the paper performs 10 runs of ImageProcessing and
 //! ResNet152 and 50 runs of XGBoost (it showed more variability) in the
 //! same job configuration, then studies variability across runs.
+//!
+//! Runs of a campaign are mutually independent — each is seeded by its own
+//! `(campaign_seed, RunId)` pair and shares no mutable state with its
+//! siblings — so [`Campaign::execute`] runs them on a scoped worker pool
+//! and reassembles the results in run-index order. The output is
+//! byte-identical to sequential execution at any thread count; `DTF_JOBS`
+//! (or [`Campaign::jobs`]) bounds the pool.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc;
 
 use serde::{Deserialize, Serialize};
 
@@ -119,6 +129,10 @@ impl RunSummary {
     }
 }
 
+/// What one campaign run yields: its summary, plus the full `RunData`
+/// when the run is the kept first one.
+type RunOutput = (RunSummary, Option<RunData>);
+
 /// Campaign configuration.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -130,6 +144,9 @@ pub struct Campaign {
     pub keep_first: bool,
     /// Record per-run task start orders (schedule-order analysis).
     pub keep_order: bool,
+    /// Worker threads executing runs. `None` resolves the `DTF_JOBS`
+    /// environment variable, falling back to `available_parallelism`.
+    pub jobs: Option<usize>,
 }
 
 impl Campaign {
@@ -142,6 +159,7 @@ impl Campaign {
             base: SimConfig::default(),
             keep_first: true,
             keep_order: false,
+            jobs: None,
         }
     }
 
@@ -154,24 +172,91 @@ impl Campaign {
             base: SimConfig::default(),
             keep_first: true,
             keep_order: false,
+            jobs: None,
         }
     }
 
-    /// Execute all runs sequentially.
+    /// Pin the worker-pool size (overrides `DTF_JOBS` and autodetection).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Pool size for this campaign: the explicit [`Campaign::jobs`] if set,
+    /// else `DTF_JOBS`, else `available_parallelism`; never more threads
+    /// than runs.
+    pub fn resolved_jobs(&self) -> usize {
+        let requested = self
+            .jobs
+            .or_else(|| std::env::var("DTF_JOBS").ok().and_then(|s| s.parse::<usize>().ok()))
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        requested.min(self.runs.max(1) as usize)
+    }
+
+    /// Execute one run of the campaign. Fully determined by
+    /// `(campaign_seed, r)` — no state is shared with other runs, which is
+    /// what makes the parallel pool below sound.
+    fn execute_run(&self, r: u32) -> Result<RunOutput> {
+        let run = RunId(r);
+        let mut cfg = self.base.clone();
+        cfg.campaign_seed = self.campaign_seed;
+        cfg.run = run;
+        self.workload.adjust(&mut cfg);
+        let rr = RunRng::new(self.campaign_seed, run);
+        let workflow = self.workload.generate(&rr);
+        let data = SimCluster::new(cfg)?.run(workflow)?;
+        let summary = RunSummary::of(&data, self.keep_order);
+        let keep = (r == 0 && self.keep_first).then_some(data);
+        Ok((summary, keep))
+    }
+
+    /// Execute all runs — concurrently when the resolved pool size allows,
+    /// with results collected in run-index order so summaries, kept
+    /// `RunData`, and every downstream statistic are byte-identical to
+    /// sequential execution at any thread count.
     pub fn execute(&self) -> Result<CampaignResult> {
+        let jobs = self.resolved_jobs();
+        let mut slots: Vec<Option<Result<RunOutput>>> = (0..self.runs).map(|_| None).collect();
+        if jobs <= 1 {
+            for r in 0..self.runs {
+                slots[r as usize] = Some(self.execute_run(r));
+            }
+        } else {
+            // hand-rolled scoped pool: `jobs` workers pull run indices from
+            // an atomic counter and send `(index, result)` back over a
+            // channel; arrival order is nondeterministic, slot placement
+            // makes it irrelevant
+            let next = AtomicU32::new(0);
+            let (tx, rx) = mpsc::channel();
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    let tx = tx.clone();
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let r = next.fetch_add(1, Ordering::Relaxed);
+                        if r >= self.runs {
+                            break;
+                        }
+                        if tx.send((r, self.execute_run(r))).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (r, res) in rx {
+                    slots[r as usize] = Some(res);
+                }
+            });
+        }
+        // drain in run order; the lowest failing run's error wins, matching
+        // what sequential execution would have reported
         let mut summaries = Vec::with_capacity(self.runs as usize);
         let mut first = None;
-        for r in 0..self.runs {
-            let run = RunId(r);
-            let mut cfg = self.base.clone();
-            cfg.campaign_seed = self.campaign_seed;
-            cfg.run = run;
-            self.workload.adjust(&mut cfg);
-            let rr = RunRng::new(self.campaign_seed, run);
-            let workflow = self.workload.generate(&rr);
-            let data = SimCluster::new(cfg)?.run(workflow)?;
-            summaries.push(RunSummary::of(&data, self.keep_order));
-            if r == 0 && self.keep_first {
+        for slot in slots {
+            let (summary, kept) = slot.expect("every run index was executed")?;
+            summaries.push(summary);
+            if let Some(data) = kept {
                 first = Some(data);
             }
         }

@@ -391,7 +391,7 @@ mod tests {
     fn category_mix_matches_fig6() {
         let mut rng = SmallRng::seed_from_u64(5);
         let wf = build(&mut rng);
-        let prefixes: std::collections::HashSet<String> =
+        let prefixes: std::collections::HashSet<dtf_core::ids::TaskPrefix> =
             wf.graphs.iter().flat_map(|g| &g.tasks).map(|t| t.key.prefix.clone()).collect();
         for expected in [
             "read_parquet-fused-assign",

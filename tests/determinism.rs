@@ -45,6 +45,60 @@ fn different_campaign_seeds_vary() {
     assert_ne!(a.wall_time, b.wall_time);
 }
 
+/// The parallel-campaign determinism gate: a 3-run campaign must produce
+/// byte-identical summaries and canonical transition logs whether the
+/// worker pool has 1 thread or 4. (The pool size is pinned through
+/// `Campaign::jobs` — the programmatic form of the `DTF_JOBS` variable,
+/// which cannot be set per-test in a multithreaded test binary; the env
+/// path itself is covered by `dtf_jobs_env_parsing` below and exercised
+/// end-to-end by the CI perf smoke job.)
+#[test]
+fn parallel_campaign_output_is_byte_identical_to_sequential() {
+    use dtf::chaos::transition_log;
+    use dtf::workflows::Campaign;
+
+    let sequential = Campaign::small(Workload::ImageProcessing, 3).with_jobs(1);
+    let parallel = Campaign::small(Workload::ImageProcessing, 3).with_jobs(4);
+    assert_eq!(sequential.resolved_jobs(), 1);
+    assert_eq!(parallel.resolved_jobs(), 3, "pool never exceeds the run count");
+
+    let a = sequential.execute().unwrap();
+    let b = parallel.execute().unwrap();
+
+    // summaries byte-identical, in run-index order
+    let aj = serde_json::to_string(&a.summaries).unwrap();
+    let bj = serde_json::to_string(&b.summaries).unwrap();
+    assert_eq!(aj, bj, "summaries must not depend on the pool size");
+    for (i, s) in a.summaries.iter().enumerate() {
+        assert_eq!(s.run, dtf::core::ids::RunId(i as u32), "run-index order");
+    }
+
+    // the kept first run replays to the same canonical transition log
+    // (the chaos harness's double-run determinism gate, reused)
+    let first_a = a.first.expect("keep_first");
+    let first_b = b.first.expect("keep_first");
+    assert_eq!(
+        transition_log(&first_a),
+        transition_log(&first_b),
+        "canonical transition logs must be byte-identical"
+    );
+}
+
+#[test]
+fn dtf_jobs_env_parsing() {
+    use dtf::workflows::Campaign;
+    // `jobs` pin beats the environment; bogus explicit values are rejected
+    // at resolution (min 1, capped by run count)
+    let c = Campaign::small(Workload::ImageProcessing, 8).with_jobs(2);
+    assert_eq!(c.resolved_jobs(), 2);
+    let c = Campaign::small(Workload::ImageProcessing, 2).with_jobs(64);
+    assert_eq!(c.resolved_jobs(), 2);
+    // without a pin, resolution falls back to DTF_JOBS / autodetection and
+    // is always at least 1
+    let c = Campaign::small(Workload::ImageProcessing, 4);
+    assert!(c.resolved_jobs() >= 1);
+}
+
 #[test]
 fn campaign_summaries_are_reproducible() {
     use dtf::workflows::Campaign;
