@@ -120,6 +120,24 @@ fn bench_pfs_model(c: &mut Criterion) {
     g.finish();
 }
 
+/// End-to-end typed provenance pipeline: WMS plugin push → Mofka topics →
+/// RunData drain, the path the zero-copy metadata work targets.
+fn bench_provenance_pipeline(c: &mut Criterion) {
+    const TASKS: u32 = 500;
+    // same per-task event mix as `dtf_bench::provenance_pipeline`
+    let events = (TASKS * 8 + TASKS / 2 + TASKS / 64 + TASKS / 16) as u64;
+    let mut g = c.benchmark_group("provenance_pipeline");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(20);
+    g.bench_function(format!("push_drain_{TASKS}_tasks"), |b| {
+        b.iter(|| {
+            let report = dtf_bench::provenance_pipeline(TASKS, 1);
+            black_box(report.events)
+        })
+    });
+    g.finish();
+}
+
 /// DataFrame kernels over 50k rows.
 fn bench_dataframe(c: &mut Criterion) {
     const N: usize = 50_000;
@@ -151,6 +169,7 @@ criterion_group!(
     bench_mofka_throughput,
     bench_scheduler_dispatch,
     bench_pfs_model,
+    bench_provenance_pipeline,
     bench_dataframe
 );
 criterion_main!(micro);

@@ -12,8 +12,14 @@
 //!   chaos-replay    (--seed N --index I: replay one schedule, print its
 //!                    JSON and outcome)
 //!   bench           (--runs N --jobs J: timed perf sweep — scheduler
-//!                    throughput, frame kernels, sequential-vs-parallel
-//!                    campaigns — written to BENCH_repro.json)
+//!                    throughput, frame kernels, provenance pipeline,
+//!                    sequential-vs-parallel campaigns — written to
+//!                    BENCH_repro.json)
+//!   provenance-bench  (measure the provenance pipeline alone and print
+//!                      events/s)
+//!   provenance-check  (measure and gate against the committed
+//!                      BENCH_repro.json: exits nonzero if events/s
+//!                      regressed by more than 20%)
 //!   all      (everything above, in order)
 //! ```
 //!
@@ -62,6 +68,8 @@ fn main() {
         "chaos" => std::process::exit(chaos_campaign(seed, schedules)),
         "chaos-replay" => std::process::exit(chaos_replay(seed, index)),
         "bench" => std::process::exit(perf_bench(seed, runs.unwrap_or(3), jobs)),
+        "provenance-bench" => std::process::exit(provenance_bench()),
+        "provenance-check" => std::process::exit(provenance_check()),
         _ => {}
     }
     let ablation_runs = runs.unwrap_or(6);
@@ -196,12 +204,67 @@ fn perf_bench(seed: u64, runs: u32, jobs: Option<usize>) -> i32 {
     }
 }
 
+/// Measure the provenance pipeline alone (the fast path for iterating on
+/// it) and print the section that `bench` embeds in `BENCH_repro.json`.
+fn provenance_bench() -> i32 {
+    let p = dtf_bench::provenance::provenance_pipeline(2_000, 3);
+    println!(
+        "provenance pipeline: {:.0} events/s ({} events in {:.2}s)",
+        p.events_per_s, p.events, p.wall_s
+    );
+    println!("{}", serde_json::to_string_pretty(&p).expect("section serializes"));
+    0
+}
+
+/// CI regression gate: re-measure the provenance pipeline and compare to
+/// the committed `BENCH_repro.json`. Fails (exit 1) on a >20% drop in
+/// events/s; fails (exit 2) if the baseline artifact is missing the field,
+/// so the gate can never silently pass.
+fn provenance_check() -> i32 {
+    const ALLOWED_REGRESSION: f64 = 0.20;
+    let baseline = match std::fs::read_to_string("BENCH_repro.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("provenance-check: cannot read BENCH_repro.json: {e}");
+            return 2;
+        }
+    };
+    let doc: serde_json::Value = match serde_json::from_str(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("provenance-check: BENCH_repro.json is not valid JSON: {e}");
+            return 2;
+        }
+    };
+    let Some(expected) = doc["provenance_pipeline"]["events_per_s"].as_f64() else {
+        eprintln!("provenance-check: BENCH_repro.json has no provenance_pipeline.events_per_s");
+        return 2;
+    };
+    let p = dtf_bench::provenance::provenance_pipeline(2_000, 3);
+    let floor = expected * (1.0 - ALLOWED_REGRESSION);
+    println!(
+        "provenance pipeline: measured {:.0} events/s, baseline {:.0} (floor {:.0})",
+        p.events_per_s, expected, floor
+    );
+    if p.events_per_s < floor {
+        eprintln!(
+            "provenance-check: FAIL — events/s regressed more than {:.0}%",
+            ALLOWED_REGRESSION * 100.0
+        );
+        1
+    } else {
+        println!("provenance-check: OK");
+        0
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|\\
 ablation-stealing|ablation-dxt-buffer|ablation-dxt-threads|\\
 ablation-schedule-order|ablation-mofka-batch|overhead|\\
-chaos|chaos-replay|bench|all> [--seed N] [--runs N] [--schedules K] [--index I] [--jobs J]"
+chaos|chaos-replay|bench|provenance-bench|provenance-check|all> \\
+[--seed N] [--runs N] [--schedules K] [--index I] [--jobs J]"
     );
     std::process::exit(2)
 }

@@ -10,6 +10,8 @@
 pub mod ablations;
 pub mod experiments;
 pub mod perf;
+pub mod provenance;
 
 pub use experiments::{fig3, fig4, fig5, fig6, fig7, fig8, table1};
 pub use perf::{bench_artifact, bench_report, BenchReport};
+pub use provenance::{provenance_pipeline, ProvenancePipeline};

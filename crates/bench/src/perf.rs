@@ -31,6 +31,8 @@ pub struct BenchReport {
     pub parallel_jobs: usize,
     pub scheduler_throughput: SchedulerThroughput,
     pub frame_kernels: FrameKernels,
+    /// Events/s through plugin → producer → topic → `RunData` ingest.
+    pub provenance_pipeline: crate::provenance::ProvenancePipeline,
     pub campaigns: Vec<CampaignBench>,
     /// Peak resident set size in bytes (`VmHWM`), `None` where unexposed.
     pub peak_rss_bytes: Option<u64>,
@@ -198,15 +200,17 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
         tasks_per_s: WIDE as f64 / wall_s.max(1e-12),
     };
     let frame = frame_kernels(100_000);
+    let provenance = crate::provenance::provenance_pipeline(2_000, 3);
     let campaigns =
         Workload::ALL.iter().map(|&w| campaign_bench(w, seed, runs, parallel_jobs)).collect();
     BenchReport {
-        schema: 1,
+        schema: 2,
         seed,
         cores,
         parallel_jobs,
         scheduler_throughput,
         frame_kernels: frame,
+        provenance_pipeline: provenance,
         campaigns,
         peak_rss_bytes: peak_rss_bytes(),
     }
@@ -234,6 +238,14 @@ pub fn bench_artifact(seed: u64, runs: u32, jobs: Option<usize>) -> (String, Str
         report.frame_kernels.inner_join_s * 1e3,
         report.frame_kernels.group_by_s * 1e3,
         report.frame_kernels.sort_by_s * 1e3
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "provenance pipeline: {:.0} events/s ({} events in {:.2}s)",
+        report.provenance_pipeline.events_per_s,
+        report.provenance_pipeline.events,
+        report.provenance_pipeline.wall_s
     )
     .unwrap();
     for c in &report.campaigns {

@@ -197,6 +197,17 @@ impl TaskKey {
     pub fn group(&self) -> String {
         format!("{}-{:06x}", self.prefix, self.token)
     }
+
+    /// Stream the compact JSON rendering of this key — exactly the bytes
+    /// `serde_json::to_string(self)` would allocate (object keys in sorted
+    /// order, prefix escaped) — into any `fmt::Write` sink. This is what
+    /// lets hash-partitioning hash a typed key without materializing it.
+    pub fn write_json<W: std::fmt::Write>(&self, out: &mut W) -> std::fmt::Result {
+        write!(out, "{{\"index\":{}", self.index)?;
+        out.write_str(",\"prefix\":")?;
+        serde::json_impl::write_str_to(self.prefix.as_str(), out)?;
+        write!(out, ",\"token\":{}}}", self.token)
+    }
 }
 
 impl fmt::Display for TaskKey {

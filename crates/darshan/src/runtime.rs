@@ -24,8 +24,10 @@ use crate::log::{DarshanLog, LogHeader};
 
 /// Callback invoked for every recorded operation (the online-streaming
 /// hook, paper §VI: "capturing Darshan records and pushing them to Mofka
-/// at runtime to have a fully online system").
-pub type IoSink = Box<dyn Fn(&IoRecord) + Send + Sync>;
+/// at runtime to have a fully online system"). `FnMut` so the sink can own
+/// mutable state outright — e.g. a batching Mofka producer — without an
+/// inner lock; the runtime already serializes calls through its own mutex.
+pub type IoSink = Box<dyn FnMut(&IoRecord) + Send>;
 
 /// Per-worker-process Darshan collection state.
 pub struct DarshanRuntime {
@@ -83,7 +85,7 @@ impl DarshanRuntime {
     /// when attached).
     pub fn record(&self, rec: IoRecord) {
         debug_assert_eq!(rec.worker, self.worker, "record from wrong process");
-        if let Some(sink) = self.sink.lock().as_ref() {
+        if let Some(sink) = self.sink.lock().as_mut() {
             sink(&rec);
         }
         let mut m = self.inner.lock();

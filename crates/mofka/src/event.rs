@@ -1,10 +1,18 @@
-//! Events: a JSON metadata part plus a raw data payload (paper §III-B:
+//! Events: a metadata part plus a raw data payload (paper §III-B:
 //! "Each event has two parts. The first is a data portion that contains the
 //! raw data payload. The second is metadata expressed in JSON format").
+//!
+//! Metadata is *logically* JSON but does not have to exist as a JSON tree:
+//! provenance records produced by the WMS plugins travel as typed
+//! [`ProvRecord`]s behind an `Arc`, and are only rendered to JSON at
+//! export/replay boundaries. Generic producers (tests, ad-hoc tooling)
+//! still push plain [`serde_json::Value`] metadata.
 
 use bytes::Bytes;
+use dtf_core::events::ProvRecord;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a stored event: partition number and offset within it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -19,36 +27,155 @@ impl fmt::Display for EventId {
     }
 }
 
+/// Event metadata: either a generic JSON tree or a typed provenance record.
+/// Both render to the same JSON text; the typed form skips building the
+/// tree entirely and clones by bumping a refcount.
+#[derive(Debug, Clone)]
+pub enum Metadata {
+    /// Generic JSON metadata (tests, tooling, non-provenance producers).
+    Json(serde_json::Value),
+    /// A typed provenance record, shared by reference through producer
+    /// buffers, partition logs, and consumers without re-serialization.
+    Typed(Arc<ProvRecord>),
+}
+
+static NULL: serde_json::Value = serde_json::Value::Null;
+
+impl Metadata {
+    /// Render to a JSON tree. The lazy-render boundary — only export,
+    /// archives, and generic consumers pay this.
+    pub fn to_value(&self) -> serde_json::Value {
+        match self {
+            Metadata::Json(v) => v.clone(),
+            Metadata::Typed(rec) => rec.to_value(),
+        }
+    }
+
+    /// The JSON tree, if this metadata is the generic form.
+    pub fn as_json(&self) -> Option<&serde_json::Value> {
+        match self {
+            Metadata::Json(v) => Some(v),
+            Metadata::Typed(_) => None,
+        }
+    }
+
+    /// The typed record, if this metadata is the typed form.
+    pub fn as_record(&self) -> Option<&Arc<ProvRecord>> {
+        match self {
+            Metadata::Json(_) => None,
+            Metadata::Typed(rec) => Some(rec),
+        }
+    }
+
+    /// Exact byte length of the compact JSON rendering, without rendering:
+    /// typed records compute it arithmetically, JSON trees stream into a
+    /// counting sink.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Metadata::Json(v) => serde_json::encoded_size(v),
+            Metadata::Typed(rec) => rec.encoded_size(),
+        }
+    }
+
+    /// Field lookup on generic JSON metadata. Typed records expose their
+    /// routing key structurally (see [`ProvRecord::task_key`]) rather than
+    /// by name, so this returns `None` for them.
+    pub fn get(&self, field: &str) -> Option<&serde_json::Value> {
+        match self {
+            Metadata::Json(v) => v.get(field),
+            Metadata::Typed(_) => None,
+        }
+    }
+}
+
+/// `metadata["field"]` sugar, matching `Value` indexing: missing fields
+/// (and any field of typed metadata) index to `Null`.
+impl std::ops::Index<&str> for Metadata {
+    type Output = serde_json::Value;
+
+    fn index(&self, field: &str) -> &serde_json::Value {
+        match self {
+            Metadata::Json(v) => &v[field],
+            Metadata::Typed(_) => &NULL,
+        }
+    }
+}
+
+impl PartialEq for Metadata {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Metadata::Json(a), Metadata::Json(b)) => a == b,
+            (Metadata::Typed(a), Metadata::Typed(b)) => a == b,
+            // mixed forms compare by their common JSON rendering
+            (a, b) => a.to_value() == b.to_value(),
+        }
+    }
+}
+
+impl PartialEq<serde_json::Value> for Metadata {
+    fn eq(&self, other: &serde_json::Value) -> bool {
+        match self {
+            Metadata::Json(v) => v == other,
+            Metadata::Typed(rec) => rec.to_value() == *other,
+        }
+    }
+}
+
+impl From<serde_json::Value> for Metadata {
+    fn from(v: serde_json::Value) -> Self {
+        Metadata::Json(v)
+    }
+}
+
+impl From<ProvRecord> for Metadata {
+    fn from(rec: ProvRecord) -> Self {
+        Metadata::Typed(Arc::new(rec))
+    }
+}
+
+impl From<Arc<ProvRecord>> for Metadata {
+    fn from(rec: Arc<ProvRecord>) -> Self {
+        Metadata::Typed(rec)
+    }
+}
+
 /// One event as produced/consumed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
-    /// JSON metadata describing the payload.
-    pub metadata: serde_json::Value,
+    /// Metadata describing the payload (JSON tree or typed record).
+    pub metadata: Metadata,
     /// Raw data payload (may be empty; provenance events typically carry
     /// everything in metadata).
     pub data: Bytes,
 }
 
 impl Event {
-    pub fn new(metadata: serde_json::Value, data: Bytes) -> Self {
-        Self { metadata, data }
+    pub fn new(metadata: impl Into<Metadata>, data: Bytes) -> Self {
+        Self { metadata: metadata.into(), data }
     }
 
     /// Event with metadata only (the common case for provenance records).
-    pub fn meta_only(metadata: serde_json::Value) -> Self {
-        Self { metadata, data: Bytes::new() }
+    pub fn meta_only(metadata: impl Into<Metadata>) -> Self {
+        Self { metadata: metadata.into(), data: Bytes::new() }
     }
 
-    /// Serialize any `Serialize` value into a metadata-only event.
+    /// Metadata-only event carrying a typed provenance record.
+    pub fn typed(record: impl Into<ProvRecord>) -> Self {
+        Self::meta_only(record.into())
+    }
+
+    /// Serialize any `Serialize` value into a metadata-only event. The
+    /// eager-JSON path — prefer [`Event::typed`] for provenance records.
     pub fn from_serializable<T: Serialize>(value: &T) -> Result<Self, serde_json::Error> {
         Ok(Self::meta_only(serde_json::to_value(value)?))
     }
 
-    /// Approximate wire size of the event, bytes (metadata rendered as JSON
-    /// plus payload length). Used for batching thresholds and stats.
+    /// Exact wire size of the event, bytes (metadata as compact JSON plus
+    /// payload length). Used for batching thresholds and stats. Computed
+    /// without serializing: typed records count arithmetically, JSON trees
+    /// stream into a counting sink.
     pub fn wire_size(&self) -> usize {
-        // serde_json::to_string on a Value cannot fail
-        serde_json::to_string(&self.metadata).map(|s| s.len()).unwrap_or(0) + self.data.len()
+        self.metadata.encoded_size() + self.data.len()
     }
 }
 
@@ -62,6 +189,9 @@ pub struct StoredEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dtf_core::events::{LogEntry, LogLevel, LogSource};
+    use dtf_core::ids::ClientId;
+    use dtf_core::time::Time;
     use serde_json::json;
 
     #[test]
@@ -88,6 +218,51 @@ mod tests {
         let e = Event::new(json!({"k": "v"}), Bytes::from_static(b"12345"));
         // {"k":"v"} is 9 bytes + 5 payload
         assert_eq!(e.wire_size(), 14);
+    }
+
+    fn sample_record() -> LogEntry {
+        LogEntry {
+            time: Time(42),
+            level: LogLevel::Info,
+            source: LogSource::Client(ClientId(1)),
+            message: String::from("hello \"quoted\" world"),
+        }
+    }
+
+    #[test]
+    fn wire_size_equals_rendered_json_length_for_both_forms() {
+        let rec = sample_record();
+        let rendered = serde_json::to_string(&rec).unwrap();
+        let typed = Event::typed(rec.clone());
+        assert_eq!(typed.wire_size(), rendered.len());
+        let json = Event::meta_only(serde_json::to_value(&rec).unwrap());
+        assert_eq!(json.wire_size(), rendered.len());
+        // with a payload, both parts count
+        let with_payload =
+            Event::new(Metadata::from(ProvRecord::Log(rec)), Bytes::from_static(b"1234567"));
+        assert_eq!(with_payload.wire_size(), rendered.len() + 7);
+    }
+
+    #[test]
+    fn typed_and_json_metadata_compare_equal() {
+        let rec = sample_record();
+        let typed = Metadata::from(ProvRecord::Log(rec.clone()));
+        let json = Metadata::Json(serde_json::to_value(&rec).unwrap());
+        assert_eq!(typed, json);
+        assert_eq!(typed, typed.to_value());
+        assert_eq!(typed.as_record().unwrap().task_key(), None);
+        assert!(json.as_json().is_some());
+        // indexing typed metadata is Null, not a panic
+        assert!(typed["message"].is_null());
+        assert_eq!(json["time"], 42);
+    }
+
+    #[test]
+    fn typed_metadata_clones_share_the_record() {
+        let m = Metadata::from(ProvRecord::Log(sample_record()));
+        let m2 = m.clone();
+        let (a, b) = (m.as_record().unwrap(), m2.as_record().unwrap());
+        assert!(Arc::ptr_eq(a, b), "clone must bump the refcount, not copy the record");
     }
 
     #[test]

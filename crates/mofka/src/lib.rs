@@ -29,7 +29,7 @@ pub mod warabi;
 pub mod yokan;
 
 pub use consumer::{Consumer, ConsumerConfig};
-pub use event::{Event, EventId};
+pub use event::{Event, EventId, Metadata};
 pub use producer::{Producer, ProducerConfig};
 pub use service::MofkaService;
 pub use topic::TopicConfig;

@@ -8,12 +8,13 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use std::fmt;
+use std::hash::Hasher;
 use std::sync::Arc;
 
 use dtf_core::error::Result;
 
-use crate::event::Event;
+use crate::event::{Event, Metadata};
 use crate::topic::Topic;
 
 /// How a producer assigns events to partitions.
@@ -21,9 +22,31 @@ use crate::topic::Topic;
 pub enum PartitionStrategy {
     /// Cycle through partitions.
     RoundRobin,
-    /// Hash the given metadata field (stringified); events with equal key
-    /// values land in the same partition, preserving their relative order.
+    /// Hash the given metadata field's JSON rendering; events with equal
+    /// key values land in the same partition, preserving their relative
+    /// order. The rendering is streamed straight into the hasher — no
+    /// string is materialized. Events *without* the field (e.g. warnings
+    /// and logs, which are not task-scoped) all go to
+    /// [`MISSING_KEY_PARTITION`].
     HashKey(String),
+}
+
+/// Where `HashKey` routes events whose metadata lacks the key field. One
+/// fixed partition keeps all key-less events of a topic mutually ordered,
+/// which is all the routing contract promises for them.
+pub const MISSING_KEY_PARTITION: u32 = 0;
+
+/// Streams `fmt::Write` output into a `Hasher` without materializing a
+/// string. `DefaultHasher` buffers its input stream internally, so chunked
+/// writes hash identically to one contiguous `write` of the same bytes
+/// (pinned by `hash_key_matches_stringified_hash` below).
+struct HashWriter<'a, H: Hasher>(&'a mut H);
+
+impl<H: Hasher> fmt::Write for HashWriter<'_, H> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
 }
 
 /// Producer tuning parameters.
@@ -84,9 +107,36 @@ impl Producer {
                 p
             }
             PartitionStrategy::HashKey(field) => {
-                let keystr = event.metadata.get(field).map(|v| v.to_string()).unwrap_or_default();
                 let mut h = DefaultHasher::new();
-                keystr.hash(&mut h);
+                let hashed = {
+                    let mut w = HashWriter(&mut h);
+                    match &event.metadata {
+                        Metadata::Json(v) => match v.get(field) {
+                            Some(val) => {
+                                serde_json::write_value_to(val, &mut w)
+                                    .expect("hash sink is infallible");
+                                true
+                            }
+                            None => false,
+                        },
+                        // Typed provenance records route on their task key;
+                        // streaming its JSON form keeps the assignment
+                        // byte-compatible with hashing the rendered field.
+                        Metadata::Typed(rec) => match rec.task_key() {
+                            Some(key) => {
+                                key.write_json(&mut w).expect("hash sink is infallible");
+                                true
+                            }
+                            None => false,
+                        },
+                    }
+                };
+                if !hashed {
+                    return MISSING_KEY_PARTITION;
+                }
+                // `str::hash` terminator, kept for parity with the historic
+                // stringify-then-hash assignment (same hash, same partition)
+                h.write_u8(0xff);
                 (h.finish() % self.topic.num_partitions() as u64) as u32
             }
         }
@@ -224,6 +274,101 @@ mod tests {
             }
         }
         assert_eq!(parts_a.len(), 1, "key A must map to exactly one partition");
+    }
+
+    /// The historic assignment: stringify the field, hash the `String`.
+    /// The streaming path must reproduce it exactly — a changed assignment
+    /// would reorder equal-time events at drain time and break the
+    /// byte-identity gate on exported artifacts.
+    fn legacy_partition(meta: &serde_json::Value, field: &str, parts: u64) -> u32 {
+        use std::hash::Hash;
+        let keystr = meta.get(field).map(|v| v.to_string()).unwrap_or_default();
+        let mut h = DefaultHasher::new();
+        keystr.hash(&mut h);
+        (h.finish() % parts) as u32
+    }
+
+    #[test]
+    fn hash_key_matches_stringified_hash() {
+        let t = topic(7);
+        let mut p = Producer::new(
+            t.clone(),
+            ProducerConfig { batch_size: 1, strategy: PartitionStrategy::HashKey("key".into()) },
+        );
+        let metas = [
+            json!({"key": "task-a", "i": 0}),
+            json!({"key": "task-b", "i": 1}),
+            json!({"key": {"index":3,"prefix":"inc","token":12}, "i": 2}),
+            json!({"key": 42, "i": 3}),
+            json!({"key": "", "i": 4}),
+            json!({"key": "päth \"q\"\n", "i": 5}),
+        ];
+        for m in &metas {
+            let got = p.select_partition(&Event::meta_only(m.clone()));
+            assert_eq!(got, legacy_partition(m, "key", 7), "diverged for {m}");
+        }
+    }
+
+    #[test]
+    fn typed_and_json_forms_of_a_record_share_a_partition() {
+        use dtf_core::events::{Location, Stimulus, TaskState};
+        use dtf_core::events::{TaskMetaEvent, TransitionEvent};
+        use dtf_core::ids::{ClientId, GraphId, TaskKey};
+        use dtf_core::time::Time;
+
+        let t = topic(5);
+        let mut p = Producer::new(
+            t.clone(),
+            ProducerConfig { batch_size: 1, strategy: PartitionStrategy::HashKey("key".into()) },
+        );
+        for token in 0..32u32 {
+            let key = TaskKey::new("double", token, token * 3);
+            let meta = TaskMetaEvent {
+                key: key.clone(),
+                graph: GraphId(1),
+                client: ClientId(0),
+                deps: vec![],
+                submitted: Time(token as u64),
+            };
+            let tr = TransitionEvent {
+                key,
+                graph: GraphId(1),
+                from: TaskState::Released,
+                to: TaskState::Waiting,
+                stimulus: Stimulus::GraphSubmitted,
+                location: Location::Scheduler,
+                time: Time(token as u64),
+            };
+            let typed_meta = p.select_partition(&Event::typed(meta.clone()));
+            let typed_tr = p.select_partition(&Event::typed(tr.clone()));
+            let json_meta =
+                p.select_partition(&Event::meta_only(serde_json::to_value(&meta).unwrap()));
+            assert_eq!(typed_meta, typed_tr, "same key must co-locate across families");
+            assert_eq!(typed_meta, json_meta, "typed and JSON forms must co-locate");
+        }
+    }
+
+    #[test]
+    fn missing_key_routes_to_documented_partition() {
+        use dtf_core::events::{WarningEvent, WarningKind};
+        use dtf_core::time::{Dur, Time};
+
+        let t = topic(4);
+        let mut p = Producer::new(
+            t.clone(),
+            ProducerConfig { batch_size: 1, strategy: PartitionStrategy::HashKey("key".into()) },
+        );
+        // generic JSON without the field
+        let json_part = p.select_partition(&Event::meta_only(json!({"other": 1})));
+        assert_eq!(json_part, MISSING_KEY_PARTITION);
+        // typed record with no task key (warnings are not task-scoped)
+        let warn = WarningEvent {
+            kind: WarningKind::GcPause,
+            worker: None,
+            time: Time(1),
+            duration: Dur(2),
+        };
+        assert_eq!(p.select_partition(&Event::typed(warn)), MISSING_KEY_PARTITION);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use dtf_core::error::{DtfError, Result};
 
-use crate::event::{Event, EventId, StoredEvent};
+use crate::event::{Event, EventId, Metadata, StoredEvent};
 use crate::warabi::{BlobId, Warabi};
 
 /// Topic creation parameters.
@@ -30,10 +30,12 @@ impl Default for TopicConfig {
     }
 }
 
-/// One stored record: inline metadata + optional payload reference.
+/// One stored record: inline metadata + optional payload reference. Typed
+/// provenance metadata is held as-is (an `Arc` bump per append/read), so a
+/// record pushed typed is never re-serialized while it sits in the log.
 #[derive(Debug, Clone)]
 struct Slot {
-    metadata: serde_json::Value,
+    metadata: Metadata,
     payload: Option<BlobId>,
 }
 

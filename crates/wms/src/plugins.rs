@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 use dtf_core::events::{
-    CommEvent, LogEntry, TaskDoneEvent, TaskMetaEvent, TransitionEvent, WarningEvent,
+    CommEvent, LogEntry, ProvRecord, TaskDoneEvent, TaskMetaEvent, TransitionEvent, WarningEvent,
     WorkerTransitionEvent,
 };
 use dtf_mofka::producer::{PartitionStrategy, ProducerConfig};
@@ -146,13 +146,13 @@ impl MofkaPlugin {
         })
     }
 
-    fn push<T: serde::Serialize>(producer: &mut Producer, value: &T) {
-        // Instrumentation must not take down the workflow: serialization of
-        // our own event types cannot fail, and a full topic only errors on
-        // misconfiguration, which bootstrap validated.
-        if let Ok(event) = Event::from_serializable(value) {
-            let _ = producer.push(event);
-        }
+    fn push<T: Clone + Into<ProvRecord>>(producer: &mut Producer, value: &T) {
+        // Typed end to end: one clone of the record here is the only copy
+        // made on the whole path — Mofka shares it by refcount and JSON is
+        // rendered lazily at export boundaries. A full topic only errors on
+        // misconfiguration, which bootstrap validated; instrumentation must
+        // not take down the workflow.
+        let _ = producer.push(Event::typed(value.clone()));
     }
 }
 
@@ -334,10 +334,14 @@ mod tests {
             .unwrap();
         let events = c.drain_all().unwrap();
         assert_eq!(events.len(), 2);
-        // the metadata is the serialized TransitionEvent; parse it back
-        let back: TransitionEvent =
-            serde_json::from_value(events[0].event.metadata.clone()).unwrap();
-        assert_eq!(back.to, TaskState::Processing);
+        // the metadata is the typed TransitionEvent — no JSON round-trip
+        let rec = events[0].event.metadata.as_record().expect("plugin pushes typed records");
+        assert_eq!(**rec, ProvRecord::Transition(transition()));
+        // and its lazy JSON rendering still matches eager serialization
+        assert_eq!(
+            serde_json::to_string(rec).unwrap(),
+            serde_json::to_string(&transition()).unwrap()
+        );
         let mut c =
             svc.consumer("task-done", ConsumerConfig { group: "t".into(), prefetch: 16 }).unwrap();
         assert_eq!(c.drain_all().unwrap().len(), 1);

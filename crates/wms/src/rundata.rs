@@ -8,15 +8,16 @@
 
 use serde::{Deserialize, Serialize};
 
+use dtf_core::error::DtfError;
 use dtf_core::events::{
-    CommEvent, IoRecord, LogEntry, TaskDoneEvent, TaskMetaEvent, TransitionEvent, WarningEvent,
-    WorkerTransitionEvent,
+    CommEvent, IoRecord, LogEntry, ProvEvent, TaskDoneEvent, TaskMetaEvent, TransitionEvent,
+    WarningEvent, WorkerTransitionEvent,
 };
 use dtf_core::ids::{RunId, TaskKey};
 use dtf_core::provenance::ProvenanceChart;
 use dtf_core::time::{Dur, Time};
 use dtf_darshan::log::LogSet;
-use dtf_mofka::{ConsumerConfig, MofkaService};
+use dtf_mofka::{ConsumerConfig, Metadata, MofkaService};
 
 /// All data collected from a single run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,7 +59,7 @@ impl RunData {
         steals: u64,
     ) -> dtf_core::Result<Self> {
         let group = format!("analysis-{run}");
-        fn drain<T: serde::Deserialize>(
+        fn drain<T: ProvEvent + serde::Deserialize>(
             svc: &MofkaService,
             topic: &str,
             group: &str,
@@ -67,7 +68,20 @@ impl RunData {
                 svc.consumer(topic, ConsumerConfig { group: group.to_string(), prefetch: 4096 })?;
             let mut out = Vec::new();
             for stored in consumer.drain_all()? {
-                out.push(serde_json::from_value(stored.event.metadata)?);
+                match stored.event.metadata {
+                    // typed path: take the record out of its Arc (cloning
+                    // only if the log still shares it) — no JSON involved
+                    Metadata::Typed(rec) => {
+                        let rec = std::sync::Arc::try_unwrap(rec).unwrap_or_else(|a| (*a).clone());
+                        out.push(T::from_record(rec).ok_or_else(|| {
+                            DtfError::IllegalState(format!(
+                                "topic {topic} carried a record of the wrong family"
+                            ))
+                        })?);
+                    }
+                    // generic producers can still feed analysis with JSON
+                    Metadata::Json(v) => out.push(serde_json::from_value(v)?),
+                }
             }
             Ok(out)
         }

@@ -302,16 +302,17 @@ impl SimCluster {
         let mofka = BedrockConfig::wms_default().bootstrap()?;
         if cfg.online_darshan {
             // fully online system: every I/O record streams straight into
-            // Mofka as it is captured, independent of the DXT buffers
+            // Mofka as it is captured, independent of the DXT buffers. Each
+            // emitter owns its producer (the sink is FnMut behind the
+            // runtime's own lock), so records go typed into the batch buffer
+            // with no JSON rendering and no extra mutex on the I/O path.
             for rt in &runtimes {
-                let producer = Mutex::new(mofka.producer(
+                let mut producer = mofka.producer(
                     "io-records",
                     ProducerConfig { batch_size: cfg.mofka_batch.max(1), ..Default::default() },
-                )?);
+                )?;
                 rt.set_sink(Box::new(move |rec| {
-                    if let Ok(event) = dtf_mofka::Event::from_serializable(rec) {
-                        let _ = producer.lock().push(event);
-                    }
+                    let _ = producer.push(dtf_mofka::Event::typed(rec.clone()));
                 }));
             }
         }

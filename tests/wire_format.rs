@@ -1,0 +1,136 @@
+//! Wire-format gates for the typed provenance pipeline.
+//!
+//! Provenance records flow typed from the WMS plugins through Mofka into
+//! `RunData`; JSON is rendered only at the export/replay boundaries. These
+//! tests pin those boundaries byte-for-byte against golden fingerprints
+//! captured from the eager-JSON pipeline, so any refactor of the event
+//! path that changes an exported artifact — or the replay behavior of an
+//! archived chaos schedule — fails loudly.
+//!
+//! Regenerate the goldens (only when an output change is intended and
+//! documented) with:
+//!
+//! ```text
+//! DTF_UPDATE_GOLDEN=1 cargo test --release --test wire_format
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use dtf::chaos::runner::chaos_workflow;
+use dtf::chaos::{schedule_seed, transition_log, ChaosConfig};
+use dtf::core::fault::FaultSchedule;
+use dtf::core::ids::RunId;
+use dtf::core::rngx::RunRng;
+use dtf::perfrecup::export::export_run;
+use dtf::wms::sim::{SimCluster, SimConfig};
+use dtf::wms::RunData;
+use dtf::workflows::Workload;
+
+/// FNV-1a 64-bit: a stable, dependency-free content fingerprint. This is
+/// a change detector, not a cryptographic commitment.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn update_golden() -> bool {
+    std::env::var_os("DTF_UPDATE_GOLDEN").is_some()
+}
+
+/// Compare `actual` against the golden file, or rewrite it in update mode.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if update_golden() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("updated golden {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden {} missing ({e}); see module docs", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden fingerprint: an export/replay boundary \
+         changed its bytes (regenerate deliberately with DTF_UPDATE_GOLDEN=1)"
+    );
+}
+
+/// The fixed-seed run every export fingerprint derives from. Online
+/// Darshan is enabled so the streamed io-records leg of the pipeline is
+/// inside the gate too.
+fn fixed_seed_run() -> RunData {
+    let workload = Workload::ImageProcessing;
+    let mut cfg =
+        SimConfig { campaign_seed: 13, run: RunId(0), online_darshan: true, ..Default::default() };
+    workload.adjust(&mut cfg);
+    let rr = RunRng::new(13, RunId(0));
+    SimCluster::new(cfg).unwrap().run(workload.generate(&rr)).unwrap()
+}
+
+/// Every file of a fixed-seed perfrecup export bundle — CSV views, the
+/// provenance chart, the manifest, the binary Darshan logs — must be
+/// byte-identical to the bundle the pre-typed (eager JSON) pipeline wrote.
+#[test]
+fn export_bundle_is_byte_identical_to_golden() {
+    let data = fixed_seed_run();
+    let dir = std::env::temp_dir().join(format!("dtf-wire-format-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = export_run(&data, &dir).unwrap();
+    assert!(n >= 18, "export bundle unexpectedly small: {n} files");
+
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    let mut fingerprint = String::new();
+    for name in &names {
+        let bytes = std::fs::read(dir.join(name)).unwrap();
+        fingerprint.push_str(&format!("{name} {:016x} {}\n", fnv64(&bytes), bytes.len()));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+    check_golden("export_fnv64.txt", &fingerprint);
+}
+
+/// An archived (pre-change) chaos schedule must still parse and replay to
+/// the same canonical transition log, deterministically.
+#[test]
+fn archived_chaos_schedule_replays_identically() {
+    let schedule_path = golden_dir().join("chaos_schedule.json");
+    let seed = schedule_seed(42, 7);
+    if update_golden() {
+        let faults = ChaosConfig::default().generate(seed);
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&schedule_path, faults.to_json()).unwrap();
+        eprintln!("updated golden {}", schedule_path.display());
+    }
+    let archived = std::fs::read_to_string(&schedule_path)
+        .unwrap_or_else(|e| panic!("golden {} missing ({e})", schedule_path.display()));
+    let faults = FaultSchedule::from_json(&archived).expect("archived schedule parses");
+    assert_eq!(faults.seed, seed, "archive carries its generating seed");
+
+    let run_once = || {
+        let cfg = SimConfig {
+            campaign_seed: seed,
+            run: RunId(7),
+            faults: faults.clone(),
+            invariant_checks: true,
+            ..Default::default()
+        };
+        SimCluster::new(cfg).unwrap().run(chaos_workflow(seed)).unwrap()
+    };
+    let first = run_once();
+    let second = run_once();
+    let log = transition_log(&first);
+    assert_eq!(log, transition_log(&second), "replay must be deterministic");
+    let fingerprint = format!("{:016x} {}\n", fnv64(log.as_bytes()), log.len());
+    check_golden("chaos_transition_fnv64.txt", &fingerprint);
+}

@@ -21,8 +21,8 @@ pub use value::{Error, Number, Value};
 pub mod json_impl {
     //! Machinery re-exported by the `serde_json` facade crate.
     pub use crate::value::{
-        from_slice, from_str, from_value, to_string, to_string_pretty, to_value, to_vec, Error,
-        Number, Value,
+        encoded_size, from_slice, from_str, from_value, str_encoded_len, to_string,
+        to_string_pretty, to_value, to_vec, write_str_to, write_value_to, Error, Number, Value,
     };
 }
 

@@ -291,39 +291,62 @@ pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
 
 // --------------------------------------------------------------- printing
 
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
+/// Stream the compact JSON escape of `s` (including the surrounding
+/// quotes) into any `fmt::Write` sink — a `String`, a byte counter, or a
+/// hasher adapter — producing exactly the bytes [`to_string`] would.
+pub fn write_str_to<W: fmt::Write>(s: &str, out: &mut W) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
-fn write_number(n: &Number, out: &mut String) {
+/// Byte length of [`write_str_to`]'s output (quotes and escapes included),
+/// computed without writing anywhere.
+pub fn str_encoded_len(s: &str) -> usize {
+    let mut n = 2;
+    for c in s.chars() {
+        n += match c {
+            '"' | '\\' | '\n' | '\r' | '\t' => 2,
+            c if (c as u32) < 0x20 => 6,
+            c => c.len_utf8(),
+        };
+    }
+    n
+}
+
+fn write_escaped<W: fmt::Write>(s: &str, out: &mut W) {
+    write_str_to(s, out).expect("JSON sink must be infallible");
+}
+
+fn write_number<W: fmt::Write>(n: &Number, out: &mut W) {
     match *n {
-        Number::U64(v) => out.push_str(&v.to_string()),
-        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => write!(out, "{v}"),
+        Number::I64(v) => write!(out, "{v}"),
         Number::F64(v) => {
             if v.is_finite() {
                 let s = format!("{v}");
-                out.push_str(&s);
                 // keep floats recognizably floats, serde_json-style
                 if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-                    out.push_str(".0");
+                    write!(out, "{s}.0")
+                } else {
+                    write!(out, "{s}")
                 }
             } else {
-                out.push_str("null");
+                out.write_str("null")
             }
         }
     }
+    .expect("JSON sink must be infallible")
 }
 
 fn write_compact(v: &Value) -> String {
@@ -332,33 +355,60 @@ fn write_compact(v: &Value) -> String {
     out
 }
 
-fn write_value(v: &Value, out: &mut String) {
+/// Stream the compact JSON rendering of `v` into any `fmt::Write` sink,
+/// producing exactly the bytes [`to_string`] would allocate.
+pub fn write_value_to<W: fmt::Write>(v: &Value, out: &mut W) -> fmt::Result {
+    write_value(v, out);
+    Ok(())
+}
+
+/// A `fmt::Write` sink that only counts bytes.
+struct ByteCounter(usize);
+
+impl fmt::Write for ByteCounter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0 += s.len();
+        Ok(())
+    }
+}
+
+/// Exact byte length of the compact JSON rendering of `v`
+/// (`to_string(v).len()`), computed through a counting sink — no
+/// intermediate `String`.
+pub fn encoded_size(v: &Value) -> usize {
+    let mut counter = ByteCounter(0);
+    write_value(v, &mut counter);
+    counter.0
+}
+
+fn write_value<W: fmt::Write>(v: &Value, out: &mut W) {
+    let infallible = |r: fmt::Result| r.expect("JSON sink must be infallible");
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Null => infallible(out.write_str("null")),
+        Value::Bool(b) => infallible(out.write_str(if *b { "true" } else { "false" })),
         Value::Number(n) => write_number(n, out),
         Value::String(s) => write_escaped(s, out),
         Value::Array(items) => {
-            out.push('[');
+            infallible(out.write_char('['));
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    infallible(out.write_char(','));
                 }
                 write_value(item, out);
             }
-            out.push(']');
+            infallible(out.write_char(']'));
         }
         Value::Object(m) => {
-            out.push('{');
+            infallible(out.write_char('{'));
             for (i, (k, val)) in m.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    infallible(out.write_char(','));
                 }
                 write_escaped(k, out);
-                out.push(':');
+                infallible(out.write_char(':'));
                 write_value(val, out);
             }
-            out.push('}');
+            infallible(out.write_char('}'));
         }
     }
 }
@@ -617,6 +667,30 @@ mod tests {
         assert_ne!(Number::U64(1), Number::I64(-1));
         let float_one: Value = from_str("1").unwrap();
         assert_eq!(float_one, Value::Number(Number::F64(1.0)));
+    }
+
+    #[test]
+    fn encoded_size_matches_rendered_length() {
+        let cases = [
+            r#"{"a": [1, -2, 3.5], "b": {"nested": true}, "s": "x\ny\t\"q\"", "n": null}"#,
+            r#"[1e-20, 2.0, 1e300, 0.1, -0.0]"#,
+            r#""control""#,
+            r#"{}"#,
+            r#"[]"#,
+        ];
+        for src in cases {
+            let v: Value = from_str(src).unwrap();
+            let rendered = to_string(&v).unwrap();
+            assert_eq!(encoded_size(&v), rendered.len(), "size of {src}");
+            let mut streamed = String::new();
+            write_value_to(&v, &mut streamed).unwrap();
+            assert_eq!(streamed, rendered, "streamed bytes of {src}");
+        }
+        let tricky = String::from("a\"b\\c\nd\u{1}é");
+        assert_eq!(str_encoded_len(&tricky), to_string(&tricky).unwrap().len());
+        let mut s = String::new();
+        write_str_to("a\"b", &mut s).unwrap();
+        assert_eq!(s, "\"a\\\"b\"");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 #![allow(clippy::all)]
 
 pub use serde::json_impl::{
-    from_slice, from_str, from_value, to_string, to_string_pretty, to_value, to_vec, Error, Number,
-    Value,
+    encoded_size, from_slice, from_str, from_value, str_encoded_len, to_string, to_string_pretty,
+    to_value, to_vec, write_str_to, write_value_to, Error, Number, Value,
 };
 
 pub type Result<T> = std::result::Result<T, Error>;
