@@ -20,6 +20,18 @@
 //!   provenance-check  (measure and gate against the committed
 //!                      BENCH_repro.json: exits nonzero if events/s
 //!                      regressed by more than 20%)
+//!   store-bench     (measure dtf-store append throughput per flush policy
+//!                    and the recovery-scan rate; prints the `storage`
+//!                    section of BENCH_repro.json)
+//!   store-check     (measure and gate against the committed
+//!                    BENCH_repro.json `storage` section: exits nonzero on
+//!                    a >20% drop in group-commit append or recovery rate)
+//!   recovery-smoke  (--seed N: run a persistent seeded campaign, verify a
+//!                    fresh-process archive reopen reproduces the export
+//!                    bundle byte-for-byte, then corrupt the store tail
+//!                    under several crash faults and check the recovery
+//!                    oracle; exits nonzero — keeping the store dir as an
+//!                    artifact — on any violation)
 //!   all      (everything above, in order)
 //! ```
 //!
@@ -70,6 +82,9 @@ fn main() {
         "bench" => std::process::exit(perf_bench(seed, runs.unwrap_or(3), jobs)),
         "provenance-bench" => std::process::exit(provenance_bench()),
         "provenance-check" => std::process::exit(provenance_check()),
+        "store-bench" => std::process::exit(store_bench()),
+        "store-check" => std::process::exit(store_check()),
+        "recovery-smoke" => std::process::exit(recovery_smoke(seed)),
         _ => {}
     }
     let ablation_runs = runs.unwrap_or(6);
@@ -258,12 +273,268 @@ fn provenance_check() -> i32 {
     }
 }
 
+/// Measure the storage layer alone and print the section that `bench`
+/// embeds in `BENCH_repro.json`.
+fn store_bench() -> i32 {
+    let b = dtf_bench::storage::storage_bench();
+    for a in &b.append {
+        println!(
+            "store append [{}]: {:.0} records/s ({} x {}B in {:.3}s)",
+            a.policy, a.records_per_s, a.records, b.record_bytes, a.wall_s
+        );
+    }
+    println!(
+        "store recovery: {:.0} records/s ({} records, {} segments in {:.3}s)",
+        b.recovery.records_per_s, b.recovery.records, b.recovery.segments, b.recovery.wall_s
+    );
+    println!("{}", serde_json::to_string_pretty(&b).expect("section serializes"));
+    0
+}
+
+/// CI regression gate for the storage layer: re-measure and compare to the
+/// committed `BENCH_repro.json`. Fails (exit 1) on a >20% drop in
+/// group-commit append rate or recovery-scan rate; fails (exit 2) if the
+/// baseline artifact lacks the fields, so the gate can never silently pass.
+fn store_check() -> i32 {
+    const ALLOWED_REGRESSION: f64 = 0.20;
+    let baseline = match std::fs::read_to_string("BENCH_repro.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("store-check: cannot read BENCH_repro.json: {e}");
+            return 2;
+        }
+    };
+    let doc: serde_json::Value = match serde_json::from_str(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("store-check: BENCH_repro.json is not valid JSON: {e}");
+            return 2;
+        }
+    };
+    let baseline_append = doc["storage"]["append"]
+        .as_array()
+        .and_then(|arr| arr.iter().find(|a| a["policy"] == "group_commit_256"))
+        .and_then(|a| a["records_per_s"].as_f64());
+    let Some(expected_append) = baseline_append else {
+        eprintln!("store-check: BENCH_repro.json has no storage.append[group_commit_256]");
+        return 2;
+    };
+    let Some(expected_recovery) = doc["storage"]["recovery"]["records_per_s"].as_f64() else {
+        eprintln!("store-check: BENCH_repro.json has no storage.recovery.records_per_s");
+        return 2;
+    };
+    let b = dtf_bench::storage::storage_bench();
+    let measured_append = b
+        .append
+        .iter()
+        .find(|a| a.policy == "group_commit_256")
+        .map(|a| a.records_per_s)
+        .unwrap_or(0.0);
+    let mut failed = false;
+    for (what, measured, expected) in [
+        ("group-commit append", measured_append, expected_append),
+        ("recovery scan", b.recovery.records_per_s, expected_recovery),
+    ] {
+        let floor = expected * (1.0 - ALLOWED_REGRESSION);
+        println!(
+            "store {what}: measured {measured:.0} records/s, baseline {expected:.0} (floor {floor:.0})"
+        );
+        if measured < floor {
+            eprintln!(
+                "store-check: FAIL — {what} regressed more than {:.0}%",
+                ALLOWED_REGRESSION * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        1
+    } else {
+        println!("store-check: OK");
+        0
+    }
+}
+
+/// End-to-end recovery smoke: a persistent seeded campaign, a
+/// fresh-process archive reopen gated byte-for-byte against the live
+/// export bundle, then seeded crash faults on store copies judged by the
+/// recovery oracle. On failure the store directory is left in place so CI
+/// can upload it as an artifact.
+fn recovery_smoke(seed: u64) -> i32 {
+    use dtf_chaos::{copy_store, recovery_oracle, CrashFault};
+    use dtf_core::ids::RunId;
+    use dtf_core::rngx::RunRng;
+    use dtf_mofka::MofkaService;
+    use dtf_perfrecup::export::export_run;
+    use dtf_wms::sim::{SimCluster, SimConfig};
+    use dtf_wms::RunData;
+
+    const FAULTS: u64 = 6;
+    let base = std::env::temp_dir().join(format!("dtf-recovery-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let store = base.join("store");
+    println!("recovery-smoke: seed {seed}, store {}", store.display());
+
+    let workload = dtf_workflows::Workload::ImageProcessing;
+    let mut cfg = SimConfig {
+        campaign_seed: seed,
+        run: RunId(0),
+        persist_dir: Some(store.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+    workload.adjust(&mut cfg);
+    let rr = RunRng::new(seed, RunId(0));
+    let cluster = match SimCluster::new(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("recovery-smoke: cluster bootstrap failed: {e}");
+            return 1;
+        }
+    };
+    let live = match cluster.run(workload.generate(&rr)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("recovery-smoke: persistent run failed: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0u32;
+
+    // Gate 1: a fresh-process archive reopen must reproduce the live run's
+    // export bundle byte for byte.
+    match RunData::open_archive(&store) {
+        Ok((archived, recovery)) => {
+            println!(
+                "recovery-smoke: archive reopened ({} events restored, torn: {})",
+                recovery.restored_events,
+                recovery.yokan.torn || recovery.warabi.torn
+            );
+            let live_dir = base.join("export-live");
+            let arch_dir = base.join("export-archived");
+            let exported = export_run(&live, &live_dir)
+                .and_then(|_| export_run(&archived, &arch_dir))
+                .map(|_| diff_export_dirs(&live_dir, &arch_dir));
+            match exported {
+                Ok(diffs) if diffs.is_empty() => {
+                    println!("recovery-smoke: archived export is byte-identical to live");
+                }
+                Ok(diffs) => {
+                    for d in &diffs {
+                        eprintln!("recovery-smoke: export diff: {d}");
+                    }
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("recovery-smoke: export failed: {e}");
+                    failures += 1;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("recovery-smoke: archive reopen failed: {e}");
+            failures += 1;
+        }
+    }
+
+    // Gate 2: crash faults at random committed offsets, recovery oracle.
+    let original = match MofkaService::reopen(&store) {
+        Ok((svc, _)) => svc,
+        Err(e) => {
+            eprintln!("recovery-smoke: pristine reopen failed: {e}");
+            eprintln!("recovery-smoke: FAIL — store kept at {}", base.display());
+            return 1;
+        }
+    };
+    for i in 0..FAULTS {
+        let fault = CrashFault::generate(seed.wrapping_mul(FAULTS).wrapping_add(i));
+        let victim = base.join(format!("victim-{i}"));
+        let outcome = copy_store(&store, &victim).and_then(|()| fault.apply(&victim)).and_then(
+            |(file, at)| {
+                let (recovered, _) = MofkaService::reopen(&victim)?;
+                Ok((file, at, recovery_oracle(&original, &recovered)))
+            },
+        );
+        match outcome {
+            Ok((file, at, violations)) if violations.is_empty() => {
+                println!(
+                    "recovery-smoke: fault {i} {:?}/{:?} at {} byte {at}: recovered clean",
+                    fault.kind,
+                    fault.target,
+                    file.file_name().unwrap_or_default().to_string_lossy()
+                );
+                let _ = std::fs::remove_dir_all(&victim);
+            }
+            Ok((_, at, violations)) => {
+                eprintln!("recovery-smoke: fault {i} {fault:?} at byte {at} VIOLATED recovery:");
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                failures += 1;
+            }
+            // Metadata-only campaigns leave the blob log empty, so a
+            // warabi-targeted fault has no committed tail to damage —
+            // that precondition failure is a skip, not a violation
+            // (warabi crash coverage lives in dtf-chaos's own tests).
+            Err(dtf_core::error::DtfError::IllegalState(msg)) => {
+                println!("recovery-smoke: fault {i} {fault:?} skipped: {msg}");
+                let _ = std::fs::remove_dir_all(&victim);
+            }
+            Err(e) => {
+                eprintln!("recovery-smoke: fault {i} {fault:?} could not be exercised: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures == 0 {
+        let _ = std::fs::remove_dir_all(&base);
+        println!("recovery-smoke: OK");
+        0
+    } else {
+        eprintln!(
+            "recovery-smoke: FAIL ({failures} gate(s)) — artifacts kept at {}",
+            base.display()
+        );
+        1
+    }
+}
+
+/// Byte-compare two export directories; returns human-readable mismatches.
+fn diff_export_dirs(a: &std::path::Path, b: &std::path::Path) -> Vec<String> {
+    let list = |d: &std::path::Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    };
+    let (an, bn) = (list(a), list(b));
+    let mut diffs = Vec::new();
+    if an != bn {
+        diffs.push(format!("file sets differ: {} vs {} files", an.len(), bn.len()));
+        return diffs;
+    }
+    for name in &an {
+        let av = std::fs::read(a.join(name)).unwrap_or_default();
+        let bv = std::fs::read(b.join(name)).unwrap_or_default();
+        if av != bv {
+            diffs.push(format!("{name}: {} vs {} bytes, contents differ", av.len(), bv.len()));
+        }
+    }
+    diffs
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|fig3|fig4|fig5|fig6|fig7|fig8|\\
 ablation-stealing|ablation-dxt-buffer|ablation-dxt-threads|\\
 ablation-schedule-order|ablation-mofka-batch|overhead|\\
-chaos|chaos-replay|bench|provenance-bench|provenance-check|all> \\
+chaos|chaos-replay|bench|provenance-bench|provenance-check|\\
+store-bench|store-check|recovery-smoke|all> \\
 [--seed N] [--runs N] [--schedules K] [--index I] [--jobs J]"
     );
     std::process::exit(2)

@@ -11,7 +11,9 @@ pub mod ablations;
 pub mod experiments;
 pub mod perf;
 pub mod provenance;
+pub mod storage;
 
 pub use experiments::{fig3, fig4, fig5, fig6, fig7, fig8, table1};
 pub use perf::{bench_artifact, bench_report, BenchReport};
 pub use provenance::{provenance_pipeline, ProvenancePipeline};
+pub use storage::{storage_bench, StorageBench};

@@ -33,6 +33,8 @@ pub struct BenchReport {
     pub frame_kernels: FrameKernels,
     /// Events/s through plugin → producer → topic → `RunData` ingest.
     pub provenance_pipeline: crate::provenance::ProvenancePipeline,
+    /// dtf-store append throughput per flush policy + recovery-scan rate.
+    pub storage: crate::storage::StorageBench,
     pub campaigns: Vec<CampaignBench>,
     /// Peak resident set size in bytes (`VmHWM`), `None` where unexposed.
     pub peak_rss_bytes: Option<u64>,
@@ -201,16 +203,18 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
     };
     let frame = frame_kernels(100_000);
     let provenance = crate::provenance::provenance_pipeline(2_000, 3);
+    let storage = crate::storage::storage_bench();
     let campaigns =
         Workload::ALL.iter().map(|&w| campaign_bench(w, seed, runs, parallel_jobs)).collect();
     BenchReport {
-        schema: 2,
+        schema: 3,
         seed,
         cores,
         parallel_jobs,
         scheduler_throughput,
         frame_kernels: frame,
         provenance_pipeline: provenance,
+        storage,
         campaigns,
         peak_rss_bytes: peak_rss_bytes(),
     }
@@ -246,6 +250,27 @@ pub fn bench_artifact(seed: u64, runs: u32, jobs: Option<usize>) -> (String, Str
         report.provenance_pipeline.events_per_s,
         report.provenance_pipeline.events,
         report.provenance_pipeline.wall_s
+    )
+    .unwrap();
+    for a in &report.storage.append {
+        writeln!(
+            text,
+            "store append [{}]: {:.0} records/s ({:.1} MiB/s, {} x {}B)",
+            a.policy,
+            a.records_per_s,
+            a.bytes_per_s / (1024.0 * 1024.0),
+            a.records,
+            report.storage.record_bytes
+        )
+        .unwrap();
+    }
+    writeln!(
+        text,
+        "store recovery: {:.0} records/s ({} records, {} segments in {:.3}s)",
+        report.storage.recovery.records_per_s,
+        report.storage.recovery.records,
+        report.storage.recovery.segments,
+        report.storage.recovery.wall_s
     )
     .unwrap();
     for c in &report.campaigns {

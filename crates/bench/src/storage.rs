@@ -1,0 +1,169 @@
+//! Storage micro-benchmarks: append throughput per flush policy and the
+//! recovery-scan rate of the segmented log — the `storage` section of
+//! `BENCH_repro.json`.
+//!
+//! Three append configurations bracket the durability/throughput
+//! trade-off dtf-store exposes:
+//!
+//! * `every_record` — fsync after each record (strict durability floor),
+//! * `group_commit_256` — the default group-commit batch (`EveryN(256)`),
+//! * `manual` — buffered writes, one fsync at the end (throughput ceiling).
+//!
+//! The recovery number re-opens the group-commit log and times the full
+//! checksum scan, since that is what every durable reopen pays.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use serde::Serialize;
+
+use dtf_store::{FlushPolicy, LogConfig, SegmentedLog};
+
+/// The `storage` section of the artifact.
+#[derive(Debug, Serialize)]
+pub struct StorageBench {
+    /// Payload size of every appended record.
+    pub record_bytes: usize,
+    pub append: Vec<AppendBench>,
+    pub recovery: RecoveryBench,
+}
+
+#[derive(Debug, Serialize)]
+pub struct AppendBench {
+    /// Flush-policy label: `every_record`, `group_commit_256`, `manual`.
+    pub policy: String,
+    pub records: u64,
+    pub wall_s: f64,
+    pub records_per_s: f64,
+    pub bytes_per_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+pub struct RecoveryBench {
+    pub records: u64,
+    pub segments: u64,
+    pub wall_s: f64,
+    pub records_per_s: f64,
+}
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dtf-store-bench-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Trials per measurement; the fastest is reported. fsync-bound wall
+/// times are noisy in one direction only (interference slows, nothing
+/// speeds up), so best-of-N is what makes the 20% CI gate trustworthy.
+const TRIALS: u32 = 3;
+
+/// Append `records` payloads under `flush` into a fresh dir, ending with
+/// one explicit `sync` so every configuration measures time-to-durable.
+/// Returns the wall time of this trial.
+fn append_trial(dir: &Path, flush: FlushPolicy, records: u64, payload: &[u8]) -> f64 {
+    let cfg = LogConfig { flush, ..Default::default() };
+    let (mut log, existing, _) = SegmentedLog::open(dir, cfg).expect("open bench log");
+    assert!(existing.is_empty(), "bench log directory must start empty");
+    let t0 = Instant::now();
+    for _ in 0..records {
+        log.append(payload).expect("append");
+    }
+    log.sync().expect("sync");
+    t0.elapsed().as_secs_f64()
+}
+
+/// Best-of-[`TRIALS`] append measurement. The last trial's directory is
+/// left in place (its path is returned) so the recovery scan can reopen a
+/// fully-committed log.
+fn bench_append(
+    label: &str,
+    flush: FlushPolicy,
+    policy: &str,
+    records: u64,
+    payload: &[u8],
+) -> (AppendBench, PathBuf) {
+    let mut best = f64::INFINITY;
+    let mut dir = PathBuf::new();
+    for trial in 0..TRIALS {
+        if trial > 0 {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        dir = scratch(&format!("{label}-{trial}"));
+        best = best.min(append_trial(&dir, flush, records, payload));
+    }
+    let bench = AppendBench {
+        policy: policy.to_string(),
+        records,
+        wall_s: best,
+        records_per_s: records as f64 / best.max(1e-12),
+        bytes_per_s: (records as usize * payload.len()) as f64 / best.max(1e-12),
+    };
+    (bench, dir)
+}
+
+/// Run the storage sweep. `every_record` appends fewer records than the
+/// batched policies because each one costs an fsync; rates are still
+/// directly comparable since everything is reported per second.
+pub fn storage_bench() -> StorageBench {
+    const RECORD_BYTES: usize = 256;
+    const BATCHED_RECORDS: u64 = 16_384;
+    let payload = vec![0xa5u8; RECORD_BYTES];
+    let mut append = Vec::new();
+    let (b, dir) = bench_append("every", FlushPolicy::EveryRecord, "every_record", 512, &payload);
+    append.push(b);
+    let _ = std::fs::remove_dir_all(&dir);
+    let (b, group) = bench_append(
+        "group",
+        FlushPolicy::EveryN(256),
+        "group_commit_256",
+        BATCHED_RECORDS,
+        &payload,
+    );
+    append.push(b);
+    let (b, dir) = bench_append("manual", FlushPolicy::Manual, "manual", BATCHED_RECORDS, &payload);
+    append.push(b);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Recovery scan: reopen the group-commit log (many segments, all
+    // committed) and time the checksum pass, again best-of-TRIALS.
+    let mut recovery =
+        RecoveryBench { records: 0, segments: 0, wall_s: f64::INFINITY, records_per_s: 0.0 };
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        let (log, recovered, report) =
+            SegmentedLog::open(&group, LogConfig::default()).expect("reopen bench log");
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert_eq!(recovered.len() as u64, BATCHED_RECORDS, "clean reopen recovers every record");
+        assert!(!report.torn, "clean reopen reports no tear");
+        log.abandon(); // nothing appended; reopen must leave the log as-is
+        if wall_s < recovery.wall_s {
+            recovery = RecoveryBench {
+                records: recovered.len() as u64,
+                segments: report.segments as u64,
+                wall_s,
+                records_per_s: recovered.len() as f64 / wall_s.max(1e-12),
+            };
+        }
+    }
+    let _ = std::fs::remove_dir_all(&group);
+    StorageBench { record_bytes: RECORD_BYTES, append, recovery }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_sweep_measures_all_policies() {
+        let b = storage_bench();
+        assert_eq!(b.record_bytes, 256);
+        let policies: Vec<&str> = b.append.iter().map(|a| a.policy.as_str()).collect();
+        assert_eq!(policies, ["every_record", "group_commit_256", "manual"]);
+        for a in &b.append {
+            assert!(a.records_per_s > 0.0, "{}: rate must be positive", a.policy);
+        }
+        assert_eq!(b.recovery.records, 16_384);
+        assert!(b.recovery.segments >= 1);
+        assert!(b.recovery.records_per_s > 0.0);
+    }
+}

@@ -26,13 +26,18 @@
 //! * [`runner`] — the campaign driver: generates K schedules from one
 //!   campaign seed, runs each twice, diffs the canonical transition logs
 //!   byte-for-byte (the determinism gate), and evaluates every oracle.
+//! * [`crash`] — seeded crash-injection for persisted stores (torn tails,
+//!   zeroed tails, bit flips) plus the recovery oracle: per partition,
+//!   the recovered stream must be a prefix of the committed one.
 //!
 //! [`RunData`]: dtf_wms::RunData
 
+pub mod crash;
 pub mod oracle;
 pub mod runner;
 pub mod schedule;
 
+pub use crash::{copy_store, recovery_oracle, CrashFault, CrashKind, CrashTarget};
 pub use oracle::check_run;
 pub use runner::{
     run_campaign, run_schedule, schedule_seed, transition_log, CampaignReport, ScheduleOutcome,

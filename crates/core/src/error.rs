@@ -41,6 +41,12 @@ impl From<serde_json::Error> for DtfError {
     }
 }
 
+impl From<std::io::Error> for DtfError {
+    fn from(e: std::io::Error) -> Self {
+        DtfError::Io(e.to_string())
+    }
+}
+
 pub type Result<T> = std::result::Result<T, DtfError>;
 
 #[cfg(test)]

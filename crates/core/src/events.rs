@@ -589,6 +589,17 @@ impl ProvRecord {
         }
     }
 
+    /// The on-disk archive encoding: compact JSON bytes of [`to_value`]
+    /// (untagged — the family is implied by the topic the record sits
+    /// in). Persistent topic logs store this form; an archive reopen
+    /// decodes it back through the generic-JSON drain path, so a
+    /// round-tripped record exports byte-identically.
+    ///
+    /// [`to_value`]: ProvRecord::to_value
+    pub fn to_json_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(&self.to_value()).expect("value tree always renders")
+    }
+
     /// Exact byte length of the compact JSON rendering
     /// (`serde_json::to_string(&record).len()`), computed arithmetically —
     /// no value tree, no string. Pinned against the rendered form by

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use dtf_core::error::{DtfError, Result};
 
-use crate::service::MofkaService;
+use crate::service::{MofkaService, ServiceConfig};
 use crate::topic::TopicConfig;
 
 /// One topic in the deployment description.
@@ -67,12 +67,21 @@ impl BedrockConfig {
         Ok(())
     }
 
-    /// Spin up a service per this description.
+    /// Spin up an in-memory service per this description.
     pub fn bootstrap(&self) -> Result<MofkaService> {
+        self.bootstrap_with(&ServiceConfig::default())
+    }
+
+    /// Spin up a service per this description and `svc_cfg` (which may
+    /// request persistence). Topics already restored from a persisted
+    /// directory are kept, not re-created.
+    pub fn bootstrap_with(&self, svc_cfg: &ServiceConfig) -> Result<MofkaService> {
         self.validate()?;
-        let svc = MofkaService::new();
+        let svc = MofkaService::with_config(svc_cfg)?;
         for t in &self.topics {
-            svc.create_topic(&t.name, TopicConfig { partitions: t.partitions })?;
+            if svc.topic(&t.name).is_err() {
+                svc.create_topic(&t.name, TopicConfig { partitions: t.partitions })?;
+            }
         }
         // record the deployment description itself (provenance of the
         // provenance system)

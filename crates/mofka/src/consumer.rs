@@ -125,8 +125,12 @@ mod tests {
     use std::collections::HashSet;
 
     fn setup(parts: u32, n_events: u64) -> (Arc<Topic>, Arc<Yokan>) {
-        let topic =
-            Arc::new(Topic::new("t", &TopicConfig { partitions: parts }, Arc::new(Warabi::new())));
+        let topic = Arc::new(Topic::new(
+            "t",
+            &TopicConfig { partitions: parts },
+            Arc::new(Warabi::new()),
+            None,
+        ));
         for i in 0..n_events {
             topic
                 .append_batch((i % parts as u64) as u32, vec![Event::meta_only(json!({ "i": i }))])

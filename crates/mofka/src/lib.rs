@@ -31,5 +31,5 @@ pub mod yokan;
 pub use consumer::{Consumer, ConsumerConfig};
 pub use event::{Event, EventId, Metadata};
 pub use producer::{Producer, ProducerConfig};
-pub use service::MofkaService;
+pub use service::{MofkaService, ServiceConfig, ServiceRecovery};
 pub use topic::TopicConfig;

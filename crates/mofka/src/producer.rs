@@ -193,7 +193,7 @@ mod tests {
     use serde_json::json;
 
     fn topic(parts: u32) -> Arc<Topic> {
-        Arc::new(Topic::new("t", &TopicConfig { partitions: parts }, Arc::new(Warabi::new())))
+        Arc::new(Topic::new("t", &TopicConfig { partitions: parts }, Arc::new(Warabi::new()), None))
     }
 
     #[test]

@@ -1,7 +1,16 @@
 //! The assembled Mofka service: topics + micro-services, thread-safe.
+//!
+//! A service is in-memory by default; [`ServiceConfig::persist`] roots it
+//! in a store directory (`yokan/` for metadata + topic logs, `warabi/`
+//! for blob payloads, both dtf-store logs). [`MofkaService::reopen`]
+//! opens such a directory read-only — the archive path: recovery repairs
+//! any torn tail, topics are rebuilt to their committed prefixes, and the
+//! regular consumer API drains them exactly as an in-situ analysis would.
 
+use dtf_store::RecoveryReport;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use dtf_core::error::{DtfError, Result};
@@ -11,6 +20,23 @@ use crate::producer::{Producer, ProducerConfig};
 use crate::topic::{Topic, TopicConfig};
 use crate::warabi::Warabi;
 use crate::yokan::Yokan;
+
+/// Service-level configuration: where (whether) to persist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Root directory for durable state. `None` keeps the service fully
+    /// in-memory (the default).
+    pub persist: Option<PathBuf>,
+}
+
+/// What recovery found when a persisted service directory was opened.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceRecovery {
+    pub yokan: RecoveryReport,
+    pub warabi: RecoveryReport,
+    /// Events restored into topic partitions (committed prefixes).
+    pub restored_events: u64,
+}
 
 /// A running Mofka service instance. Cloneable handle semantics via `Arc`
 /// are left to the caller; the service itself is `Send + Sync`.
@@ -52,6 +78,66 @@ impl MofkaService {
         }
     }
 
+    /// Build a service per `cfg`: in-memory when `persist` is unset,
+    /// durable (with any existing state recovered and topics restored)
+    /// when it names a directory.
+    pub fn with_config(cfg: &ServiceConfig) -> Result<Self> {
+        match &cfg.persist {
+            None => Ok(Self::new()),
+            Some(dir) => {
+                let (yokan, _) = Yokan::durable(&dir.join("yokan"))?;
+                let (warabi, _) = Warabi::durable(&dir.join("warabi"))?;
+                let svc = Self {
+                    yokan: Arc::new(yokan),
+                    warabi: Arc::new(warabi),
+                    topics: RwLock::new(HashMap::new()),
+                };
+                svc.restore_topics()?;
+                Ok(svc)
+            }
+        }
+    }
+
+    /// Open a persisted service directory **read-only** — the archive
+    /// path. Recovery repairs torn tails on disk (the only mutation);
+    /// the returned service holds no log handles, so reopening the same
+    /// directory any number of times yields the same committed state.
+    pub fn reopen(dir: &Path) -> Result<(Self, ServiceRecovery)> {
+        let (yokan, yokan_report) = Yokan::replay(&dir.join("yokan"))?;
+        let (warabi, warabi_report) = Warabi::replay(&dir.join("warabi"))?;
+        let svc = Self {
+            yokan: Arc::new(yokan),
+            warabi: Arc::new(warabi),
+            topics: RwLock::new(HashMap::new()),
+        };
+        let restored_events = svc.restore_topics()?;
+        Ok((svc, ServiceRecovery { yokan: yokan_report, warabi: warabi_report, restored_events }))
+    }
+
+    /// Rebuild every topic recorded under `topic-config/` from its
+    /// persisted slots (committed prefixes only; see `Topic::restore`).
+    fn restore_topics(&self) -> Result<u64> {
+        let persist = self.yokan.is_durable().then(|| self.yokan.clone());
+        let mut restored = 0u64;
+        let mut topics = self.topics.write();
+        for (key, raw) in self.yokan.list_prefix("topic-config/") {
+            let name = key["topic-config/".len()..].to_string();
+            let cfg: TopicConfig = serde_json::from_slice(&raw)?;
+            let topic = Arc::new(Topic::new(&name, &cfg, self.warabi.clone(), persist.clone()));
+            restored += topic.restore(&self.yokan)?;
+            topics.insert(name, topic);
+        }
+        Ok(restored)
+    }
+
+    /// Flush durable state (group commit). The blob log flushes before
+    /// the metadata log, so a crash between the two leaves orphan blobs
+    /// (harmless) rather than metadata pointing at missing blobs.
+    pub fn sync(&self) -> Result<()> {
+        self.warabi.sync()?;
+        self.yokan.sync()
+    }
+
     /// Create a topic. Errors if it already exists.
     pub fn create_topic(&self, name: &str, cfg: TopicConfig) -> Result<()> {
         let mut topics = self.topics.write();
@@ -63,7 +149,11 @@ impl MofkaService {
             format!("topic-config/{name}"),
             serde_json::to_vec(&cfg).expect("topic config serializes"),
         );
-        topics.insert(name.to_string(), Arc::new(Topic::new(name, &cfg, self.warabi.clone())));
+        let persist = self.yokan.is_durable().then(|| self.yokan.clone());
+        topics.insert(
+            name.to_string(),
+            Arc::new(Topic::new(name, &cfg, self.warabi.clone(), persist)),
+        );
         Ok(())
     }
 
@@ -163,6 +253,38 @@ mod tests {
         let raw = svc.yokan().get("topic-config/t").unwrap();
         let cfg: TopicConfig = serde_json::from_slice(&raw).unwrap();
         assert_eq!(cfg.partitions, 7);
+    }
+
+    #[test]
+    fn durable_service_reopens_to_committed_state() {
+        let dir = std::env::temp_dir().join(format!("dtf-svc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let svc =
+                MofkaService::with_config(&ServiceConfig { persist: Some(dir.clone()) }).unwrap();
+            svc.create_topic("events", TopicConfig { partitions: 2 }).unwrap();
+            let mut p = svc.producer("events", ProducerConfig::default()).unwrap();
+            for i in 0..20 {
+                p.push(Event::new(json!({"i": i}), bytes::Bytes::from(vec![i as u8; 8]))).unwrap();
+            }
+            p.flush().unwrap();
+            svc.sync().unwrap();
+        }
+        let (svc, recovery) = MofkaService::reopen(&dir).unwrap();
+        assert_eq!(recovery.restored_events, 20);
+        assert!(!recovery.yokan.torn && !recovery.warabi.torn);
+        let mut c = svc.consumer("events", ConsumerConfig::default()).unwrap();
+        let events = c.drain_all().unwrap();
+        assert_eq!(events.len(), 20);
+        for e in &events {
+            let i = e.event.metadata["i"].as_u64().unwrap();
+            assert_eq!(e.event.data.as_ref(), vec![i as u8; 8].as_slice());
+        }
+        // reopen is read-only: a second open sees identical state
+        let (svc2, recovery2) = MofkaService::reopen(&dir).unwrap();
+        assert_eq!(recovery2.restored_events, 20);
+        assert_eq!(svc2.topic("events").unwrap().total_len(), 20);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

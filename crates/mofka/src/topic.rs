@@ -7,6 +7,14 @@
 //! persistent: consumers may replay from offset zero at any time, which is
 //! what lets the same consumer API serve both in-situ and post-hoc analysis
 //! (paper §III-B).
+//!
+//! When the owning service is durable, every appended slot is also written
+//! through to Yokan under `topic-log/<topic>/<partition>/<offset>` (the
+//! payload stays in Warabi; the slot value carries the blob id), and
+//! [`Topic::restore`] rebuilds partition logs from those keys on reopen.
+//! Staged (stalled) slots are persisted at append time too — durability is
+//! decided at append, visibility at unstall — so a crash while stalled
+//! surfaces the staged events after recovery.
 
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -17,6 +25,7 @@ use dtf_core::error::{DtfError, Result};
 
 use crate::event::{Event, EventId, Metadata, StoredEvent};
 use crate::warabi::{BlobId, Warabi};
+use crate::yokan::Yokan;
 
 /// Topic creation parameters.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,15 +71,63 @@ pub struct Topic {
     name: String,
     partitions: Vec<Partition>,
     warabi: Arc<Warabi>,
+    /// When set, slots are written through to this Yokan under
+    /// `topic-log/<name>/<partition>/<offset>` as they are appended.
+    persist: Option<Arc<Yokan>>,
+}
+
+/// Yokan key of one persisted slot. Offsets are zero-padded so lexical
+/// key order is numeric offset order (what `restore` walks).
+fn slot_key(topic: &str, partition: u32, offset: u64) -> String {
+    format!("topic-log/{topic}/{partition}/{offset:020}")
+}
+
+/// Slot value: `has_blob:u8 | blob_id:u64le | metadata JSON`. Typed
+/// records render through `ProvRecord::to_json_bytes` (the core archive
+/// encoding); generic metadata renders its value tree — the same bytes.
+fn encode_slot(slot: &Slot) -> Vec<u8> {
+    let meta = match slot.metadata.as_record() {
+        Some(rec) => rec.to_json_bytes(),
+        None => serde_json::to_vec(&slot.metadata.to_value()).expect("value tree always renders"),
+    };
+    let mut v = Vec::with_capacity(9 + meta.len());
+    match slot.payload {
+        Some(b) => {
+            v.push(1);
+            v.extend_from_slice(&b.0.to_le_bytes());
+        }
+        None => {
+            v.push(0);
+            v.extend_from_slice(&0u64.to_le_bytes());
+        }
+    }
+    v.extend_from_slice(&meta);
+    v
+}
+
+fn decode_slot(value: &Bytes) -> Result<Slot> {
+    if value.len() < 9 || value[0] > 1 {
+        return Err(DtfError::Io("malformed persisted slot".into()));
+    }
+    let payload =
+        (value[0] == 1).then(|| BlobId(u64::from_le_bytes(value[1..9].try_into().unwrap())));
+    let meta: serde_json::Value = serde_json::from_slice(&value[9..])?;
+    Ok(Slot { metadata: Metadata::Json(meta), payload })
 }
 
 impl Topic {
-    pub(crate) fn new(name: impl Into<String>, cfg: &TopicConfig, warabi: Arc<Warabi>) -> Self {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        cfg: &TopicConfig,
+        warabi: Arc<Warabi>,
+        persist: Option<Arc<Yokan>>,
+    ) -> Self {
         assert!(cfg.partitions >= 1, "a topic needs at least one partition");
         Self {
             name: name.into(),
             partitions: (0..cfg.partitions).map(|_| Partition::default()).collect(),
             warabi,
+            persist,
         }
     }
 
@@ -105,12 +162,51 @@ impl Topic {
         let mut state = part.state.write();
         let base = (state.slots.len() + state.staged.len()) as u64;
         let n = slots.len();
+        // write-through while holding the partition lock, so persisted
+        // offsets can never interleave with a concurrent batch
+        if let Some(yokan) = &self.persist {
+            for (i, slot) in slots.iter().enumerate() {
+                yokan.put(slot_key(&self.name, p, base + i as u64), encode_slot(slot));
+            }
+        }
         if state.stalled {
             state.staged.extend(slots);
         } else {
             state.slots.extend(slots);
         }
         Ok((0..n).map(|i| EventId { partition: p, offset: base + i as u64 }).collect())
+    }
+
+    /// Rebuild partition logs from slots persisted in `yokan`. Each
+    /// partition is restored up to the first offset gap or the first slot
+    /// whose blob id is not in Warabi — the conservative committed prefix
+    /// (blob logs are flushed before metadata on sync, so a recovered
+    /// slot normally implies a recovered blob; a tear in the blob log
+    /// truncates here instead). Returns events restored.
+    pub(crate) fn restore(&self, yokan: &Yokan) -> Result<u64> {
+        let mut total = 0u64;
+        for p in 0..self.num_partitions() {
+            let prefix = format!("topic-log/{}/{p}/", self.name);
+            let entries = yokan.list_prefix(&prefix);
+            let mut state = self.partitions[p as usize].state.write();
+            for (i, (key, value)) in entries.iter().enumerate() {
+                let offset: u64 = key[prefix.len()..]
+                    .parse()
+                    .map_err(|_| DtfError::Io(format!("bad slot key {key}")))?;
+                if offset != i as u64 {
+                    break; // offset gap: the committed prefix ends here
+                }
+                let slot = decode_slot(value)?;
+                if let Some(b) = slot.payload {
+                    if self.warabi.get(b).is_none() {
+                        break; // dangling blob: truncate at the tear
+                    }
+                }
+                state.slots.push(slot);
+                total += 1;
+            }
+        }
+        Ok(total)
     }
 
     /// Stall partition `p`: subsequent appends are staged, invisible to
@@ -160,17 +256,27 @@ impl Topic {
         let log = &state.slots;
         let start = (offset as usize).min(log.len());
         let end = start.saturating_add(max).min(log.len());
-        Ok(log[start..end]
-            .iter()
-            .enumerate()
-            .map(|(i, slot)| StoredEvent {
+        let mut out = Vec::with_capacity(end - start);
+        for (i, slot) in log[start..end].iter().enumerate() {
+            // a blob id with no blob means the slot references data that
+            // did not survive (reachable after a durable reopen); surface
+            // it as corruption instead of silently yielding empty bytes
+            let data = match slot.payload {
+                Some(b) => self.warabi.get(b).ok_or_else(|| {
+                    DtfError::IllegalState(format!(
+                        "dangling {b} at offset {} of topic {} partition {p}",
+                        start + i,
+                        self.name
+                    ))
+                })?,
+                None => Bytes::new(),
+            };
+            out.push(StoredEvent {
                 id: EventId { partition: p, offset: (start + i) as u64 },
-                event: Event {
-                    metadata: slot.metadata.clone(),
-                    data: slot.payload.and_then(|b| self.warabi.get(b)).unwrap_or_else(Bytes::new),
-                },
-            })
-            .collect())
+                event: Event { metadata: slot.metadata.clone(), data },
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -180,7 +286,7 @@ mod tests {
     use serde_json::json;
 
     fn topic(parts: u32) -> Topic {
-        Topic::new("test", &TopicConfig { partitions: parts }, Arc::new(Warabi::new()))
+        Topic::new("test", &TopicConfig { partitions: parts }, Arc::new(Warabi::new()), None)
     }
 
     #[test]
@@ -263,6 +369,62 @@ mod tests {
         t.unstall(0).unwrap();
         t.unstall_all();
         assert_eq!(t.total_len(), 4);
+    }
+
+    #[test]
+    fn slots_persist_and_restore_including_staged() {
+        let yokan = Arc::new(Yokan::new());
+        let warabi = Arc::new(Warabi::new());
+        let cfg = TopicConfig { partitions: 2 };
+        let t = Topic::new("t", &cfg, warabi.clone(), Some(yokan.clone()));
+        t.append_batch(0, vec![Event::new(json!({"k": 0}), Bytes::from_static(b"blob"))]).unwrap();
+        t.append_batch(1, vec![Event::meta_only(json!({"k": 1}))]).unwrap();
+        t.stall(0).unwrap();
+        t.append_batch(0, vec![Event::meta_only(json!({"k": 2}))]).unwrap();
+        // durability is decided at append: the staged slot is persisted
+        let t2 = Topic::new("t", &cfg, warabi.clone(), None);
+        assert_eq!(t2.restore(&yokan).unwrap(), 3);
+        let p0 = t2.read(0, 0, 10).unwrap();
+        assert_eq!(p0.len(), 2, "the staged event surfaces after restore");
+        assert_eq!(p0[0].event.data.as_ref(), b"blob");
+        assert_eq!(p0[0].event.metadata["k"], 0u64);
+        assert_eq!(p0[1].event.metadata["k"], 2u64);
+        assert_eq!(t2.read(1, 0, 10).unwrap()[0].event.metadata["k"], 1u64);
+    }
+
+    #[test]
+    fn restore_truncates_at_offset_gap_and_dangling_blob() {
+        let yokan = Arc::new(Yokan::new());
+        let warabi = Arc::new(Warabi::new());
+        let cfg = TopicConfig { partitions: 1 };
+        let t = Topic::new("t", &cfg, warabi.clone(), Some(yokan.clone()));
+        for i in 0..5 {
+            t.append_batch(0, vec![Event::meta_only(json!(i))]).unwrap();
+        }
+        // a gap at offset 2 ends the committed prefix there
+        yokan.delete(&slot_key("t", 0, 2));
+        let t2 = Topic::new("t", &cfg, warabi.clone(), None);
+        assert_eq!(t2.restore(&yokan).unwrap(), 2);
+        // a slot whose blob never made it to warabi truncates the prefix
+        let yokan2 = Arc::new(Yokan::new());
+        let dangling = Slot { metadata: Metadata::Json(json!(9)), payload: Some(BlobId(99)) };
+        yokan2.put(slot_key("t", 0, 0), encode_slot(&dangling));
+        let t3 = Topic::new("t", &cfg, Arc::new(Warabi::new()), None);
+        assert_eq!(t3.restore(&yokan2).unwrap(), 0);
+    }
+
+    #[test]
+    fn dangling_blob_read_is_an_error_not_empty_bytes() {
+        let t = topic(1);
+        t.partitions[0]
+            .state
+            .write()
+            .slots
+            .push(Slot { metadata: Metadata::Json(json!(1)), payload: Some(BlobId(7)) });
+        match t.read(0, 0, 1) {
+            Err(DtfError::IllegalState(msg)) => assert!(msg.contains("blob-7")),
+            other => panic!("expected IllegalState, got {other:?}"),
+        }
     }
 
     #[test]

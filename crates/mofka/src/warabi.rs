@@ -3,11 +3,23 @@
 //! Mofka stores raw event payloads in Warabi regions. Blobs are immutable
 //! once written; readers get cheap `Bytes` clones (reference-counted), which
 //! is what makes high-fan-out consumption of the same payload inexpensive.
+//!
+//! Like [`Yokan`](crate::yokan::Yokan), a Warabi can be **durable**:
+//! [`Warabi::durable`] backs the store with a dtf-store
+//! [`SegmentedLog`] in which blob id == log record index, so recovery
+//! yields the committed blob prefix in order. Write errors are deferred
+//! to [`Warabi::sync`]; [`Warabi::replay`] reopens read-only for archive
+//! consumers. A dangling [`BlobId`] (beyond the recovered prefix after a
+//! crash) is simply `None` from [`Warabi::get`] — callers decide whether
+//! that is an error or a truncation point.
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use dtf_core::error::{DtfError, Result};
+use dtf_store::{LogConfig, RecoveryReport, SegmentedLog};
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 /// Handle to a stored blob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -19,10 +31,17 @@ impl fmt::Display for BlobId {
     }
 }
 
-/// An append-only blob store.
+#[derive(Debug)]
+struct Wal {
+    log: SegmentedLog,
+    error: Option<String>,
+}
+
+/// An append-only blob store with an optional durable log.
 #[derive(Debug, Default)]
 pub struct Warabi {
     blobs: RwLock<Vec<Bytes>>,
+    wal: Option<Mutex<Wal>>,
 }
 
 impl Warabi {
@@ -30,15 +49,50 @@ impl Warabi {
         Self::default()
     }
 
+    /// Open (or create) a durable blob store at `dir`; committed blobs
+    /// are recovered in id order.
+    pub fn durable(dir: &Path) -> Result<(Self, RecoveryReport)> {
+        Self::durable_with(dir, LogConfig::default())
+    }
+
+    pub fn durable_with(dir: &Path, cfg: LogConfig) -> Result<(Self, RecoveryReport)> {
+        let (log, blobs, report) = SegmentedLog::open(dir, cfg)?;
+        Ok((
+            Self { blobs: RwLock::new(blobs), wal: Some(Mutex::new(Wal { log, error: None })) },
+            report,
+        ))
+    }
+
+    /// Rebuild blobs from the log at `dir` without keeping it attached
+    /// (read-only archive open; see `Yokan::replay`).
+    pub fn replay(dir: &Path) -> Result<(Self, RecoveryReport)> {
+        let (log, blobs, report) = SegmentedLog::open(dir, LogConfig::default())?;
+        drop(log);
+        Ok((Self { blobs: RwLock::new(blobs), wal: None }, report))
+    }
+
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
     /// Store a blob, returning its id.
     pub fn put(&self, data: impl Into<Bytes>) -> BlobId {
+        let data = data.into();
         let mut blobs = self.blobs.write();
         let id = BlobId(blobs.len() as u64);
-        blobs.push(data.into());
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            if let Err(e) = wal.log.append(&data) {
+                wal.error.get_or_insert(e.to_string());
+            }
+        }
+        blobs.push(data);
         id
     }
 
-    /// Fetch a blob (cheap clone of a refcounted buffer).
+    /// Fetch a blob (cheap clone of a refcounted buffer). `None` for an
+    /// id past the end — reachable after crash recovery truncates the
+    /// blob log, so callers must treat it as data loss, not a bug.
     pub fn get(&self, id: BlobId) -> Option<Bytes> {
         self.blobs.read().get(id.0 as usize).cloned()
     }
@@ -64,6 +118,19 @@ impl Warabi {
     /// Total stored bytes.
     pub fn total_bytes(&self) -> usize {
         self.blobs.read().iter().map(|b| b.len()).sum()
+    }
+
+    /// Flush the blob log and surface any deferred write error. A no-op
+    /// for in-memory stores.
+    pub fn sync(&self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            if let Some(e) = wal.error.take() {
+                return Err(DtfError::Io(e));
+            }
+            wal.log.sync()?;
+        }
+        Ok(())
     }
 }
 
@@ -125,5 +192,52 @@ mod tests {
             }
         }
         assert_eq!(w.len(), 200);
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtf-warabi-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_blobs_recover_in_id_order() {
+        let dir = tmpdir("durable");
+        {
+            let (w, _) = Warabi::durable(&dir).unwrap();
+            for i in 0..20u8 {
+                assert_eq!(w.put(Bytes::from(vec![i; 4])), BlobId(i as u64));
+            }
+            w.sync().unwrap();
+        }
+        let (w, report) = Warabi::durable(&dir).unwrap();
+        assert_eq!(report.records, 20);
+        assert_eq!(w.len(), 20);
+        for i in 0..20u8 {
+            assert_eq!(w.get(BlobId(i as u64)).unwrap().as_ref(), &[i; 4]);
+        }
+        // ids keep counting from the recovered prefix
+        assert_eq!(w.put(Bytes::from_static(b"next")), BlobId(20));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dangling_id_after_truncation_is_none() {
+        let dir = tmpdir("dangling");
+        {
+            let (w, _) = Warabi::durable(&dir).unwrap();
+            w.put(Bytes::from_static(b"kept"));
+            w.put(Bytes::from_static(b"torn"));
+            w.sync().unwrap();
+        }
+        // tear the second blob's frame
+        let seg = dtf_store::log::segment_paths(&dir).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 1).unwrap();
+        let (w, report) = Warabi::replay(&dir).unwrap();
+        assert!(report.torn);
+        assert_eq!(w.get(BlobId(0)).unwrap().as_ref(), b"kept");
+        assert!(w.get(BlobId(1)).is_none(), "dangling id maps to None, not a panic");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -3,24 +3,88 @@
 //! Mofka stores topic and consumer-group metadata in Yokan; so do we. The
 //! store is a sorted map guarded by an `RwLock`, supporting point ops and
 //! prefix listing (the operations Mofka's metadata layer uses).
+//!
+//! A Yokan can optionally be **durable**: [`Yokan::durable`] attaches a
+//! write-ahead log (dtf-store's [`KvWal`]) and every mutation is written
+//! through to it under the map lock, so the on-disk log always replays to
+//! the in-memory map. Mutation signatures stay infallible — a WAL write
+//! error is remembered and surfaced by the next [`Yokan::sync`], which is
+//! the commit point anyway (group-commit semantics). [`Yokan::replay`]
+//! reopens a directory read-only: the map is rebuilt from the log and the
+//! log handle is dropped, so archive readers never mutate the store
+//! beyond recovery's torn-tail repair.
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use dtf_core::error::{DtfError, Result};
+use dtf_store::{KvWal, KvWalConfig, RecoveryReport};
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::path::Path;
 
-/// An in-memory sorted KV store with prefix queries.
+#[derive(Debug)]
+struct Wal {
+    kv: KvWal,
+    /// First write error since the last successful sync; surfaced there.
+    error: Option<String>,
+}
+
+impl Wal {
+    fn record(&mut self, r: Result<()>) {
+        if let Err(e) = r {
+            self.error.get_or_insert(e.to_string());
+        }
+    }
+}
+
+/// A sorted KV store with prefix queries and an optional write-ahead log.
 #[derive(Debug, Default)]
 pub struct Yokan {
     map: RwLock<BTreeMap<String, Bytes>>,
+    wal: Option<Mutex<Wal>>,
 }
 
 impl Yokan {
+    /// A purely in-memory store (the seed behaviour).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Open (or create) a durable store rooted at `dir`: the WAL is
+    /// replayed into the map and every future mutation writes through.
+    pub fn durable(dir: &Path) -> Result<(Self, RecoveryReport)> {
+        Self::durable_with(dir, KvWalConfig::default())
+    }
+
+    pub fn durable_with(dir: &Path, cfg: KvWalConfig) -> Result<(Self, RecoveryReport)> {
+        let (kv, map, report) = KvWal::open(dir, cfg)?;
+        Ok((Self { map: RwLock::new(map), wal: Some(Mutex::new(Wal { kv, error: None })) }, report))
+    }
+
+    /// Rebuild the map from the log at `dir` without keeping the log
+    /// attached: reads only (after recovery's torn-tail repair). The
+    /// archive-reader path — reopening the same directory twice is safe.
+    pub fn replay(dir: &Path) -> Result<(Self, RecoveryReport)> {
+        let (kv, map, report) = KvWal::open(dir, KvWalConfig::default())?;
+        drop(kv);
+        Ok((Self { map: RwLock::new(map), wal: None }, report))
+    }
+
+    /// Whether mutations are written through to a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
     pub fn put(&self, key: impl Into<String>, value: impl Into<Bytes>) {
-        self.map.write().insert(key.into(), value.into());
+        let key = key.into();
+        let value = value.into();
+        let mut map = self.map.write();
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            let r = wal.kv.append_put(&key, &value);
+            wal.record(r);
+        }
+        map.insert(key, value);
+        self.maybe_compact(&map);
     }
 
     pub fn get(&self, key: &str) -> Option<Bytes> {
@@ -28,7 +92,15 @@ impl Yokan {
     }
 
     pub fn delete(&self, key: &str) -> bool {
-        self.map.write().remove(key).is_some()
+        let mut map = self.map.write();
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            let r = wal.kv.append_delete(key);
+            wal.record(r);
+        }
+        let existed = map.remove(key).is_some();
+        self.maybe_compact(&map);
+        existed
     }
 
     pub fn contains(&self, key: &str) -> bool {
@@ -58,7 +130,34 @@ impl Yokan {
     pub fn update<F: FnOnce(Option<&Bytes>) -> Bytes>(&self, key: &str, f: F) {
         let mut map = self.map.write();
         let new = f(map.get(key));
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            let r = wal.kv.append_put(key, &new);
+            wal.record(r);
+        }
         map.insert(key.to_string(), new);
+        self.maybe_compact(&map);
+    }
+
+    /// Flush the WAL (group commit) and surface any write error deferred
+    /// since the last sync. A no-op for in-memory stores.
+    pub fn sync(&self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            if let Some(e) = wal.error.take() {
+                return Err(DtfError::Io(e));
+            }
+            wal.kv.sync()?;
+        }
+        Ok(())
+    }
+
+    fn maybe_compact(&self, map: &BTreeMap<String, Bytes>) {
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            let r = wal.kv.maybe_compact(map).map(|_| ());
+            wal.record(r);
+        }
     }
 }
 
@@ -134,5 +233,38 @@ mod tests {
         }
         assert_eq!(kv.len(), 800);
         assert_eq!(kv.list_prefix("t3/").len(), 100);
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtf-yokan-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_survives_reopen_and_replay_is_read_only() {
+        let dir = tmpdir("durable");
+        {
+            let (kv, _) = Yokan::durable(&dir).unwrap();
+            assert!(kv.is_durable());
+            kv.put("a", Bytes::from_static(b"1"));
+            kv.update("a", |_| Bytes::from_static(b"2"));
+            kv.put("gone", Bytes::from_static(b"x"));
+            kv.delete("gone");
+            kv.sync().unwrap();
+        }
+        let (kv, report) = Yokan::durable(&dir).unwrap();
+        assert_eq!(report.records, 4);
+        assert_eq!(kv.get("a"), Some(Bytes::from_static(b"2")));
+        assert!(kv.get("gone").is_none());
+        drop(kv);
+        // replay twice: read-only opens never change what is recovered
+        for _ in 0..2 {
+            let (ro, _) = Yokan::replay(&dir).unwrap();
+            assert!(!ro.is_durable());
+            assert_eq!(ro.get("a"), Some(Bytes::from_static(b"2")));
+            assert!(ro.sync().is_ok(), "sync is a no-op without a wal");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,50 @@
+//! Post-hoc analysis from a persisted store directory.
+//!
+//! The paper's pipeline keeps provenance queryable after the run because
+//! Mofka's topics persist through Yokan/Warabi; PERFRECUP then consumes
+//! them like any other source. This module is that entry point for the
+//! analog: point [`open_run`] at the `persist_dir` of a finished (or
+//! crashed) run and get back the same [`RunData`] the in-situ drain
+//! produced — recovery trims to the committed prefix first — ready for
+//! every analysis view in this crate.
+
+use std::path::Path;
+
+use dtf_mofka::ServiceRecovery;
+use dtf_wms::rundata::RunData;
+
+use crate::views::RunViews;
+
+/// Reconstruct a run record from a store directory (read-only; see
+/// `RunData::open_archive`). Returns the run plus what recovery found.
+pub fn open_run(dir: &Path) -> dtf_core::Result<(RunData, ServiceRecovery)> {
+    RunData::open_archive(dir)
+}
+
+/// An archived run bundled with its reconstructed record, so views can
+/// borrow from data owned alongside them.
+#[derive(Debug)]
+pub struct ArchivedRun {
+    pub data: RunData,
+    pub recovery: ServiceRecovery,
+}
+
+impl ArchivedRun {
+    pub fn open(dir: &Path) -> dtf_core::Result<Self> {
+        let (data, recovery) = RunData::open_archive(dir)?;
+        Ok(Self { data, recovery })
+    }
+
+    /// Build the fused analysis views over the archived record.
+    pub fn views(&self) -> RunViews<'_> {
+        RunViews::new(&self.data)
+    }
+
+    /// Whether recovery had to repair anything on the way in (torn tails
+    /// or dropped segments in either store).
+    pub fn was_repaired(&self) -> bool {
+        let y = &self.recovery.yokan;
+        let w = &self.recovery.warabi;
+        y.torn || w.torn || y.dropped_segments > 0 || w.dropped_segments > 0
+    }
+}

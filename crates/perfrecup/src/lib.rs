@@ -23,7 +23,10 @@
 //! * [`utilization`] — per-worker busy-fraction timelines and imbalance.
 //! * [`zoom`] — time-window event extraction and utilization timelines.
 //! * [`export`] — FAIR archival export of a run (CSV views + JSON manifests).
+//! * [`archive`] — post-hoc entry point: reopen a persisted store
+//!   directory (dtf-store backed) and analyze it like a live run.
 
+pub mod archive;
 pub mod category;
 pub mod comm_scatter;
 pub mod export;

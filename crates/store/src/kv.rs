@@ -1,0 +1,381 @@
+//! A tiny write-ahead-logged key-value store on the segmented log.
+//!
+//! Every mutation is one log record — `0x00 | klen:u32le | key | value`
+//! for a put, `0x01 | klen:u32le | key` for a delete — and the live map
+//! is rebuilt by replaying the log on open. When the log grows well past
+//! the live key count, [`KvWal::maybe_compact`] rewrites the current map
+//! as a snapshot of puts into a sibling `<dir>.new` log and swaps it in
+//! by `rename`. Both crash windows of the swap are repaired on open: a
+//! leftover `<dir>.new` next to an intact `<dir>` is discarded (the swap
+//! never started destroying the original), and a `<dir>.new` with no
+//! `<dir>` is renamed into place (the swap had already passed the point
+//! of no return).
+//!
+//! [`KvWal`] is the log half only — the caller owns the map, so e.g. the
+//! Yokan analog can keep its one `RwLock<BTreeMap>` and write through.
+//! [`WalKv`] bundles both for standalone use (tests, benches).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use dtf_core::error::{DtfError, Result};
+
+use crate::log::{FlushPolicy, LogConfig, RecoveryReport, SegmentedLog};
+
+const TAG_PUT: u8 = 0;
+const TAG_DELETE: u8 = 1;
+
+/// KV tuning: the underlying log config plus the compaction trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvWalConfig {
+    pub log: LogConfig,
+    /// Compaction never fires below this many log records.
+    pub compact_min_records: u64,
+    /// …and only once records ≥ ratio × live keys (the log is mostly
+    /// overwrites and deletes).
+    pub compact_ratio: u64,
+}
+
+impl Default for KvWalConfig {
+    fn default() -> Self {
+        Self { log: LogConfig::default(), compact_min_records: 8192, compact_ratio: 4 }
+    }
+}
+
+fn encode_put(key: &str, value: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(5 + key.len() + value.len());
+    rec.push(TAG_PUT);
+    rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    rec.extend_from_slice(key.as_bytes());
+    rec.extend_from_slice(value);
+    rec
+}
+
+fn encode_delete(key: &str) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(5 + key.len());
+    rec.push(TAG_DELETE);
+    rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    rec.extend_from_slice(key.as_bytes());
+    rec
+}
+
+fn apply_record(map: &mut BTreeMap<String, Bytes>, rec: &Bytes) -> Result<()> {
+    let bad = |what: &str| DtfError::Io(format!("kv wal record: {what}"));
+    if rec.len() < 5 {
+        return Err(bad("shorter than tag + key length"));
+    }
+    let klen = u32::from_le_bytes(rec[1..5].try_into().unwrap()) as usize;
+    if 5 + klen > rec.len() {
+        return Err(bad("key length exceeds record"));
+    }
+    let key =
+        std::str::from_utf8(&rec[5..5 + klen]).map_err(|_| bad("key is not utf-8"))?.to_string();
+    match rec[0] {
+        TAG_PUT => {
+            map.insert(key, rec.slice(5 + klen..));
+        }
+        TAG_DELETE => {
+            if rec.len() != 5 + klen {
+                return Err(bad("delete record carries trailing bytes"));
+            }
+            map.remove(&key);
+        }
+        t => return Err(bad(&format!("unknown tag {t}"))),
+    }
+    Ok(())
+}
+
+fn sibling_new(dir: &Path) -> PathBuf {
+    let mut name = dir.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".new");
+    dir.with_file_name(name)
+}
+
+/// Repair an interrupted compaction swap before opening the log. Returns
+/// whether a completed swap was finished (`<dir>.new` promoted).
+fn repair_compaction(dir: &Path) -> Result<bool> {
+    let new_dir = sibling_new(dir);
+    if !new_dir.exists() {
+        return Ok(false);
+    }
+    if dir.exists() {
+        // the original is intact: the snapshot never became authoritative
+        fs::remove_dir_all(&new_dir)
+            .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
+        Ok(false)
+    } else {
+        // the original was removed: the snapshot is the store
+        fs::rename(&new_dir, dir)
+            .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
+        Ok(true)
+    }
+}
+
+/// The WAL half of a durable KV: owns the log, not the map.
+#[derive(Debug)]
+pub struct KvWal {
+    log: SegmentedLog,
+    cfg: KvWalConfig,
+}
+
+impl KvWal {
+    /// Open the WAL at `dir`, repairing any interrupted compaction, and
+    /// replay it into a fresh map.
+    pub fn open(
+        dir: &Path,
+        cfg: KvWalConfig,
+    ) -> Result<(Self, BTreeMap<String, Bytes>, RecoveryReport)> {
+        repair_compaction(dir)?;
+        let (log, records, report) = SegmentedLog::open(dir, cfg.log)?;
+        let mut map = BTreeMap::new();
+        for rec in &records {
+            apply_record(&mut map, rec)?;
+        }
+        Ok((Self { log, cfg }, map, report))
+    }
+
+    /// Log a put. The caller applies the same mutation to its map.
+    pub fn append_put(&mut self, key: &str, value: &[u8]) -> Result<()> {
+        self.log.append(&encode_put(key, value))?;
+        Ok(())
+    }
+
+    /// Log a delete. The caller applies the same mutation to its map.
+    pub fn append_delete(&mut self, key: &str) -> Result<()> {
+        self.log.append(&encode_delete(key))?;
+        Ok(())
+    }
+
+    /// Flush pending records per [`SegmentedLog::sync`].
+    pub fn sync(&mut self) -> Result<()> {
+        self.log.sync()
+    }
+
+    /// Records in the log (live + superseded); the compaction input size.
+    pub fn records(&self) -> u64 {
+        self.log.records()
+    }
+
+    pub fn dir(&self) -> &Path {
+        self.log.dir()
+    }
+
+    /// Compact if the trigger fires: snapshot `map` as puts into
+    /// `<dir>.new`, sync, swap by rename, and reopen the log. Returns
+    /// whether compaction ran. `map` must reflect every record already
+    /// appended (the caller's write-through copy).
+    pub fn maybe_compact(&mut self, map: &BTreeMap<String, Bytes>) -> Result<bool> {
+        let live = map.len() as u64;
+        if self.log.records() < self.cfg.compact_min_records
+            || self.log.records() < self.cfg.compact_ratio * live.max(1)
+        {
+            return Ok(false);
+        }
+        self.log.sync()?;
+        let dir = self.log.dir().to_path_buf();
+        let new_dir = sibling_new(&dir);
+        if new_dir.exists() {
+            fs::remove_dir_all(&new_dir)
+                .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
+        }
+        {
+            let snap_cfg = LogConfig { flush: FlushPolicy::Manual, ..self.cfg.log };
+            let (mut snap, _, _) = SegmentedLog::open(&new_dir, snap_cfg)?;
+            for (k, v) in map {
+                snap.append(&encode_put(k, v))?;
+            }
+            snap.sync()?;
+        }
+        // point of no return: once `dir` is gone the snapshot is authoritative
+        fs::remove_dir_all(&dir).map_err(|e| DtfError::Io(format!("{}: {e}", dir.display())))?;
+        fs::rename(&new_dir, &dir)
+            .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
+        let (log, _, _) = SegmentedLog::open(&dir, self.cfg.log)?;
+        self.log = log;
+        Ok(true)
+    }
+
+    /// Crash simulation: discard buffered records (see
+    /// [`SegmentedLog::abandon`]).
+    pub fn abandon(self) {
+        self.log.abandon();
+    }
+}
+
+/// A self-contained durable KV: [`KvWal`] plus its map. The convenience
+/// form for tests and benches; the Mofka analogs use [`KvWal`] directly
+/// under their own locks.
+#[derive(Debug)]
+pub struct WalKv {
+    wal: KvWal,
+    map: BTreeMap<String, Bytes>,
+}
+
+impl WalKv {
+    pub fn open(dir: &Path, cfg: KvWalConfig) -> Result<(Self, RecoveryReport)> {
+        let (wal, map, report) = KvWal::open(dir, cfg)?;
+        Ok((Self { wal, map }, report))
+    }
+
+    pub fn put(&mut self, key: impl Into<String>, value: impl Into<Bytes>) -> Result<()> {
+        let key = key.into();
+        let value = value.into();
+        self.wal.append_put(&key, &value)?;
+        self.map.insert(key, value);
+        self.wal.maybe_compact(&self.map)?;
+        Ok(())
+    }
+
+    pub fn delete(&mut self, key: &str) -> Result<bool> {
+        self.wal.append_delete(key)?;
+        let existed = self.map.remove(key).is_some();
+        self.wal.maybe_compact(&self.map)?;
+        Ok(existed)
+    }
+
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.map.get(key).cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    pub fn map(&self) -> &BTreeMap<String, Bytes> {
+        &self.map
+    }
+
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtf-kv-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(sibling_new(&dir));
+        dir
+    }
+
+    fn fast() -> KvWalConfig {
+        KvWalConfig {
+            log: LogConfig {
+                flush: FlushPolicy::EveryRecord,
+                sync_data: false,
+                ..LogConfig::default()
+            },
+            ..KvWalConfig::default()
+        }
+    }
+
+    #[test]
+    fn puts_and_deletes_replay() {
+        let dir = tmpdir("replay");
+        {
+            let (mut kv, _) = WalKv::open(&dir, fast()).unwrap();
+            kv.put("a", &b"1"[..]).unwrap();
+            kv.put("b", &b"2"[..]).unwrap();
+            kv.put("a", &b"3"[..]).unwrap(); // overwrite
+            kv.delete("b").unwrap();
+            kv.put("c", &b"4"[..]).unwrap();
+        }
+        let (kv, report) = WalKv::open(&dir, fast()).unwrap();
+        assert_eq!(report.records, 5);
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.get("a").unwrap().as_ref(), b"3");
+        assert!(kv.get("b").is_none());
+        assert_eq!(kv.get("c").unwrap().as_ref(), b"4");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_shrinks_log_and_preserves_map() {
+        let dir = tmpdir("compact");
+        let cfg = KvWalConfig { compact_min_records: 64, compact_ratio: 4, ..fast() };
+        let (mut kv, _) = WalKv::open(&dir, cfg).unwrap();
+        for round in 0..20u32 {
+            for k in 0..10u32 {
+                kv.put(format!("key-{k}"), format!("v{round}").into_bytes()).unwrap();
+            }
+        }
+        assert_eq!(kv.len(), 10);
+        assert!(kv.wal_records() < 64, "200 appends over 10 keys must have compacted");
+        drop(kv);
+        let (kv, _) = WalKv::open(&dir, cfg).unwrap();
+        assert_eq!(kv.len(), 10);
+        for k in 0..10u32 {
+            assert_eq!(kv.get(&format!("key-{k}")).unwrap().as_ref(), b"v19");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_compaction_before_swap_is_discarded() {
+        let dir = tmpdir("crash-pre");
+        {
+            let (mut kv, _) = WalKv::open(&dir, fast()).unwrap();
+            kv.put("live", &b"yes"[..]).unwrap();
+        }
+        // simulate a crash after writing the snapshot but before the swap:
+        // both <dir> and <dir>.new exist, <dir> is authoritative
+        let new_dir = sibling_new(&dir);
+        let (mut snap, _, _) = SegmentedLog::open(&new_dir, LogConfig::default()).unwrap();
+        snap.append(&encode_put("stale", b"no")).unwrap();
+        snap.sync().unwrap();
+        drop(snap);
+        let (kv, _) = WalKv::open(&dir, fast()).unwrap();
+        assert_eq!(kv.len(), 1);
+        assert!(kv.get("live").is_some());
+        assert!(kv.get("stale").is_none());
+        assert!(!new_dir.exists(), "leftover snapshot must be cleaned up");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_compaction_after_removal_is_completed() {
+        let dir = tmpdir("crash-post");
+        // simulate a crash between remove_dir_all(dir) and rename: only
+        // <dir>.new exists and must be promoted
+        let new_dir = sibling_new(&dir);
+        {
+            let (mut snap, _, _) = SegmentedLog::open(&new_dir, LogConfig::default()).unwrap();
+            snap.append(&encode_put("survivor", b"promoted")).unwrap();
+            snap.sync().unwrap();
+        }
+        assert!(!dir.exists());
+        let (kv, _) = WalKv::open(&dir, fast()).unwrap();
+        assert_eq!(kv.get("survivor").unwrap().as_ref(), b"promoted");
+        assert!(!new_dir.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_values_and_empty_values_roundtrip() {
+        let dir = tmpdir("binary");
+        {
+            let (mut kv, _) = WalKv::open(&dir, fast()).unwrap();
+            kv.put("zeros", vec![0u8; 256]).unwrap();
+            kv.put("empty", Bytes::new()).unwrap();
+            kv.put("utf8-key-π", &b"pi"[..]).unwrap();
+        }
+        let (kv, _) = WalKv::open(&dir, fast()).unwrap();
+        assert_eq!(kv.get("zeros").unwrap().len(), 256);
+        assert_eq!(kv.get("empty").unwrap().len(), 0);
+        assert_eq!(kv.get("utf8-key-π").unwrap().as_ref(), b"pi");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! # dtf-store
+//!
+//! Crash-safe persistence for the Mofka-analog micro-services (paper
+//! §III-B: topics persist through Yokan for metadata and Warabi for blob
+//! payloads, which is what lets provenance survive the run and be analyzed
+//! post-hoc by PERFRECUP).
+//!
+//! Two layers, both durable, both recoverable:
+//!
+//! * [`log`] — a segmented append-only record log: length-prefixed,
+//!   CRC32-framed records in fixed-size segment files, each segment headed
+//!   by a magic, its sequence number, and the index of its first record.
+//!   Appends buffer in memory and hit the file on a configurable
+//!   group-commit [`FlushPolicy`]; opening a directory runs a recovery
+//!   scan that verifies every checksum and truncates a torn tail, so a
+//!   reopened log contains exactly the committed record prefix.
+//! * [`kv`] — a tiny write-ahead-logged KV built on the same log: put and
+//!   delete records replay into a `BTreeMap` on open, and a threshold
+//!   triggers compaction into a fresh snapshot log swapped in by atomic
+//!   rename (with both crash windows of the swap repaired on open).
+//!
+//! The recovery invariant both layers maintain: **no committed record is
+//! ever lost, and no uncommitted record ever surfaces**. "Committed"
+//! means flushed by policy or an explicit [`log::SegmentedLog::sync`];
+//! a torn or bit-flipped tail truncates the stream at the first damaged
+//! byte and never resurrects anything behind it.
+
+pub mod crc32;
+pub mod kv;
+pub mod log;
+
+pub use kv::{KvWal, KvWalConfig, WalKv};
+pub use log::{FlushPolicy, LogConfig, RecoveryReport, SegmentedLog};

@@ -1,0 +1,607 @@
+//! The segmented append-only record log.
+//!
+//! On-disk layout: a directory of fixed-size segment files named
+//! `seg-<seqno:016x>.dtl`. Each segment starts with a 28-byte header —
+//! magic `DTFSEG1\0`, the segment's sequence number, the index of its
+//! first record, and a CRC32 of those 24 bytes — followed by record
+//! frames: `len:u32le | crc32(payload):u32le | payload`. A record never
+//! spans segments; a segment holds at least one record even when the
+//! record alone exceeds the size cap (oversized records simply get a
+//! segment to themselves).
+//!
+//! Appends accumulate in a memory buffer and reach the file as one write
+//! (group commit) according to the [`FlushPolicy`]; `sync_data` is called
+//! after each flush when [`LogConfig::sync_data`] is set. Dropping the log
+//! flushes best-effort without fsync — the semantics of a clean process
+//! exit. [`SegmentedLog::abandon`] discards the buffer instead, modelling
+//! a hard crash for tests.
+//!
+//! Opening a directory runs the recovery scan: segments are walked in
+//! seqno order; a segment with a damaged header, a seqno gap, or a
+//! first-record index that disagrees with the running count is dropped
+//! along with everything after it; inside a segment, the first frame with
+//! a bad length, a short read, or a CRC mismatch truncates the file at
+//! that byte and drops all later segments. What survives is exactly the
+//! committed prefix.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use dtf_core::error::{DtfError, Result};
+
+use crate::crc32::crc32;
+
+const MAGIC: &[u8; 8] = b"DTFSEG1\0";
+/// Segment header length: magic(8) + seqno(8) + first_record(8) + crc(4).
+pub const HEADER_LEN: usize = 28;
+/// Frame overhead per record: len(4) + crc(4).
+pub const FRAME_OVERHEAD: usize = 8;
+/// Upper bound on one record's payload (a corrupted length field larger
+/// than this is rejected without attempting the read).
+pub const MAX_RECORD_BYTES: usize = 64 << 20;
+
+/// When buffered appends are written (and optionally fsynced) to the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush after every append — maximum durability, one I/O per record.
+    EveryRecord,
+    /// Group commit: flush once `n` records are pending.
+    EveryN(u32),
+    /// Only explicit [`SegmentedLog::sync`] calls flush.
+    Manual,
+}
+
+/// Log tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Target segment size in bytes; a segment rolls when the next frame
+    /// would exceed it (but always holds at least one record).
+    pub segment_bytes: u64,
+    pub flush: FlushPolicy,
+    /// Call `sync_data` after each flush (fsync durability). Off, a flush
+    /// reaches the OS page cache — durable across process death, not
+    /// power loss.
+    pub sync_data: bool,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        Self { segment_bytes: 256 << 10, flush: FlushPolicy::EveryN(256), sync_data: true }
+    }
+}
+
+/// What the recovery scan found and repaired while opening a log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segments that passed header validation.
+    pub segments: usize,
+    /// Records recovered (the committed prefix).
+    pub records: u64,
+    /// Bytes cut off a torn tail.
+    pub truncated_bytes: u64,
+    /// Segment files dropped (damaged header, seqno gap, or past a tear).
+    pub dropped_segments: usize,
+    /// Whether a torn/corrupt tail was found and truncated.
+    pub torn: bool,
+}
+
+/// A segmented append-only record log rooted at one directory.
+#[derive(Debug)]
+pub struct SegmentedLog {
+    dir: PathBuf,
+    cfg: LogConfig,
+    file: File,
+    seg_seqno: u64,
+    /// Bytes in the current segment, committed and pending.
+    seg_len: u64,
+    /// Records appended over the log's lifetime (committed and pending).
+    records: u64,
+    /// Records written to the file (the crash-durable prefix).
+    committed: u64,
+    pending: Vec<u8>,
+    pending_records: u64,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> DtfError {
+    DtfError::Io(format!("{}: {e}", path.display()))
+}
+
+fn segment_name(seqno: u64) -> String {
+    format!("seg-{seqno:016x}.dtl")
+}
+
+fn header_bytes(seqno: u64, first_record: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..16].copy_from_slice(&seqno.to_le_bytes());
+    h[16..24].copy_from_slice(&first_record.to_le_bytes());
+    let crc = crc32(&h[..24]);
+    h[24..28].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Segment files under `dir`, sorted by sequence number. Exposed so fault
+/// injection (dtf-chaos) can aim at the tail segment of a store.
+pub fn segment_paths(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(hex) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".dtl")) {
+            if let Ok(seqno) = u64::from_str_radix(hex, 16) {
+                found.push((seqno, entry.path()));
+            }
+        }
+    }
+    found.sort();
+    Ok(found.into_iter().map(|(_, p)| p).collect())
+}
+
+fn parse_seqno(path: &Path) -> u64 {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_prefix("seg-"))
+        .and_then(|n| n.strip_suffix(".dtl"))
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .expect("segment_paths yields well-formed names")
+}
+
+impl SegmentedLog {
+    /// Open (creating if absent) the log at `dir`, running the recovery
+    /// scan. Returns the log positioned for appending, the recovered
+    /// records in order, and the scan report.
+    pub fn open(dir: &Path, cfg: LogConfig) -> Result<(Self, Vec<Bytes>, RecoveryReport)> {
+        let cfg = LogConfig {
+            segment_bytes: cfg.segment_bytes.max((HEADER_LEN + FRAME_OVERHEAD) as u64 + 8),
+            ..cfg
+        };
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let paths = segment_paths(dir)?;
+        let mut report = RecoveryReport::default();
+        let mut records: Vec<Bytes> = Vec::new();
+        // (seqno, path, byte length) of the segment appends continue into
+        let mut active: Option<(u64, PathBuf, u64)> = None;
+        let mut drop_from: Option<usize> = None;
+        let mut prev_seqno: Option<u64> = None;
+
+        'segments: for (i, path) in paths.iter().enumerate() {
+            let seqno = parse_seqno(path);
+            let data = fs::read(path).map_err(|e| io_err(path, e))?;
+            let header_ok = data.len() >= HEADER_LEN
+                && &data[..8] == MAGIC
+                && u32::from_le_bytes(data[24..28].try_into().unwrap()) == crc32(&data[..24])
+                && u64::from_le_bytes(data[8..16].try_into().unwrap()) == seqno
+                && u64::from_le_bytes(data[16..24].try_into().unwrap()) == records.len() as u64
+                && prev_seqno.map(|p| seqno == p + 1).unwrap_or(true);
+            if !header_ok {
+                drop_from = Some(i);
+                break;
+            }
+            prev_seqno = Some(seqno);
+            report.segments += 1;
+            let mut off = HEADER_LEN;
+            loop {
+                if off == data.len() {
+                    break; // clean segment end
+                }
+                let frame_ok = off + FRAME_OVERHEAD <= data.len() && {
+                    let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+                    len <= MAX_RECORD_BYTES && off + FRAME_OVERHEAD + len <= data.len() && {
+                        let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+                        crc32(&data[off + 8..off + 8 + len]) == crc
+                    }
+                };
+                if !frame_ok {
+                    // torn tail: truncate here, drop everything after
+                    let f =
+                        OpenOptions::new().write(true).open(path).map_err(|e| io_err(path, e))?;
+                    f.set_len(off as u64).map_err(|e| io_err(path, e))?;
+                    report.truncated_bytes += (data.len() - off) as u64;
+                    report.torn = true;
+                    active = Some((seqno, path.clone(), off as u64));
+                    drop_from = Some(i + 1);
+                    break 'segments;
+                }
+                let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+                records.push(Bytes::copy_from_slice(&data[off + 8..off + 8 + len]));
+                off += FRAME_OVERHEAD + len;
+            }
+            active = Some((seqno, path.clone(), data.len() as u64));
+        }
+
+        if let Some(i) = drop_from {
+            report.dropped_segments = paths.len() - i;
+            for path in &paths[i..] {
+                fs::remove_file(path).map_err(|e| io_err(path, e))?;
+            }
+        }
+        report.records = records.len() as u64;
+
+        let (file, seg_seqno, seg_len) = match active {
+            Some((seqno, path, len)) => {
+                let file =
+                    OpenOptions::new().append(true).open(&path).map_err(|e| io_err(&path, e))?;
+                (file, seqno, len)
+            }
+            None => Self::create_segment(dir, 0, 0)?,
+        };
+        let n = records.len() as u64;
+        let log = Self {
+            dir: dir.to_path_buf(),
+            cfg,
+            file,
+            seg_seqno,
+            seg_len,
+            records: n,
+            committed: n,
+            pending: Vec::new(),
+            pending_records: 0,
+        };
+        Ok((log, records, report))
+    }
+
+    fn create_segment(dir: &Path, seqno: u64, first_record: u64) -> Result<(File, u64, u64)> {
+        let path = dir.join(segment_name(seqno));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        file.write_all(&header_bytes(seqno, first_record)).map_err(|e| io_err(&path, e))?;
+        Ok((file, seqno, HEADER_LEN as u64))
+    }
+
+    /// Append one record; returns its index (0-based over the log's life).
+    /// Flushes per the configured policy.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        if payload.len() > MAX_RECORD_BYTES {
+            return Err(DtfError::Io(format!(
+                "record of {} bytes exceeds the {MAX_RECORD_BYTES}-byte cap",
+                payload.len()
+            )));
+        }
+        let frame = (FRAME_OVERHEAD + payload.len()) as u64;
+        if self.seg_len + frame > self.cfg.segment_bytes && self.seg_len > HEADER_LEN as u64 {
+            self.roll()?;
+        }
+        let index = self.records;
+        self.pending.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.pending.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.pending.extend_from_slice(payload);
+        self.pending_records += 1;
+        self.records += 1;
+        self.seg_len += frame;
+        match self.cfg.flush {
+            FlushPolicy::EveryRecord => self.sync()?,
+            FlushPolicy::EveryN(n) => {
+                if self.pending_records >= n.max(1) as u64 {
+                    self.sync()?;
+                }
+            }
+            FlushPolicy::Manual => {}
+        }
+        Ok(index)
+    }
+
+    /// Group commit: write everything pending in one `write`, then
+    /// `sync_data` if configured. After this returns, every appended
+    /// record is committed.
+    pub fn sync(&mut self) -> Result<()> {
+        if !self.pending.is_empty() {
+            self.file.write_all(&self.pending).map_err(|e| io_err(&self.dir, e))?;
+            if self.cfg.sync_data {
+                self.file.sync_data().map_err(|e| io_err(&self.dir, e))?;
+            }
+            self.pending.clear();
+            self.pending_records = 0;
+        }
+        self.committed = self.records;
+        Ok(())
+    }
+
+    /// Flush the current segment and start the next one.
+    fn roll(&mut self) -> Result<()> {
+        self.sync()?;
+        let (file, seqno, len) = Self::create_segment(&self.dir, self.seg_seqno + 1, self.records)?;
+        self.file = file;
+        self.seg_seqno = seqno;
+        self.seg_len = len;
+        Ok(())
+    }
+
+    /// Records appended (committed or still buffered).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records on disk — what a crash right now would preserve.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Number of segment files written so far.
+    pub fn segments(&self) -> u64 {
+        self.seg_seqno + 1
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Drop the log as a hard crash would: buffered (uncommitted) records
+    /// are discarded, not flushed. Test hook for crash-recovery scenarios.
+    pub fn abandon(mut self) {
+        self.pending.clear();
+        self.pending_records = 0;
+    }
+}
+
+impl Drop for SegmentedLog {
+    fn drop(&mut self) {
+        // clean-exit semantics: write what's buffered, skip the fsync
+        if !self.pending.is_empty() {
+            let _ = self.file.write_all(&self.pending);
+            self.pending.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtf-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(segment_bytes: u64, flush: FlushPolicy) -> LogConfig {
+        LogConfig { segment_bytes, flush, sync_data: false }
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let dir = tmpdir("roundtrip");
+        let payloads: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        {
+            let (mut log, recovered, report) =
+                SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+            assert!(recovered.is_empty());
+            assert!(!report.torn);
+            for (i, p) in payloads.iter().enumerate() {
+                assert_eq!(log.append(p).unwrap(), i as u64);
+            }
+            assert_eq!(log.committed(), 100);
+        }
+        let (log, recovered, report) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(report.records, 100);
+        assert!(!report.torn);
+        assert_eq!(recovered.len(), 100);
+        for (r, p) in recovered.iter().zip(&payloads) {
+            assert_eq!(r.as_ref(), p.as_slice());
+        }
+        assert_eq!(log.records(), 100);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_and_headers_chain() {
+        let dir = tmpdir("roll");
+        {
+            let (mut log, _, _) = SegmentedLog::open(&dir, cfg(128, FlushPolicy::Manual)).unwrap();
+            for i in 0..50u8 {
+                log.append(&[i; 40]).unwrap();
+            }
+            log.sync().unwrap();
+            assert!(log.segments() > 1, "small segments must roll");
+        }
+        let paths = segment_paths(&dir).unwrap();
+        assert!(paths.len() > 1);
+        // headers: contiguous seqnos, first_record strictly increasing
+        let mut prev_first = None;
+        for (i, p) in paths.iter().enumerate() {
+            let data = fs::read(p).unwrap();
+            assert_eq!(&data[..8], MAGIC);
+            assert_eq!(u64::from_le_bytes(data[8..16].try_into().unwrap()), i as u64);
+            let first = u64::from_le_bytes(data[16..24].try_into().unwrap());
+            if let Some(pf) = prev_first {
+                assert!(first > pf);
+            }
+            prev_first = Some(first);
+        }
+        let (_, recovered, report) =
+            SegmentedLog::open(&dir, cfg(128, FlushPolicy::Manual)).unwrap();
+        assert_eq!(recovered.len(), 50);
+        assert_eq!(report.segments, paths.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_gets_its_own_segment() {
+        let dir = tmpdir("oversize");
+        let (mut log, _, _) = SegmentedLog::open(&dir, cfg(64, FlushPolicy::EveryRecord)).unwrap();
+        log.append(&[7u8; 500]).unwrap(); // far over the 64-byte target
+        log.append(b"after").unwrap();
+        drop(log);
+        let (_, recovered, _) =
+            SegmentedLog::open(&dir, cfg(64, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].len(), 500);
+        assert_eq!(recovered[1].as_ref(), b"after");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_policies_gate_commit() {
+        let dir = tmpdir("policies");
+        let (mut log, _, _) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryN(10))).unwrap();
+        for _ in 0..9 {
+            log.append(b"x").unwrap();
+        }
+        assert_eq!(log.committed(), 0, "below the group threshold nothing is committed");
+        log.append(b"x").unwrap();
+        assert_eq!(log.committed(), 10, "the 10th append flushes the group");
+        log.append(b"x").unwrap();
+        assert_eq!(log.committed(), 10);
+        log.sync().unwrap();
+        assert_eq!(log.committed(), 11);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn abandoned_uncommitted_records_never_surface() {
+        let dir = tmpdir("abandon");
+        let (mut log, _, _) = SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::Manual)).unwrap();
+        log.append(b"committed-1").unwrap();
+        log.append(b"committed-2").unwrap();
+        log.sync().unwrap();
+        log.append(b"lost").unwrap();
+        log.abandon(); // crash: the pending record must not be written
+        let (_, recovered, report) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::Manual)).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[1].as_ref(), b"committed-2");
+        assert!(!report.torn, "a clean crash leaves no torn tail");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_committed_prefix() {
+        let dir = tmpdir("torn");
+        {
+            let (mut log, _, _) =
+                SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+            for i in 0..20u8 {
+                log.append(&[i; 16]).unwrap();
+            }
+        }
+        let path = segment_paths(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        // cut mid-frame: the 20th record's payload loses its last byte
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 1).unwrap();
+        let (_, recovered, report) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(recovered.len(), 19);
+        assert!(report.torn);
+        assert!(report.truncated_bytes > 0);
+        // reopen again: the repair is idempotent
+        let (_, again, report2) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(again.len(), 19);
+        assert!(!report2.torn);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_truncates_at_the_damaged_record() {
+        let dir = tmpdir("bitflip");
+        {
+            let (mut log, _, _) =
+                SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+            for i in 0..10u8 {
+                log.append(&[i; 32]).unwrap();
+            }
+        }
+        let path = segment_paths(&dir).unwrap().pop().unwrap();
+        let mut data = fs::read(&path).unwrap();
+        // flip one bit inside record 5's payload
+        let target = HEADER_LEN + 5 * (FRAME_OVERHEAD + 32) + FRAME_OVERHEAD + 10;
+        data[target] ^= 0x40;
+        fs::write(&path, &data).unwrap();
+        let (_, recovered, report) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(recovered.len(), 5, "records before the flip survive, the rest drop");
+        for (i, r) in recovered.iter().enumerate() {
+            assert_eq!(r.as_ref(), &[i as u8; 32]);
+        }
+        assert!(report.torn);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_header_drops_segment_and_successors() {
+        let dir = tmpdir("header");
+        {
+            let (mut log, _, _) =
+                SegmentedLog::open(&dir, cfg(256, FlushPolicy::EveryRecord)).unwrap();
+            for i in 0..40u8 {
+                log.append(&[i; 50]).unwrap();
+            }
+            assert!(log.segments() >= 3);
+        }
+        let paths = segment_paths(&dir).unwrap();
+        let victim = &paths[1];
+        let mut data = fs::read(victim).unwrap();
+        data[3] ^= 0xff; // corrupt the magic of the middle segment
+        fs::write(victim, &data).unwrap();
+        let (mut log, recovered, report) =
+            SegmentedLog::open(&dir, cfg(256, FlushPolicy::EveryRecord)).unwrap();
+        let seg0_records = recovered.len();
+        assert!(seg0_records > 0 && seg0_records < 40);
+        assert_eq!(report.dropped_segments, paths.len() - 1);
+        // the log continues appending after the surviving prefix
+        log.append(b"continues").unwrap();
+        drop(log);
+        let (_, again, _) = SegmentedLog::open(&dir, cfg(256, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(again.len(), seg0_records + 1);
+        assert_eq!(again.last().unwrap().as_ref(), b"continues");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_continues_after_recovery_truncation() {
+        let dir = tmpdir("continue");
+        {
+            let (mut log, _, _) =
+                SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+            for _ in 0..5 {
+                log.append(b"old").unwrap();
+            }
+        }
+        let path = segment_paths(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 2).unwrap();
+        {
+            let (mut log, recovered, _) =
+                SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+            assert_eq!(recovered.len(), 4);
+            assert_eq!(
+                log.append(b"new").unwrap(),
+                4,
+                "indices continue from the recovered prefix"
+            );
+        }
+        let (_, recovered, _) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(recovered.len(), 5);
+        assert_eq!(recovered[4].as_ref(), b"new");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_payloads_are_valid_records() {
+        let dir = tmpdir("empty");
+        {
+            let (mut log, _, _) =
+                SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+            log.append(b"").unwrap();
+            log.append(b"x").unwrap();
+            log.append(b"").unwrap();
+        }
+        let (_, recovered, _) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(recovered.len(), 3);
+        assert!(recovered[0].is_empty() && recovered[2].is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -5,8 +5,17 @@
 //! chart. [`RunData::drain_from_mofka`] replays the Mofka topics after the
 //! run — the post-processing consumer mode — and fuses them with the
 //! Darshan log set into one record the analysis engine consumes.
+//!
+//! For persistent runs the same drain works post-hoc from disk:
+//! [`RunData::open_archive`] reopens a store directory read-only and
+//! replays the recovered topics through the identical consumer path
+//! (same prefetch, fresh consumer group), so a reconstructed `RunData`
+//! is byte-identical to the in-memory one for the committed prefix. The
+//! non-Mofka half of the record — chart, Darshan logs, wall time — is
+//! persisted at finalize under the [`ARCHIVE_META_KEY`] Yokan key.
 
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 use dtf_core::error::DtfError;
 use dtf_core::events::{
@@ -17,7 +26,23 @@ use dtf_core::ids::{RunId, TaskKey};
 use dtf_core::provenance::ProvenanceChart;
 use dtf_core::time::{Dur, Time};
 use dtf_darshan::log::LogSet;
-use dtf_mofka::{ConsumerConfig, Metadata, MofkaService};
+use dtf_mofka::{ConsumerConfig, Metadata, MofkaService, ServiceRecovery};
+
+/// Yokan key under which a persistent run archives its non-Mofka data.
+pub const ARCHIVE_META_KEY: &str = "run-meta";
+
+/// The non-Mofka half of a run record, persisted at finalize so an
+/// archive reopen can rebuild a full [`RunData`] from disk alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchiveMeta {
+    pub run: RunId,
+    pub workflow: String,
+    pub chart: ProvenanceChart,
+    pub darshan: LogSet,
+    pub wall_time: Dur,
+    pub start_order: Vec<(TaskKey, Time)>,
+    pub steals: u64,
+}
 
 /// All data collected from a single run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -59,6 +84,34 @@ impl RunData {
         steals: u64,
     ) -> dtf_core::Result<Self> {
         let group = format!("analysis-{run}");
+        let meta = ArchiveMeta { run, workflow, chart, darshan, wall_time, start_order, steals };
+        Self::drain_with_group(svc, &group, meta)
+    }
+
+    /// Rebuild a run record from a persisted store directory, read-only.
+    /// The drain uses a fresh consumer group (`"archive-<run>"` — the
+    /// original run's group offsets are themselves persisted) but the
+    /// same consumer configuration as the in-situ path, so event order is
+    /// identical. Also returns what recovery found on the way in.
+    pub fn open_archive(dir: &Path) -> dtf_core::Result<(Self, ServiceRecovery)> {
+        let (svc, recovery) = MofkaService::reopen(dir)?;
+        let raw = svc.yokan().get(ARCHIVE_META_KEY).ok_or_else(|| {
+            DtfError::NotFound(format!("{ARCHIVE_META_KEY} in archive {}", dir.display()))
+        })?;
+        let meta: ArchiveMeta = serde_json::from_slice(&raw)?;
+        let group = format!("archive-{}", meta.run);
+        let data = Self::drain_with_group(&svc, &group, meta)?;
+        Ok((data, recovery))
+    }
+
+    /// The one drain implementation both the in-situ and archive paths
+    /// share — any divergence here would break byte-identical replay.
+    fn drain_with_group(
+        svc: &MofkaService,
+        group: &str,
+        archive: ArchiveMeta,
+    ) -> dtf_core::Result<Self> {
+        let ArchiveMeta { run, workflow, chart, darshan, wall_time, start_order, steals } = archive;
         fn drain<T: ProvEvent + serde::Deserialize>(
             svc: &MofkaService,
             topic: &str,
@@ -85,15 +138,15 @@ impl RunData {
             }
             Ok(out)
         }
-        let mut meta: Vec<TaskMetaEvent> = drain(svc, "task-meta", &group)?;
-        let mut transitions: Vec<TransitionEvent> = drain(svc, "task-transitions", &group)?;
+        let mut meta: Vec<TaskMetaEvent> = drain(svc, "task-meta", group)?;
+        let mut transitions: Vec<TransitionEvent> = drain(svc, "task-transitions", group)?;
         let mut worker_transitions: Vec<WorkerTransitionEvent> =
-            drain(svc, "worker-transitions", &group)?;
-        let mut task_done: Vec<TaskDoneEvent> = drain(svc, "task-done", &group)?;
-        let mut comms: Vec<CommEvent> = drain(svc, "comm-events", &group)?;
-        let mut warnings: Vec<WarningEvent> = drain(svc, "warnings", &group)?;
-        let mut logs: Vec<LogEntry> = drain(svc, "logs", &group)?;
-        let mut online_io: Vec<IoRecord> = drain(svc, "io-records", &group)?;
+            drain(svc, "worker-transitions", group)?;
+        let mut task_done: Vec<TaskDoneEvent> = drain(svc, "task-done", group)?;
+        let mut comms: Vec<CommEvent> = drain(svc, "comm-events", group)?;
+        let mut warnings: Vec<WarningEvent> = drain(svc, "warnings", group)?;
+        let mut logs: Vec<LogEntry> = drain(svc, "logs", group)?;
+        let mut online_io: Vec<IoRecord> = drain(svc, "io-records", group)?;
         meta.sort_by_key(|e| (e.submitted, e.key.clone()));
         transitions.sort_by_key(|e| e.time);
         worker_transitions.sort_by_key(|e| (e.time, e.key.clone()));

@@ -38,7 +38,7 @@ use dtf_platform::{ClusterTopology, LoadProcess, NetworkConfig, NetworkModel, Pf
 
 use crate::graph::{Payload, SimAction, TaskGraph};
 use crate::plugins::{MofkaPlugin, PluginSet, WmsPlugin};
-use crate::rundata::RunData;
+use crate::rundata::{ArchiveMeta, RunData, ARCHIVE_META_KEY};
 use crate::scheduler::{Action, Scheduler, SchedulerConfig};
 
 /// How the client submits its graphs.
@@ -114,6 +114,12 @@ pub struct SimConfig {
     /// the check scans the whole task table).
     #[serde(default = "Default::default")]
     pub invariant_checks: bool,
+    /// Root directory for durable Mofka state (dtf-store backed). `None`
+    /// (the default) keeps the run in-memory, exactly as before; set, the
+    /// run's event stream and archive metadata survive the process and
+    /// can be reopened with `RunData::open_archive`.
+    #[serde(default = "Default::default")]
+    pub persist_dir: Option<String>,
 }
 
 impl Default for SimConfig {
@@ -137,6 +143,7 @@ impl Default for SimConfig {
             online_darshan: false,
             faults: FaultSchedule::default(),
             invariant_checks: false,
+            persist_dir: None,
         }
     }
 }
@@ -299,7 +306,10 @@ impl SimCluster {
             runtimes.push(rt);
         }
 
-        let mofka = BedrockConfig::wms_default().bootstrap()?;
+        let svc_cfg = dtf_mofka::ServiceConfig {
+            persist: cfg.persist_dir.as_ref().map(std::path::PathBuf::from),
+        };
+        let mofka = BedrockConfig::wms_default().bootstrap_with(&svc_cfg)?;
         if cfg.online_darshan {
             // fully online system: every I/O record streams straight into
             // Mofka as it is captured, independent of the DXT buffers. Each
@@ -785,9 +795,27 @@ impl SimCluster {
         );
         let start_order = self.scheduler.start_order().to_vec();
         let steals = self.scheduler.steal_count();
+        let meta = ArchiveMeta {
+            run: self.cfg.run,
+            workflow,
+            chart,
+            darshan,
+            wall_time,
+            start_order,
+            steals,
+        };
+        if self.cfg.persist_dir.is_some() {
+            // archive the non-Mofka half of the run record, then group-
+            // commit everything: past this point the run is recoverable
+            self.mofka
+                .yokan()
+                .put(ARCHIVE_META_KEY, serde_json::to_vec(&meta).expect("meta serializes"));
+            self.mofka.sync()?;
+        }
+        let ArchiveMeta { run, workflow, chart, darshan, wall_time, start_order, steals } = meta;
         RunData::drain_from_mofka(
             &self.mofka,
-            self.cfg.run,
+            run,
             workflow,
             chart,
             darshan,

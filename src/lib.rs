@@ -7,6 +7,8 @@
 //! * [`core`] — identifiers, event & provenance schema, clocks, statistics.
 //! * [`platform`] — simulated HPC platform (cluster, network, Lustre-like PFS).
 //! * [`mofka`] — event streaming service used to aggregate instrumentation.
+//! * [`store`] — durable segmented event-log and WAL-backed KV persistence
+//!   (the storage layer behind Mofka's durable mode), with crash recovery.
 //! * [`darshan`] — I/O characterization (POSIX counters + DXT tracing).
 //! * [`wms`] — the Dask.distributed-analog workflow management system.
 //! * [`chaos`] — deterministic chaos harness: seeded fault schedules,
@@ -22,5 +24,6 @@ pub use dtf_darshan as darshan;
 pub use dtf_mofka as mofka;
 pub use dtf_perfrecup as perfrecup;
 pub use dtf_platform as platform;
+pub use dtf_store as store;
 pub use dtf_wms as wms;
 pub use dtf_workflows as workflows;

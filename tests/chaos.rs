@@ -303,6 +303,69 @@ fn mofka_stall_over_run_end_loses_nothing() {
     );
 }
 
+/// dtf-store crash faults, every kind against every target, fixed seeds:
+/// a payload-carrying persisted service is damaged on a scratch copy and
+/// reopened. Recovery must always surface a committed prefix (the oracle)
+/// and must be deterministic — the same fault on a fresh copy recovers
+/// the identical stream.
+#[test]
+fn crash_faults_recover_committed_prefixes_deterministically() {
+    use dtf::chaos::{copy_store, recovery_oracle, CrashFault, CrashKind, CrashTarget};
+    use dtf::mofka::producer::ProducerConfig;
+    use dtf::mofka::{Event, MofkaService, ServiceConfig, TopicConfig};
+
+    let base = std::env::temp_dir().join(format!("dtf-chaos-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let golden = base.join("golden");
+    {
+        let svc =
+            MofkaService::with_config(&ServiceConfig { persist: Some(golden.clone()) }).unwrap();
+        svc.create_topic("t", TopicConfig { partitions: 2 }).unwrap();
+        let mut p = svc.producer("t", ProducerConfig::default()).unwrap();
+        for i in 0..300u64 {
+            p.push(Event::new(
+                serde_json::json!({ "i": i }),
+                bytes::Bytes::from(vec![(i % 251) as u8; 32]),
+            ))
+            .unwrap();
+        }
+        p.flush().unwrap();
+        svc.sync().unwrap();
+    }
+    let (pristine, _) = MofkaService::reopen(&golden).unwrap();
+
+    let faults = [
+        (CrashTarget::YokanWal, CrashKind::TruncateTail, 0xC0A1u64),
+        (CrashTarget::YokanWal, CrashKind::ZeroTail, 0xC0A2),
+        (CrashTarget::YokanWal, CrashKind::BitFlip, 0xC0A3),
+        (CrashTarget::WarabiLog, CrashKind::TruncateTail, 0xC0A4),
+        (CrashTarget::WarabiLog, CrashKind::ZeroTail, 0xC0A5),
+        (CrashTarget::WarabiLog, CrashKind::BitFlip, 0xC0A6),
+    ];
+    for (target, kind, seed) in faults {
+        let fault = CrashFault { target, kind, seed };
+        let recover = |label: &str| {
+            let victim = base.join(format!("victim-{seed:x}-{label}"));
+            copy_store(&golden, &victim).unwrap();
+            fault.apply(&victim).unwrap();
+            let (svc, recovery) = MofkaService::reopen(&victim).unwrap();
+            std::fs::remove_dir_all(&victim).unwrap();
+            (svc, recovery.restored_events)
+        };
+        let (first, n1) = recover("a");
+        let violations = recovery_oracle(&pristine, &first);
+        assert!(violations.is_empty(), "{fault:?} violated recovery: {violations:?}");
+        let (second, n2) = recover("b");
+        assert_eq!(n1, n2, "{fault:?}: recovery must be deterministic from the seed");
+        assert!(
+            recovery_oracle(&first, &second).is_empty()
+                && recovery_oracle(&second, &first).is_empty(),
+            "{fault:?}: both recoveries must expose the identical stream"
+        );
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
 /// Service-level exactly-once under a stall: events produced into a
 /// stalled partition become visible only after unstall, in order, exactly
 /// once across incremental drains of one consumer group.

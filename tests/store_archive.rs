@@ -1,0 +1,208 @@
+//! Durable-store archive gates: the fixed-seed acceptance criteria of the
+//! dtf-store subsystem, pinned against golden fingerprints.
+//!
+//! Three properties are gated here:
+//!
+//! 1. Turning persistence on must not perturb the simulation — a
+//!    fixed-seed persistent run's export bundle must match the *same*
+//!    golden (`export_fnv64.txt`) the non-durable pipeline is pinned to.
+//! 2. A fresh-process archive reopen ([`RunData::open_archive`]) must
+//!    reconstruct the event stream byte-identically: export bundles of
+//!    the live and the archived run are compared file-for-file.
+//! 3. After a fixed tail corruption of the metadata WAL, reopen recovers
+//!    exactly the committed prefix: the recovery oracle passes and the
+//!    recovered stream's fingerprint is pinned (`store_recovery_fnv64.txt`).
+//!
+//! Regenerate goldens (only deliberately) with:
+//!
+//! ```text
+//! DTF_UPDATE_GOLDEN=1 cargo test --release --test store_archive
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use dtf::chaos::{copy_store, recovery_oracle, CrashFault, CrashKind, CrashTarget};
+use dtf::core::ids::RunId;
+use dtf::core::rngx::RunRng;
+use dtf::mofka::MofkaService;
+use dtf::perfrecup::archive::ArchivedRun;
+use dtf::perfrecup::export::export_run;
+use dtf::wms::sim::{SimCluster, SimConfig};
+use dtf::wms::RunData;
+use dtf::workflows::Workload;
+
+/// FNV-1a 64-bit (same change-detector as tests/wire_format.rs).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn update_golden() -> bool {
+    std::env::var_os("DTF_UPDATE_GOLDEN").is_some()
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if update_golden() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("updated golden {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden {} missing ({e}); see module docs", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden fingerprint (regenerate deliberately \
+         with DTF_UPDATE_GOLDEN=1)"
+    );
+}
+
+fn scratch(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dtf-store-archive-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The same fixed-seed run `tests/wire_format.rs` pins its goldens to —
+/// campaign seed 13, run 0, ImageProcessing, online Darshan — but with
+/// persistence pointed at `store`.
+fn persistent_fixed_seed_run(store: &Path) -> RunData {
+    let workload = Workload::ImageProcessing;
+    let mut cfg = SimConfig {
+        campaign_seed: 13,
+        run: RunId(0),
+        online_darshan: true,
+        persist_dir: Some(store.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+    workload.adjust(&mut cfg);
+    let rr = RunRng::new(13, RunId(0));
+    SimCluster::new(cfg).unwrap().run(workload.generate(&rr)).unwrap()
+}
+
+/// Export `data` into a fresh dir and fingerprint every file, in the same
+/// `{name} {fnv:016x} {len}` shape as the wire-format golden.
+fn export_fingerprint(data: &RunData, dir: &Path) -> String {
+    let _ = std::fs::remove_dir_all(dir);
+    export_run(data, dir).unwrap();
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    let mut fingerprint = String::new();
+    for name in &names {
+        let bytes = std::fs::read(dir.join(name)).unwrap();
+        fingerprint.push_str(&format!("{name} {:016x} {}\n", fnv64(&bytes), bytes.len()));
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    fingerprint
+}
+
+/// Canonical text rendering of everything a reopened service exposes:
+/// topics sorted, partitions in order, one line per stored event.
+fn stream_text(svc: &MofkaService) -> String {
+    let mut out = String::new();
+    for name in svc.topic_names() {
+        let topic = svc.topic(&name).unwrap();
+        for p in 0..topic.num_partitions() {
+            for (i, e) in topic.read(p, 0, usize::MAX >> 1).unwrap().iter().enumerate() {
+                out.push_str(&format!(
+                    "{name}/{p}/{i} {} {} {}\n",
+                    e.id,
+                    e.event.data.len(),
+                    e.event.metadata.to_value()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Gate 1: persistence is a pure tap on the event path. The export bundle
+/// of a persistent fixed-seed run must match the golden captured from the
+/// non-durable pipeline — byte for byte, same golden file.
+#[test]
+fn persistent_run_export_matches_the_non_durable_golden() {
+    let store = scratch("perturb");
+    let data = persistent_fixed_seed_run(&store);
+    let fingerprint = export_fingerprint(&data, &scratch("perturb-export"));
+    std::fs::remove_dir_all(&store).unwrap();
+    check_golden("export_fnv64.txt", &fingerprint);
+}
+
+/// Gate 2: a fresh-process reopen of the store directory reconstructs the
+/// run — same export bundle as the live `RunData`, no repair needed, and
+/// the perfrecup views build from it.
+#[test]
+fn archive_reopen_reconstructs_the_export_byte_identically() {
+    let store = scratch("reopen");
+    let live = persistent_fixed_seed_run(&store);
+    let live_print = export_fingerprint(&live, &scratch("reopen-live"));
+
+    let archived = ArchivedRun::open(&store).unwrap();
+    assert!(!archived.was_repaired(), "clean shutdown needs no repair");
+    assert!(archived.recovery.restored_events > 0, "the archive holds the event stream");
+    let arch_print = export_fingerprint(&archived.data, &scratch("reopen-arch"));
+    assert_eq!(live_print, arch_print, "archived export must be byte-identical to live");
+
+    let views = archived.views();
+    assert!(views.tasks().n_rows() > 0, "views build from the archived run");
+
+    // reopening is read-only: a second open sees the identical stream
+    let again = ArchivedRun::open(&store).unwrap();
+    assert_eq!(again.recovery.restored_events, archived.recovery.restored_events);
+    std::fs::remove_dir_all(&store).unwrap();
+}
+
+/// Gate 3: a fixed tail corruption of the metadata WAL recovers exactly
+/// the committed prefix — the oracle passes, the loss is visible in the
+/// recovery report, and the recovered stream is pinned by fingerprint.
+#[test]
+fn corrupted_tail_recovers_committed_prefix_to_golden() {
+    let store = scratch("corrupt");
+    let _live = persistent_fixed_seed_run(&store);
+    let (pristine, clean) = MofkaService::reopen(&store).unwrap();
+    assert!(!clean.yokan.torn && !clean.warabi.torn);
+
+    // Fixed fault, not seed-generated: the gate must always hit the
+    // metadata WAL's tail, whatever CrashFault::generate(seed) would pick.
+    let fault =
+        CrashFault { target: CrashTarget::YokanWal, kind: CrashKind::TruncateTail, seed: 0xD7F5 };
+    let victim = scratch("corrupt-victim");
+    copy_store(&store, &victim).unwrap();
+    let (_file, at) = fault.apply(&victim).unwrap();
+    assert!(at > 0);
+
+    let (recovered, recovery) = MofkaService::reopen(&victim).unwrap();
+    assert!(recovery.yokan.torn, "the tear must be detected and reported");
+    assert!(
+        recovery.restored_events <= clean.restored_events,
+        "recovery can only lose events past the cut, never invent them"
+    );
+    let violations = recovery_oracle(&pristine, &recovered);
+    assert!(violations.is_empty(), "recovery oracle violations: {violations:?}");
+
+    // The recovered stream is a deterministic function of (seed 13, fault
+    // 0xD7F5): pin it. The full text is fingerprinted, not stored.
+    let text = stream_text(&recovered);
+    let fingerprint = format!(
+        "{:016x} {} events {} bytes\n",
+        fnv64(text.as_bytes()),
+        recovery.restored_events,
+        text.len()
+    );
+    std::fs::remove_dir_all(&victim).unwrap();
+    std::fs::remove_dir_all(&store).unwrap();
+    check_golden("store_recovery_fnv64.txt", &fingerprint);
+}
