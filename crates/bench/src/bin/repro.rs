@@ -20,12 +20,14 @@
 //!   provenance-check  (measure and gate against the committed
 //!                      BENCH_repro.json: exits nonzero if events/s
 //!                      regressed by more than 20%)
-//!   store-bench     (measure dtf-store append throughput per flush policy
-//!                    and the recovery-scan rate; prints the `storage`
-//!                    section of BENCH_repro.json)
+//!   store-bench     (measure dtf-store append throughput per flush policy,
+//!                    the recovery-scan rate, and the binary-codec rows —
+//!                    encode/decode MiB/s plus binary-vs-json replay; prints
+//!                    the `storage` section of BENCH_repro.json)
 //!   store-check     (measure and gate against the committed
 //!                    BENCH_repro.json `storage` section: exits nonzero on
-//!                    a >20% drop in group-commit append or recovery rate)
+//!                    a >20% drop in group-commit append, recovery rate, or
+//!                    codec throughput, or a >20% rise in binary replay time)
 //!   recovery-smoke  (--seed N: run a persistent seeded campaign, verify a
 //!                    fresh-process archive reopen reproduces the export
 //!                    bundle byte-for-byte, then corrupt the store tail
@@ -287,6 +289,21 @@ fn store_bench() -> i32 {
         "store recovery: {:.0} records/s ({} records, {} segments in {:.3}s)",
         b.recovery.records_per_s, b.recovery.records, b.recovery.segments, b.recovery.wall_s
     );
+    println!(
+        "store codec encode: {:.0} MiB/s, decode: {:.0} MiB/s ({} records, {}B binary vs {}B json)",
+        b.codec.encode_mib_s,
+        b.codec.decode_mib_s,
+        b.codec.records,
+        b.codec.binary_bytes,
+        b.codec.json_bytes
+    );
+    println!(
+        "store replay: binary {:.1} ms, json-era {:.1} ms ({} events, {:.1}x)",
+        b.codec.replay_binary_ms,
+        b.codec.replay_json_ms,
+        b.codec.replay_events,
+        b.codec.replay_json_ms / b.codec.replay_binary_ms.max(1e-12)
+    );
     println!("{}", serde_json::to_string_pretty(&b).expect("section serializes"));
     0
 }
@@ -323,6 +340,19 @@ fn store_check() -> i32 {
         eprintln!("store-check: BENCH_repro.json has no storage.recovery.records_per_s");
         return 2;
     };
+    // schema-4 codec rows: their absence means a stale baseline, exit 2
+    let Some(expected_encode) = doc["storage"]["codec"]["encode_mib_s"].as_f64() else {
+        eprintln!("store-check: BENCH_repro.json has no storage.codec.encode_mib_s (schema < 4?)");
+        return 2;
+    };
+    let Some(expected_decode) = doc["storage"]["codec"]["decode_mib_s"].as_f64() else {
+        eprintln!("store-check: BENCH_repro.json has no storage.codec.decode_mib_s");
+        return 2;
+    };
+    let Some(expected_replay) = doc["storage"]["codec"]["replay_binary_ms"].as_f64() else {
+        eprintln!("store-check: BENCH_repro.json has no storage.codec.replay_binary_ms");
+        return 2;
+    };
     let b = dtf_bench::storage::storage_bench();
     let measured_append = b
         .append
@@ -331,13 +361,15 @@ fn store_check() -> i32 {
         .map(|a| a.records_per_s)
         .unwrap_or(0.0);
     let mut failed = false;
-    for (what, measured, expected) in [
-        ("group-commit append", measured_append, expected_append),
-        ("recovery scan", b.recovery.records_per_s, expected_recovery),
+    for (what, unit, measured, expected) in [
+        ("group-commit append", "records/s", measured_append, expected_append),
+        ("recovery scan", "records/s", b.recovery.records_per_s, expected_recovery),
+        ("codec encode", "MiB/s", b.codec.encode_mib_s, expected_encode),
+        ("codec decode", "MiB/s", b.codec.decode_mib_s, expected_decode),
     ] {
         let floor = expected * (1.0 - ALLOWED_REGRESSION);
         println!(
-            "store {what}: measured {measured:.0} records/s, baseline {expected:.0} (floor {floor:.0})"
+            "store {what}: measured {measured:.0} {unit}, baseline {expected:.0} (floor {floor:.0})"
         );
         if measured < floor {
             eprintln!(
@@ -346,6 +378,19 @@ fn store_check() -> i32 {
             );
             failed = true;
         }
+    }
+    // replay is a wall time: lower is better, so the gate is a ceiling
+    let ceiling = expected_replay * (1.0 + ALLOWED_REGRESSION);
+    println!(
+        "store binary replay: measured {:.1} ms, baseline {:.1} (ceiling {:.1})",
+        b.codec.replay_binary_ms, expected_replay, ceiling
+    );
+    if b.codec.replay_binary_ms > ceiling {
+        eprintln!(
+            "store-check: FAIL — binary replay slowed more than {:.0}%",
+            ALLOWED_REGRESSION * 100.0
+        );
+        failed = true;
     }
     if failed {
         1

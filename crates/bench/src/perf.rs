@@ -207,7 +207,7 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
     let campaigns =
         Workload::ALL.iter().map(|&w| campaign_bench(w, seed, runs, parallel_jobs)).collect();
     BenchReport {
-        schema: 3,
+        schema: 4,
         seed,
         cores,
         parallel_jobs,
@@ -271,6 +271,15 @@ pub fn bench_artifact(seed: u64, runs: u32, jobs: Option<usize>) -> (String, Str
         report.storage.recovery.records,
         report.storage.recovery.segments,
         report.storage.recovery.wall_s
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "store codec: encode {:.0} MiB/s, decode {:.0} MiB/s, replay binary {:.1}ms vs json {:.1}ms",
+        report.storage.codec.encode_mib_s,
+        report.storage.codec.decode_mib_s,
+        report.storage.codec.replay_binary_ms,
+        report.storage.codec.replay_json_ms
     )
     .unwrap();
     for c in &report.campaigns {

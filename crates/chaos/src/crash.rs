@@ -56,6 +56,11 @@ pub enum CrashKind {
     ZeroTail,
     /// Flip `1 + seed % 3` random bits in the tail region (media damage).
     BitFlip,
+    /// Overwrite four tail bytes with `0xFF` — when they land on a frame's
+    /// length field this forges a multi-GB record length, the exact shape
+    /// the recovery scan must bounds-check before slicing; anywhere else
+    /// it is payload damage the CRC catches.
+    MaxLenFrame,
 }
 
 /// One seeded crash fault: plain, serializable data.
@@ -72,10 +77,11 @@ impl CrashFault {
     pub fn generate(seed: u64) -> Self {
         let mut rng = RunRng::new(seed, RunId(0)).stream("crash-fault");
         let target = if rng.gen::<bool>() { CrashTarget::YokanWal } else { CrashTarget::WarabiLog };
-        let kind = match rng.gen_range(0..3u32) {
+        let kind = match rng.gen_range(0..4u32) {
             0 => CrashKind::TruncateTail,
             1 => CrashKind::ZeroTail,
-            _ => CrashKind::BitFlip,
+            2 => CrashKind::BitFlip,
+            _ => CrashKind::MaxLenFrame,
         };
         Self { target, kind, seed }
     }
@@ -117,6 +123,14 @@ impl CrashFault {
                     let off = rng.gen_range(at..len) as usize;
                     let bit = rng.gen_range(0..8u32);
                     data[off] ^= 1 << bit;
+                }
+                fs::write(&seg, &data)?;
+            }
+            CrashKind::MaxLenFrame => {
+                let mut data = fs::read(&seg)?;
+                let end = (at as usize + 4).min(data.len());
+                for b in &mut data[at as usize..end] {
+                    *b = 0xff;
                 }
                 fs::write(&seg, &data)?;
             }

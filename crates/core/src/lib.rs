@@ -14,6 +14,7 @@
 //! at least one common identifier (thread id + timestamp, worker address,
 //! hostname).
 
+pub mod binfmt;
 pub mod dist;
 pub mod error;
 pub mod events;

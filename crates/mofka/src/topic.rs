@@ -82,37 +82,53 @@ fn slot_key(topic: &str, partition: u32, offset: u64) -> String {
     format!("topic-log/{topic}/{partition}/{offset:020}")
 }
 
-/// Slot value: `has_blob:u8 | blob_id:u64le | metadata JSON`. Typed
-/// records render through `ProvRecord::to_json_bytes` (the core archive
-/// encoding); generic metadata renders its value tree — the same bytes.
+/// Slot value: `tag:u8 | blob_id:u64le | metadata bytes`.
+///
+/// The tag is self-describing (KV compaction re-appends raw slot values,
+/// so the encoding cannot be inferred from the segment header): tags 0/1
+/// carry metadata as JSON text (no blob / blob), the format of JSON-era
+/// stores and of generic `Metadata::Json` events; tags 2/3 carry the
+/// `dtf_core::binfmt` binary record encoding, written for every typed
+/// provenance record. Decoding a binary slot yields `Metadata::Typed`
+/// directly — restore and `open_archive` never materialize a
+/// `serde_json::Value` for typed records.
+const SLOT_JSON: u8 = 0;
+const SLOT_JSON_BLOB: u8 = 1;
+const SLOT_BINARY: u8 = 2;
+const SLOT_BINARY_BLOB: u8 = 3;
+
 fn encode_slot(slot: &Slot) -> Vec<u8> {
-    let meta = match slot.metadata.as_record() {
-        Some(rec) => rec.to_json_bytes(),
-        None => serde_json::to_vec(&slot.metadata.to_value()).expect("value tree always renders"),
+    let (meta, binary) = match slot.metadata.as_record() {
+        Some(rec) => (rec.to_binary_bytes(), true),
+        None => (
+            serde_json::to_vec(&slot.metadata.to_value()).expect("value tree always renders"),
+            false,
+        ),
     };
     let mut v = Vec::with_capacity(9 + meta.len());
-    match slot.payload {
-        Some(b) => {
-            v.push(1);
-            v.extend_from_slice(&b.0.to_le_bytes());
-        }
-        None => {
-            v.push(0);
-            v.extend_from_slice(&0u64.to_le_bytes());
-        }
-    }
+    v.push(match (binary, slot.payload.is_some()) {
+        (false, false) => SLOT_JSON,
+        (false, true) => SLOT_JSON_BLOB,
+        (true, false) => SLOT_BINARY,
+        (true, true) => SLOT_BINARY_BLOB,
+    });
+    v.extend_from_slice(&slot.payload.map_or(0u64, |b| b.0).to_le_bytes());
     v.extend_from_slice(&meta);
     v
 }
 
 fn decode_slot(value: &Bytes) -> Result<Slot> {
-    if value.len() < 9 || value[0] > 1 {
+    if value.len() < 9 || value[0] > SLOT_BINARY_BLOB {
         return Err(DtfError::Io("malformed persisted slot".into()));
     }
-    let payload =
-        (value[0] == 1).then(|| BlobId(u64::from_le_bytes(value[1..9].try_into().unwrap())));
-    let meta: serde_json::Value = serde_json::from_slice(&value[9..])?;
-    Ok(Slot { metadata: Metadata::Json(meta), payload })
+    let has_blob = value[0] == SLOT_JSON_BLOB || value[0] == SLOT_BINARY_BLOB;
+    let payload = has_blob.then(|| BlobId(u64::from_le_bytes(value[1..9].try_into().unwrap())));
+    let metadata = if value[0] >= SLOT_BINARY {
+        Metadata::Typed(Arc::new(dtf_core::events::ProvRecord::decode_binary(&value[9..])?))
+    } else {
+        Metadata::Json(serde_json::from_slice(&value[9..])?)
+    };
+    Ok(Slot { metadata, payload })
 }
 
 impl Topic {
@@ -425,6 +441,43 @@ mod tests {
             Err(DtfError::IllegalState(msg)) => assert!(msg.contains("blob-7")),
             other => panic!("expected IllegalState, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn typed_slots_restore_typed_without_a_json_round_trip() {
+        use dtf_core::events::{LogEntry, LogLevel, LogSource, ProvRecord};
+        use dtf_core::time::Time;
+        let yokan = Arc::new(Yokan::new());
+        let warabi = Arc::new(Warabi::new());
+        let cfg = TopicConfig { partitions: 1 };
+        let t = Topic::new("t", &cfg, warabi.clone(), Some(yokan.clone()));
+        let rec = ProvRecord::Log(LogEntry {
+            time: Time(42),
+            level: LogLevel::Info,
+            source: LogSource::Scheduler,
+            message: "typed slot".into(),
+        });
+        t.append_batch(0, vec![Event::typed(rec.clone())]).unwrap();
+        t.append_batch(0, vec![Event::meta_only(json!({"generic": true}))]).unwrap();
+
+        // on disk: the typed slot is binary-tagged, the generic one JSON
+        let raw = yokan.list_prefix("topic-log/t/0/");
+        assert_eq!(raw[0].1[0], SLOT_BINARY);
+        assert_eq!(raw[1].1[0], SLOT_JSON);
+
+        let t2 = Topic::new("t", &cfg, warabi, None);
+        assert_eq!(t2.restore(&yokan).unwrap(), 2);
+        let got = t2.read(0, 0, 10).unwrap();
+        match &got[0].event.metadata {
+            Metadata::Typed(back) => assert_eq!(**back, rec),
+            other => panic!("binary slot must restore typed, got {other:?}"),
+        }
+        match &got[1].event.metadata {
+            Metadata::Json(v) => assert_eq!(v["generic"], true),
+            other => panic!("generic slot must restore as JSON, got {other:?}"),
+        }
+        // the export boundary is unchanged either way
+        assert_eq!(got[0].event.metadata.to_value(), rec.to_value());
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Mixed-format store compatibility: a store whose early segments were
+//! written by the JSON-era code (format byte 0, JSON slot values) must
+//! replay unchanged, and appending binary-era records to it must yield
+//! one continuous stream whose exported values are identical across
+//! reopens.
+//!
+//! The JSON era is reconstructed faithfully: generic `Metadata::Json`
+//! events produce tag-0/1 slot values — byte-identical to what the old
+//! typed path wrote — and the segment headers are restamped to format 0
+//! with their CRCs recomputed, exactly what an old store carries on disk.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use dtf_core::events::{LogEntry, LogLevel, LogSource, ProvRecord};
+use dtf_core::time::Time;
+use dtf_mofka::{Event, Metadata, MofkaService, ServiceConfig, TopicConfig};
+use dtf_store::crc32::crc32;
+use dtf_store::log::segment_paths;
+use dtf_store::{FORMAT_BINARY, FORMAT_JSON};
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dtf-mixed-{label}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Restamp every segment header under `dir` to `format`, recomputing the
+/// header CRC — the on-disk shape of a store written by that format's era.
+fn restamp_store(dir: &Path, format: u8) {
+    for sub in ["yokan", "warabi"] {
+        for seg in segment_paths(&dir.join(sub)).unwrap() {
+            let mut data = fs::read(&seg).unwrap();
+            data[7] = format;
+            let crc = crc32(&data[..24]);
+            data[24..28].copy_from_slice(&crc.to_le_bytes());
+            fs::write(&seg, &data).unwrap();
+        }
+    }
+}
+
+/// Canonical rendering of the whole store through the export boundary
+/// (`to_value`), where typed and JSON metadata must be indistinguishable.
+fn stream_text(svc: &MofkaService) -> String {
+    let mut out = String::new();
+    for name in svc.topic_names() {
+        let topic = svc.topic(&name).unwrap();
+        for p in 0..topic.num_partitions() {
+            for (i, e) in topic.read(p, 0, usize::MAX >> 1).unwrap().iter().enumerate() {
+                out.push_str(&format!(
+                    "{name}/{p}/{i} {} {} {}\n",
+                    e.id,
+                    e.event.data.len(),
+                    e.event.metadata.to_value()
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn typed_log(i: u64) -> ProvRecord {
+    ProvRecord::Log(LogEntry {
+        time: Time(1000 + i),
+        level: LogLevel::Info,
+        source: LogSource::Scheduler,
+        message: format!("binary-era record {i}"),
+    })
+}
+
+#[test]
+fn json_era_store_replays_and_extends_with_binary_records() {
+    let dir = scratch("upgrade");
+
+    // --- JSON era: generic events, then headers restamped to format 0
+    {
+        let svc = MofkaService::with_config(&ServiceConfig { persist: Some(dir.clone()) }).unwrap();
+        svc.create_topic("t", TopicConfig { partitions: 1 }).unwrap();
+        let t = svc.topic("t").unwrap();
+        for i in 0..20u64 {
+            let data = if i % 3 == 0 { Bytes::from(vec![i as u8; 24]) } else { Bytes::new() };
+            t.append_batch(0, vec![Event::new(serde_json::json!({"era": "json", "i": i}), data)])
+                .unwrap();
+        }
+        svc.sync().unwrap();
+    }
+    restamp_store(&dir, FORMAT_JSON);
+
+    // read-only check first: the v0 store replays cleanly as-is
+    {
+        let (_, recovery) = MofkaService::reopen(&dir).unwrap();
+        assert!(!recovery.yokan.torn && !recovery.warabi.torn, "v0 store replays cleanly");
+        assert_eq!(recovery.yokan.format, FORMAT_JSON, "every surviving segment is JSON-era");
+        assert_eq!(recovery.restored_events, 20);
+    }
+
+    // --- binary era: open the v0 store writable and append typed records
+    let before_upgrade;
+    {
+        let svc = MofkaService::with_config(&ServiceConfig { persist: Some(dir.clone()) }).unwrap();
+        let t = svc.topic("t").unwrap();
+        assert_eq!(t.total_len(), 20, "the writable open restored the JSON era");
+        for i in 0..10u64 {
+            t.append_batch(0, vec![Event::typed(typed_log(i))]).unwrap();
+        }
+        svc.sync().unwrap();
+        before_upgrade = stream_text(&svc);
+    }
+
+    // --- the mixed store: one continuous stream, values identical
+    let (svc, recovery) = MofkaService::reopen(&dir).unwrap();
+    assert!(!recovery.yokan.torn && !recovery.warabi.torn);
+    assert_eq!(recovery.restored_events, 30, "both eras replay into one stream");
+    assert_eq!(stream_text(&svc), before_upgrade, "reopen is value-identical");
+
+    let t = svc.topic("t").unwrap();
+    let events = t.read(0, 0, usize::MAX >> 1).unwrap();
+    assert_eq!(events.len(), 30);
+    for (i, e) in events[..20].iter().enumerate() {
+        match &e.event.metadata {
+            Metadata::Json(v) => assert_eq!(v["i"], i as u64),
+            other => panic!("JSON-era slot {i} must stay JSON, got {other:?}"),
+        }
+    }
+    for (i, e) in events[20..].iter().enumerate() {
+        match &e.event.metadata {
+            Metadata::Typed(rec) => assert_eq!(**rec, typed_log(i as u64)),
+            other => panic!("binary-era slot {i} must restore typed, got {other:?}"),
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The write path of a fresh store stamps segments with the binary format
+/// version — the upgrade is on by default, not opt-in.
+#[test]
+fn fresh_stores_are_stamped_binary() {
+    let dir = scratch("fresh");
+    {
+        let svc = MofkaService::with_config(&ServiceConfig { persist: Some(dir.clone()) }).unwrap();
+        svc.create_topic("t", TopicConfig { partitions: 1 }).unwrap();
+        svc.topic("t").unwrap().append_batch(0, vec![Event::typed(typed_log(0))]).unwrap();
+        svc.sync().unwrap();
+    }
+    let (_, recovery) = MofkaService::reopen(&dir).unwrap();
+    assert_eq!(recovery.yokan.format, FORMAT_BINARY);
+    assert_eq!(recovery.warabi.format, FORMAT_BINARY);
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -5,7 +5,8 @@
 //! is rebuilt by replaying the log on open. When the log grows well past
 //! the live key count, [`KvWal::maybe_compact`] rewrites the current map
 //! as a snapshot of puts into a sibling `<dir>.new` log and swaps it in
-//! by `rename`. Both crash windows of the swap are repaired on open: a
+//! by `rename`, fsyncing the parent directory afterwards so the swap
+//! survives power loss. Both crash windows of the swap are repaired on open: a
 //! leftover `<dir>.new` next to an intact `<dir>` is discarded (the swap
 //! never started destroying the original), and a `<dir>.new` with no
 //! `<dir>` is renamed into place (the swap had already passed the point
@@ -22,7 +23,7 @@ use std::path::{Path, PathBuf};
 use bytes::Bytes;
 use dtf_core::error::{DtfError, Result};
 
-use crate::log::{FlushPolicy, LogConfig, RecoveryReport, SegmentedLog};
+use crate::log::{fsync_dir, FlushPolicy, LogConfig, RecoveryReport, SegmentedLog};
 
 const TAG_PUT: u8 = 0;
 const TAG_DELETE: u8 = 1;
@@ -94,8 +95,11 @@ fn sibling_new(dir: &Path) -> PathBuf {
 }
 
 /// Repair an interrupted compaction swap before opening the log. Returns
-/// whether a completed swap was finished (`<dir>.new` promoted).
-fn repair_compaction(dir: &Path) -> Result<bool> {
+/// whether a completed swap was finished (`<dir>.new` promoted). With
+/// `sync`, the parent directory is fsynced after the promotion rename —
+/// otherwise a power loss could resurrect the half-swapped state this
+/// repair just resolved.
+fn repair_compaction(dir: &Path, sync: bool) -> Result<bool> {
     let new_dir = sibling_new(dir);
     if !new_dir.exists() {
         return Ok(false);
@@ -109,6 +113,11 @@ fn repair_compaction(dir: &Path) -> Result<bool> {
         // the original was removed: the snapshot is the store
         fs::rename(&new_dir, dir)
             .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
+        if sync {
+            if let Some(parent) = dir.parent() {
+                fsync_dir(parent)?;
+            }
+        }
         Ok(true)
     }
 }
@@ -127,7 +136,7 @@ impl KvWal {
         dir: &Path,
         cfg: KvWalConfig,
     ) -> Result<(Self, BTreeMap<String, Bytes>, RecoveryReport)> {
-        repair_compaction(dir)?;
+        repair_compaction(dir, cfg.log.sync_data)?;
         let (log, records, report) = SegmentedLog::open(dir, cfg.log)?;
         let mut map = BTreeMap::new();
         for rec in &records {
@@ -188,10 +197,22 @@ impl KvWal {
             }
             snap.sync()?;
         }
+        if self.cfg.log.sync_data {
+            // the snapshot's directory entries must be durable before the
+            // swap can make it authoritative
+            fsync_dir(&new_dir)?;
+        }
         // point of no return: once `dir` is gone the snapshot is authoritative
         fs::remove_dir_all(&dir).map_err(|e| DtfError::Io(format!("{}: {e}", dir.display())))?;
         fs::rename(&new_dir, &dir)
             .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
+        if self.cfg.log.sync_data {
+            // …and the rename itself only survives power loss once the
+            // parent directory is flushed
+            if let Some(parent) = dir.parent() {
+                fsync_dir(parent)?;
+            }
+        }
         let (log, _, _) = SegmentedLog::open(&dir, self.cfg.log)?;
         self.log = log;
         Ok(true)

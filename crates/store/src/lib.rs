@@ -9,15 +9,18 @@
 //!
 //! * [`log`] — a segmented append-only record log: length-prefixed,
 //!   CRC32-framed records in fixed-size segment files, each segment headed
-//!   by a magic, its sequence number, and the index of its first record.
-//!   Appends buffer in memory and hit the file on a configurable
-//!   group-commit [`FlushPolicy`]; opening a directory runs a recovery
-//!   scan that verifies every checksum and truncates a torn tail, so a
-//!   reopened log contains exactly the committed record prefix.
+//!   by a magic, a payload-format version byte, its sequence number, and
+//!   the index of its first record. Appends buffer in memory and hit the
+//!   file on a configurable group-commit [`FlushPolicy`]; opening a
+//!   directory runs a recovery scan that verifies every checksum and
+//!   truncates a torn tail, so a reopened log contains exactly the
+//!   committed record prefix. Recovered records are zero-copy slices of
+//!   the per-segment read buffer, not per-record allocations.
 //! * [`kv`] — a tiny write-ahead-logged KV built on the same log: put and
 //!   delete records replay into a `BTreeMap` on open, and a threshold
 //!   triggers compaction into a fresh snapshot log swapped in by atomic
-//!   rename (with both crash windows of the swap repaired on open).
+//!   rename followed by a parent-directory fsync (with both crash windows
+//!   of the swap repaired on open).
 //!
 //! The recovery invariant both layers maintain: **no committed record is
 //! ever lost, and no uncommitted record ever surfaces**. "Committed"
@@ -30,4 +33,6 @@ pub mod kv;
 pub mod log;
 
 pub use kv::{KvWal, KvWalConfig, WalKv};
-pub use log::{FlushPolicy, LogConfig, RecoveryReport, SegmentedLog};
+pub use log::{
+    fsync_dir, FlushPolicy, LogConfig, RecoveryReport, SegmentedLog, FORMAT_BINARY, FORMAT_JSON,
+};

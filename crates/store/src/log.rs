@@ -2,12 +2,21 @@
 //!
 //! On-disk layout: a directory of fixed-size segment files named
 //! `seg-<seqno:016x>.dtl`. Each segment starts with a 28-byte header —
-//! magic `DTFSEG1\0`, the segment's sequence number, the index of its
-//! first record, and a CRC32 of those 24 bytes — followed by record
-//! frames: `len:u32le | crc32(payload):u32le | payload`. A record never
-//! spans segments; a segment holds at least one record even when the
-//! record alone exceeds the size cap (oversized records simply get a
-//! segment to themselves).
+//! magic `DTFSEG1`, a format-version byte, the segment's sequence number,
+//! the index of its first record, and a CRC32 of those 24 bytes —
+//! followed by record frames: `len:u32le | crc32(payload):u32le |
+//! payload`. A record never spans segments; a segment holds at least one
+//! record even when the record alone exceeds the size cap (oversized
+//! records simply get a segment to themselves).
+//!
+//! The version byte declares how record payloads are encoded. JSON-era
+//! stores (written before the binary record format) carry
+//! [`FORMAT_JSON`] — which is the `\0` that used to terminate the magic,
+//! so their headers validate unchanged. New segments are stamped
+//! [`FORMAT_BINARY`]. The log itself treats payloads as opaque either
+//! way; the byte exists so a future reader can refuse formats it does
+//! not understand instead of misparsing them, and recovery reports the
+//! highest version it saw.
 //!
 //! Appends accumulate in a memory buffer and reach the file as one write
 //! (group commit) according to the [`FlushPolicy`]; `sync_data` is called
@@ -33,8 +42,18 @@ use dtf_core::error::{DtfError, Result};
 
 use crate::crc32::crc32;
 
-const MAGIC: &[u8; 8] = b"DTFSEG1\0";
-/// Segment header length: magic(8) + seqno(8) + first_record(8) + crc(4).
+const MAGIC_PREFIX: &[u8; 7] = b"DTFSEG1";
+/// Header byte 7: record payloads are compact JSON text (stores written
+/// before the binary format — the byte doubled as the magic terminator).
+pub const FORMAT_JSON: u8 = 0;
+/// Header byte 7: record payloads are binary-encoded (`dtf_core::binfmt`
+/// for provenance records; the KV layer's framing is unchanged).
+pub const FORMAT_BINARY: u8 = 1;
+/// Highest format this reader understands; headers beyond it are treated
+/// as damaged and the segment (plus successors) is dropped.
+const FORMAT_MAX: u8 = FORMAT_BINARY;
+/// Segment header length: magic(7) + format(1) + seqno(8) +
+/// first_record(8) + crc(4).
 pub const HEADER_LEN: usize = 28;
 /// Frame overhead per record: len(4) + crc(4).
 pub const FRAME_OVERHEAD: usize = 8;
@@ -85,6 +104,9 @@ pub struct RecoveryReport {
     pub dropped_segments: usize,
     /// Whether a torn/corrupt tail was found and truncated.
     pub torn: bool,
+    /// Highest header format version among the surviving segments
+    /// ([`FORMAT_JSON`] for an empty or legacy-only store).
+    pub format: u8,
 }
 
 /// A segmented append-only record log rooted at one directory.
@@ -112,14 +134,23 @@ fn segment_name(seqno: u64) -> String {
     format!("seg-{seqno:016x}.dtl")
 }
 
-fn header_bytes(seqno: u64, first_record: u64) -> [u8; HEADER_LEN] {
+fn header_bytes(seqno: u64, first_record: u64, format: u8) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
-    h[..8].copy_from_slice(MAGIC);
+    h[..7].copy_from_slice(MAGIC_PREFIX);
+    h[7] = format;
     h[8..16].copy_from_slice(&seqno.to_le_bytes());
     h[16..24].copy_from_slice(&first_record.to_le_bytes());
     let crc = crc32(&h[..24]);
     h[24..28].copy_from_slice(&crc.to_le_bytes());
     h
+}
+
+/// Fsync a directory, making renames/creations inside it power-loss
+/// durable. POSIX only guarantees a rename survives power loss once the
+/// parent directory's entry is flushed — syncing the file alone is not
+/// enough.
+pub fn fsync_dir(dir: &Path) -> Result<()> {
+    File::open(dir).and_then(|f| f.sync_all()).map_err(|e| io_err(dir, e))
 }
 
 /// Segment files under `dir`, sorted by sequence number. Exposed so fault
@@ -173,9 +204,12 @@ impl SegmentedLog {
 
         'segments: for (i, path) in paths.iter().enumerate() {
             let seqno = parse_seqno(path);
-            let data = fs::read(path).map_err(|e| io_err(path, e))?;
+            // One read and one allocation per segment: recovered records
+            // are zero-copy slices into this buffer.
+            let data = Bytes::from(fs::read(path).map_err(|e| io_err(path, e))?);
             let header_ok = data.len() >= HEADER_LEN
-                && &data[..8] == MAGIC
+                && &data[..7] == MAGIC_PREFIX
+                && data[7] <= FORMAT_MAX
                 && u32::from_le_bytes(data[24..28].try_into().unwrap()) == crc32(&data[..24])
                 && u64::from_le_bytes(data[8..16].try_into().unwrap()) == seqno
                 && u64::from_le_bytes(data[16..24].try_into().unwrap()) == records.len() as u64
@@ -186,19 +220,27 @@ impl SegmentedLog {
             }
             prev_seqno = Some(seqno);
             report.segments += 1;
+            report.format = report.format.max(data[7]);
             let mut off = HEADER_LEN;
             loop {
                 if off == data.len() {
                     break; // clean segment end
                 }
-                let frame_ok = off + FRAME_OVERHEAD <= data.len() && {
+                // Bounds-check the length field against the bytes that
+                // actually remain BEFORE touching the payload: a corrupted
+                // length must tear here, never drive a slice (or, for a
+                // copying reader, a multi-GB allocation).
+                let mut frame_len = None;
+                if off + FRAME_OVERHEAD <= data.len() {
                     let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
-                    len <= MAX_RECORD_BYTES && off + FRAME_OVERHEAD + len <= data.len() && {
+                    if len <= MAX_RECORD_BYTES && len <= data.len() - off - FRAME_OVERHEAD {
                         let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
-                        crc32(&data[off + 8..off + 8 + len]) == crc
+                        if crc32(&data[off + 8..off + 8 + len]) == crc {
+                            frame_len = Some(len);
+                        }
                     }
-                };
-                if !frame_ok {
+                }
+                let Some(len) = frame_len else {
                     // torn tail: truncate here, drop everything after
                     let f =
                         OpenOptions::new().write(true).open(path).map_err(|e| io_err(path, e))?;
@@ -208,9 +250,8 @@ impl SegmentedLog {
                     active = Some((seqno, path.clone(), off as u64));
                     drop_from = Some(i + 1);
                     break 'segments;
-                }
-                let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
-                records.push(Bytes::copy_from_slice(&data[off + 8..off + 8 + len]));
+                };
+                records.push(data.slice(off + 8..off + 8 + len));
                 off += FRAME_OVERHEAD + len;
             }
             active = Some((seqno, path.clone(), data.len() as u64));
@@ -254,7 +295,8 @@ impl SegmentedLog {
             .append(true)
             .open(&path)
             .map_err(|e| io_err(&path, e))?;
-        file.write_all(&header_bytes(seqno, first_record)).map_err(|e| io_err(&path, e))?;
+        file.write_all(&header_bytes(seqno, first_record, FORMAT_BINARY))
+            .map_err(|e| io_err(&path, e))?;
         Ok((file, seqno, HEADER_LEN as u64))
     }
 
@@ -306,10 +348,15 @@ impl SegmentedLog {
         Ok(())
     }
 
-    /// Flush the current segment and start the next one.
+    /// Flush the current segment and start the next one. The directory is
+    /// fsynced after the new segment is created — without it, power loss
+    /// can forget the file itself even though its writes were synced.
     fn roll(&mut self) -> Result<()> {
         self.sync()?;
         let (file, seqno, len) = Self::create_segment(&self.dir, self.seg_seqno + 1, self.records)?;
+        if self.cfg.sync_data {
+            fsync_dir(&self.dir)?;
+        }
         self.file = file;
         self.seg_seqno = seqno;
         self.seg_len = len;
@@ -410,7 +457,8 @@ mod tests {
         let mut prev_first = None;
         for (i, p) in paths.iter().enumerate() {
             let data = fs::read(p).unwrap();
-            assert_eq!(&data[..8], MAGIC);
+            assert_eq!(&data[..7], MAGIC_PREFIX);
+            assert_eq!(data[7], FORMAT_BINARY, "new segments carry the binary format byte");
             assert_eq!(u64::from_le_bytes(data[8..16].try_into().unwrap()), i as u64);
             let first = u64::from_le_bytes(data[16..24].try_into().unwrap());
             if let Some(pf) = prev_first {
@@ -585,6 +633,104 @@ mod tests {
             SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
         assert_eq!(recovered.len(), 5);
         assert_eq!(recovered[4].as_ref(), b"new");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_length_frame_is_a_tear_not_an_allocation() {
+        let dir = tmpdir("hugelen");
+        {
+            let (mut log, _, _) =
+                SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+            for i in 0..8u8 {
+                log.append(&[i; 16]).unwrap();
+            }
+        }
+        let path = segment_paths(&dir).unwrap().pop().unwrap();
+        let mut data = fs::read(&path).unwrap();
+        // record 4's length field claims u32::MAX bytes — far beyond both
+        // the segment and MAX_RECORD_BYTES
+        let target = HEADER_LEN + 4 * (FRAME_OVERHEAD + 16);
+        data[target..target + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &data).unwrap();
+        let (_, recovered, report) =
+            SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+        assert_eq!(recovered.len(), 4, "the oversized frame tears, the prefix survives");
+        assert!(report.torn);
+        assert_eq!(report.truncated_bytes, 4 * (FRAME_OVERHEAD + 16) as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Rewrite a segment's header format byte, keeping the CRC valid —
+    /// what a store written by an older (or newer) reader looks like.
+    fn restamp_format(path: &Path, format: u8) {
+        let mut data = fs::read(path).unwrap();
+        data[7] = format;
+        let crc = crc32(&data[..24]);
+        data[24..28].copy_from_slice(&crc.to_le_bytes());
+        fs::write(path, &data).unwrap();
+    }
+
+    #[test]
+    fn json_era_headers_still_replay() {
+        let dir = tmpdir("jsonera");
+        {
+            let (mut log, _, _) = SegmentedLog::open(&dir, cfg(160, FlushPolicy::Manual)).unwrap();
+            for i in 0..12u8 {
+                log.append(&[i; 40]).unwrap();
+            }
+            log.sync().unwrap();
+            assert!(log.segments() > 1);
+        }
+        for p in segment_paths(&dir).unwrap() {
+            restamp_format(&p, FORMAT_JSON);
+        }
+        let (_, recovered, report) =
+            SegmentedLog::open(&dir, cfg(160, FlushPolicy::Manual)).unwrap();
+        assert_eq!(recovered.len(), 12, "v0 segments replay unchanged");
+        assert!(!report.torn);
+        assert_eq!(report.format, FORMAT_JSON);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_format_store_reports_the_highest_version() {
+        let dir = tmpdir("mixedfmt");
+        {
+            let (mut log, _, _) = SegmentedLog::open(&dir, cfg(160, FlushPolicy::Manual)).unwrap();
+            for i in 0..12u8 {
+                log.append(&[i; 40]).unwrap();
+            }
+            log.sync().unwrap();
+            assert!(log.segments() > 1);
+        }
+        // only the first segment is JSON-era; later ones stay binary
+        let first = &segment_paths(&dir).unwrap()[0];
+        restamp_format(first, FORMAT_JSON);
+        let (_, recovered, report) =
+            SegmentedLog::open(&dir, cfg(160, FlushPolicy::Manual)).unwrap();
+        assert_eq!(recovered.len(), 12);
+        assert_eq!(report.format, FORMAT_BINARY);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_format_versions_are_dropped_not_misread() {
+        let dir = tmpdir("futurefmt");
+        {
+            let (mut log, _, _) = SegmentedLog::open(&dir, cfg(160, FlushPolicy::Manual)).unwrap();
+            for i in 0..12u8 {
+                log.append(&[i; 40]).unwrap();
+            }
+            log.sync().unwrap();
+            assert!(log.segments() >= 3);
+        }
+        let paths = segment_paths(&dir).unwrap();
+        restamp_format(&paths[1], FORMAT_BINARY + 1);
+        let (_, recovered, report) =
+            SegmentedLog::open(&dir, cfg(160, FlushPolicy::Manual)).unwrap();
+        assert!(recovered.len() < 12, "records past the unknown format are dropped");
+        assert_eq!(report.dropped_segments, paths.len() - 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -132,7 +132,11 @@ impl RunData {
                             ))
                         })?);
                     }
-                    // generic producers can still feed analysis with JSON
+                    // Genuine fallback, not a detour for typed records:
+                    // WMS plugins push typed and binary slots restore
+                    // typed, so only generic producers (or JSON-era
+                    // stores) ever land here — and they pay the one
+                    // from_value parse their representation requires.
                     Metadata::Json(v) => out.push(serde_json::from_value(v)?),
                 }
             }
@@ -335,6 +339,38 @@ mod tests {
         assert_eq!(data.distinct_tasks(), 1);
         assert_eq!(data.task_graphs(), 1);
         assert!(data.compute_time() > Dur::ZERO);
+    }
+
+    /// The `Metadata::Json` fallback of the drain: a generic producer
+    /// appending a JSON value tree (no typed record anywhere) must still
+    /// come out of the drain as a typed event via `from_value`.
+    #[test]
+    fn json_metadata_fallback_drains_through_from_value() {
+        use dtf_core::events::{LogEntry, LogLevel, LogSource, ProvRecord};
+        use dtf_mofka::Event;
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        let entry = LogEntry {
+            time: Time(321),
+            level: LogLevel::Error,
+            source: LogSource::Scheduler,
+            message: "generic producer".into(),
+        };
+        // append the value tree, not the record: this is what a non-WMS
+        // producer without the typed schema would push
+        let value = ProvRecord::Log(entry.clone()).to_value();
+        svc.topic("logs").unwrap().append_batch(0, vec![Event::meta_only(value)]).unwrap();
+        let data = RunData::drain_from_mofka(
+            &svc,
+            RunId(2),
+            "json-fallback".into(),
+            chart(),
+            LogSet::default(),
+            Dur::ZERO,
+            vec![],
+            0,
+        )
+        .unwrap();
+        assert_eq!(data.logs, vec![entry], "the JSON fallback must be parsed, not dropped");
     }
 
     #[test]
