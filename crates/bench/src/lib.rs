@@ -12,8 +12,10 @@ pub mod experiments;
 pub mod perf;
 pub mod provenance;
 pub mod storage;
+pub mod stress;
 
 pub use experiments::{fig3, fig4, fig5, fig6, fig7, fig8, table1};
 pub use perf::{bench_artifact, bench_report, BenchReport};
 pub use provenance::{provenance_pipeline, ProvenancePipeline};
 pub use storage::{storage_bench, StorageBench};
+pub use stress::{stress_bench, StressBench, StressConfig, StressOutcome};

@@ -35,6 +35,9 @@ pub struct BenchReport {
     pub provenance_pipeline: crate::provenance::ProvenancePipeline,
     /// dtf-store append throughput per flush policy + recovery-scan rate.
     pub storage: crate::storage::StorageBench,
+    /// Many-client aggregate throughput through the sharded real-time
+    /// data plane (schema 5).
+    pub stress: crate::stress::StressBench,
     pub campaigns: Vec<CampaignBench>,
     /// Peak resident set size in bytes (`VmHWM`), `None` where unexposed.
     pub peak_rss_bytes: Option<u64>,
@@ -204,10 +207,16 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
     let frame = frame_kernels(100_000);
     let provenance = crate::provenance::provenance_pipeline(2_000, 3);
     let storage = crate::storage::storage_bench();
+    let stress = crate::stress::stress_bench(&crate::stress::StressConfig::full());
+    assert!(
+        stress.violations.is_empty(),
+        "stress run reported delivery violations: {:?}",
+        stress.violations
+    );
     let campaigns =
         Workload::ALL.iter().map(|&w| campaign_bench(w, seed, runs, parallel_jobs)).collect();
     BenchReport {
-        schema: 4,
+        schema: 5,
         seed,
         cores,
         parallel_jobs,
@@ -215,6 +224,7 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
         frame_kernels: frame,
         provenance_pipeline: provenance,
         storage,
+        stress: stress.bench,
         campaigns,
         peak_rss_bytes: peak_rss_bytes(),
     }
@@ -280,6 +290,17 @@ pub fn bench_artifact(seed: u64, runs: u32, jobs: Option<usize>) -> (String, Str
         report.storage.codec.decode_mib_s,
         report.storage.codec.replay_binary_ms,
         report.storage.codec.replay_json_ms
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "stress plane: {:.2}M events/s aggregate ({} producers x {} events, {} groups, \
+         {:.2}s wall)",
+        report.stress.aggregate_events_per_s / 1e6,
+        report.stress.producers,
+        report.stress.events_per_producer,
+        report.stress.consumer_groups,
+        report.stress.wall_s
     )
     .unwrap();
     for c in &report.campaigns {

@@ -179,8 +179,11 @@ fn codec_corpus(n: u64) -> Vec<ProvRecord> {
 /// One replay store: the corpus pushed into a persisted "logs"-style
 /// topic, either typed (binary slots) or as value trees (JSON slots).
 fn build_replay_store(dir: &Path, corpus: &[ProvRecord], typed: bool) {
-    let svc = MofkaService::with_config(&ServiceConfig { persist: Some(dir.to_path_buf()) })
-        .expect("replay store");
+    let svc = MofkaService::with_config(&ServiceConfig {
+        persist: Some(dir.to_path_buf()),
+        ..Default::default()
+    })
+    .expect("replay store");
     svc.create_topic("events", TopicConfig { partitions: 1 }).expect("topic");
     let t = svc.topic("events").expect("topic handle");
     for rec in corpus {

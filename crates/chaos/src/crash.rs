@@ -227,8 +227,11 @@ mod tests {
     }
 
     fn seeded_store(dir: &Path, events: usize) {
-        let svc =
-            MofkaService::with_config(&ServiceConfig { persist: Some(dir.to_path_buf()) }).unwrap();
+        let svc = MofkaService::with_config(&ServiceConfig {
+            persist: Some(dir.to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
         svc.create_topic("t", TopicConfig { partitions: 2 }).unwrap();
         let mut p = svc.producer("t", ProducerConfig::default()).unwrap();
         for i in 0..events {
@@ -293,8 +296,11 @@ mod tests {
         // divergence: same length, different content
         let diff = tmp("oracle-diff");
         {
-            let svc =
-                MofkaService::with_config(&ServiceConfig { persist: Some(diff.clone()) }).unwrap();
+            let svc = MofkaService::with_config(&ServiceConfig {
+                persist: Some(diff.clone()),
+                ..Default::default()
+            })
+            .unwrap();
             svc.create_topic("t", TopicConfig { partitions: 2 }).unwrap();
             let mut p = svc.producer("t", ProducerConfig::default()).unwrap();
             for i in 0..20 {

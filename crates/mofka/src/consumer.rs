@@ -9,9 +9,23 @@
 //! Because partition logs are persistent, a fresh group created after the
 //! workflow finishes replays the whole stream — the paper's post-processing
 //! mode — while a group created up front tails it in situ.
+//!
+//! On a real-time service, [`crate::MofkaService::consumer_pipelined`]
+//! opens a consumer whose claims run on a background *prefetch pipeline*:
+//! a thread that keeps claiming and reading batches ahead of demand, up
+//! to `depth` batches deep, so `pull` hands over staged events instead of
+//! doing a claim round-trip in lockstep. All of a pipelined consumer's
+//! claims go through that one thread (never `pull` directly), so
+//! per-partition delivery order is identical to the synchronous path.
+//! Claiming *is* the group's commit point: dropping a pipelined consumer
+//! discards any claimed-but-undelivered batches still staged in its
+//! pipeline (the group has moved past them), so drain before dropping —
+//! the same at-most-once window every prefetching consumer has.
 
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 use bytes::Bytes;
 use dtf_core::error::Result;
@@ -19,6 +33,134 @@ use dtf_core::error::Result;
 use crate::event::StoredEvent;
 use crate::topic::Topic;
 use crate::yokan::Yokan;
+
+/// Atomically claim up to `n` offsets of `partition` for `group`;
+/// returns the claimed half-open range. Shared by synchronous consumers
+/// and the prefetch pipeline — one commit protocol, two drivers.
+fn claim_range(
+    topic: &Topic,
+    yokan: &Yokan,
+    group: &str,
+    partition: u32,
+    n: usize,
+) -> Result<(u64, u64)> {
+    let avail = topic.partition_len(partition)?;
+    let mut claimed = (0, 0);
+    yokan.update(&format!("group/{}/{}/{}", topic.name(), group, partition), |old| {
+        let cur: u64 =
+            old.and_then(|b| std::str::from_utf8(b).ok()).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let end = avail.min(cur + n as u64).max(cur);
+        claimed = (cur, end);
+        Bytes::from(end.to_string())
+    });
+    Ok(claimed)
+}
+
+/// The background half of a pipelined consumer: claims and reads batches
+/// ahead of demand, staging them (bounded at `depth`) for `pull`.
+#[derive(Debug)]
+struct Prefetcher {
+    stop: Arc<AtomicBool>,
+    /// Set by the thread after a full claim round found nothing — the
+    /// stream is drained *as of that round*; cleared when a claim lands.
+    idle: Arc<AtomicBool>,
+    rx: Option<mpsc::Receiver<Result<Vec<StoredEvent>>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    fn spawn(
+        topic: Arc<Topic>,
+        yokan: Arc<Yokan>,
+        group: String,
+        prefetch: usize,
+        depth: usize,
+    ) -> Result<Self> {
+        let (tx, rx) = mpsc::sync_channel::<Result<Vec<StoredEvent>>>(depth);
+        let stop = Arc::new(AtomicBool::new(false));
+        let idle = Arc::new(AtomicBool::new(false));
+        let (t_stop, t_idle) = (stop.clone(), idle.clone());
+        let handle = std::thread::Builder::new()
+            .name("mofka-prefetch".into())
+            .spawn(move || {
+                let parts = topic.num_partitions();
+                let mut p = 0u32;
+                let mut round_claimed = 0usize;
+                let mut round_empty = 0u32;
+                // accumulation backoff (doubles while rounds run small)
+                let mut pause = Duration::from_millis(1);
+                const MAX_PAUSE: Duration = Duration::from_millis(32);
+                while !t_stop.load(Ordering::Acquire) {
+                    let staged = claim_range(&topic, &yokan, &group, p, prefetch).and_then(
+                        |(start, end)| {
+                            if end > start {
+                                topic.read(p, start, (end - start) as usize).map(Some)
+                            } else {
+                                Ok(None)
+                            }
+                        },
+                    );
+                    p = (p + 1) % parts;
+                    match staged {
+                        Ok(Some(events)) => {
+                            round_claimed += events.len();
+                            t_idle.store(false, Ordering::Release);
+                            // blocks when `depth` batches are staged
+                            // (backpressure); fails when the consumer
+                            // dropped its receiver — time to exit
+                            if tx.send(Ok(events)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => round_empty += 1,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                    if p == 0 {
+                        // End of a claim round over every partition. When
+                        // tailing live producers, claiming the instant
+                        // events appear yields tiny batches whose fixed
+                        // claim cost (two locks + a KV update + a channel
+                        // wakeup) dwarfs the per-event work. After an
+                        // underfull round, pause — doubling up to 20ms
+                        // while rounds stay small — so the next round's
+                        // batches accumulate: prefetch is batches ahead
+                        // of demand, not latency. The decision is per
+                        // round, not per claim, so one full partition
+                        // can't reset the backoff the rest still need.
+                        if round_empty >= parts {
+                            // the whole round came up empty: report the
+                            // stream drained so pulls stop waiting on us
+                            t_idle.store(true, Ordering::Release);
+                        }
+                        if round_claimed < parts as usize * prefetch / 2 {
+                            std::thread::sleep(pause);
+                            pause = (pause * 2).min(MAX_PAUSE);
+                        } else {
+                            pause = Duration::from_millis(1);
+                        }
+                        round_claimed = 0;
+                        round_empty = 0;
+                    }
+                }
+            })
+            .map_err(|e| dtf_core::error::DtfError::Io(format!("spawn prefetcher: {e}")))?;
+        Ok(Self { stop, idle, rx: Some(rx), handle: Some(handle) })
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // closing the channel fails any blocked send, waking the thread
+        self.rx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
 
 /// Consumer tuning parameters.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,33 +188,56 @@ pub struct Consumer {
     buffer: std::collections::VecDeque<StoredEvent>,
     /// Next partition to claim from (round-robin fairness).
     next_partition: u32,
+    /// Background prefetch pipeline; `None` claims synchronously in
+    /// `pull` (the deterministic path).
+    pipeline: Option<Prefetcher>,
 }
 
 impl Consumer {
     pub(crate) fn new(topic: Arc<Topic>, yokan: Arc<Yokan>, cfg: ConsumerConfig) -> Self {
         assert!(cfg.prefetch >= 1, "prefetch must be >= 1");
-        Self { topic, yokan, cfg, buffer: std::collections::VecDeque::new(), next_partition: 0 }
+        Self {
+            topic,
+            yokan,
+            cfg,
+            buffer: std::collections::VecDeque::new(),
+            next_partition: 0,
+            pipeline: None,
+        }
     }
 
-    fn offset_key(&self, partition: u32) -> String {
-        format!("group/{}/{}/{}", self.topic.name(), self.cfg.group, partition)
+    /// A consumer whose claims run on a background prefetch pipeline,
+    /// `depth` claimed-batches ahead of demand. Real-time only — reach it
+    /// through `MofkaService::consumer_pipelined`.
+    pub(crate) fn pipelined(
+        topic: Arc<Topic>,
+        yokan: Arc<Yokan>,
+        cfg: ConsumerConfig,
+        depth: usize,
+    ) -> Result<Self> {
+        assert!(cfg.prefetch >= 1, "prefetch must be >= 1");
+        assert!(depth >= 1, "pipeline depth must be >= 1");
+        let pipeline = Prefetcher::spawn(
+            topic.clone(),
+            yokan.clone(),
+            cfg.group.clone(),
+            cfg.prefetch,
+            depth,
+        )?;
+        Ok(Self {
+            topic,
+            yokan,
+            cfg,
+            buffer: std::collections::VecDeque::new(),
+            next_partition: 0,
+            pipeline: Some(pipeline),
+        })
     }
 
     /// Atomically claim up to `n` offsets in `partition`; returns the
     /// claimed half-open range.
     fn claim(&self, partition: u32, n: usize) -> Result<(u64, u64)> {
-        let avail = self.topic.partition_len(partition)?;
-        let mut claimed = (0, 0);
-        self.yokan.update(&self.offset_key(partition), |old| {
-            let cur: u64 = old
-                .and_then(|b| std::str::from_utf8(b).ok())
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0);
-            let end = avail.min(cur + n as u64).max(cur);
-            claimed = (cur, end);
-            Bytes::from(end.to_string())
-        });
-        Ok(claimed)
+        claim_range(&self.topic, &self.yokan, &self.cfg.group, partition, n)
     }
 
     fn refill(&mut self) -> Result<()> {
@@ -91,10 +256,67 @@ impl Consumer {
         Ok(())
     }
 
+    /// Receive one staged batch from the prefetch thread, waiting out an
+    /// in-flight claim if one is mid-read. Returns `None` once the stream
+    /// is drained (idle prefetcher, nothing staged) or the pipeline ended.
+    fn pipelined_recv(&mut self) -> Result<Option<Vec<StoredEvent>>> {
+        let Some(pipe) = &self.pipeline else {
+            return Ok(None);
+        };
+        let Some(rx) = &pipe.rx else { return Ok(None) };
+        loop {
+            match rx.try_recv() {
+                Ok(batch) => return Ok(Some(batch?)),
+                Err(mpsc::TryRecvError::Disconnected) => return Ok(None),
+                Err(mpsc::TryRecvError::Empty) => {
+                    // Nothing staged right now. Drained, or mid-claim?
+                    if pipe.idle.load(Ordering::Acquire) {
+                        return Ok(None); // drained as of the last claim round
+                    }
+                    // mid-claim: wait briefly for the in-flight batch,
+                    // then re-check the idle flag
+                    match rx.recv_timeout(Duration::from_millis(5)) {
+                        Ok(batch) => return Ok(Some(batch?)),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {}
+                        Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(None),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move staged pipeline batches into the local buffer until `want`
+    /// events are on hand or the prefetcher reports the stream drained.
+    /// Claims never happen here — only the prefetch thread claims, so
+    /// delivery order per partition matches the synchronous path.
+    fn pipelined_fill(&mut self, want: usize) -> Result<()> {
+        while self.buffer.len() < want {
+            match self.pipelined_recv()? {
+                Some(batch) => self.buffer.extend(batch),
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
     /// Pull up to `max` events. Returns fewer (possibly zero) if the stream
-    /// is currently drained — nonblocking, like Mofka's pull API.
+    /// is currently drained — nonblocking, like Mofka's pull API. (A
+    /// pipelined consumer waits for claims already in flight on its
+    /// prefetch thread before reporting the stream drained.)
     pub fn pull(&mut self, max: usize) -> Result<Vec<StoredEvent>> {
-        if self.buffer.len() < max {
+        if self.pipeline.is_some() {
+            // Fast path: with nothing buffered, a staged batch that fits
+            // under `max` is handed to the caller as-is — no per-event
+            // shuffle through the VecDeque.
+            if self.buffer.is_empty() {
+                match self.pipelined_recv()? {
+                    Some(batch) if batch.len() <= max => return Ok(batch),
+                    Some(batch) => self.buffer.extend(batch),
+                    None => return Ok(Vec::new()),
+                }
+            }
+            self.pipelined_fill(max)?;
+        } else if self.buffer.len() < max {
             self.refill()?;
         }
         let take = max.min(self.buffer.len());
@@ -216,6 +438,88 @@ mod tests {
         let more = c.pull(10).unwrap();
         assert_eq!(more.len(), 1);
         assert_eq!(more[0].event.metadata["i"], 99);
+    }
+
+    #[test]
+    fn pipelined_consumer_sees_every_event_once() {
+        let (topic, yokan) = setup(4, 500);
+        let mut c = Consumer::pipelined(
+            topic,
+            yokan,
+            ConsumerConfig { group: "g".into(), prefetch: 16 },
+            4,
+        )
+        .unwrap();
+        let got = c.drain_all().unwrap();
+        assert_eq!(got.len(), 500);
+        let uniq: HashSet<u64> =
+            got.iter().map(|e| e.event.metadata["i"].as_u64().unwrap()).collect();
+        assert_eq!(uniq.len(), 500);
+        assert!(c.pull(10).unwrap().is_empty(), "drained");
+    }
+
+    #[test]
+    fn pipelined_consumer_preserves_partition_order() {
+        let (topic, yokan) = setup(3, 300);
+        let mut c =
+            Consumer::pipelined(topic, yokan, ConsumerConfig { group: "g".into(), prefetch: 8 }, 2)
+                .unwrap();
+        let got = c.drain_all().unwrap();
+        assert_eq!(got.len(), 300);
+        let mut last = std::collections::HashMap::new();
+        for se in got {
+            if let Some(prev) = last.insert(se.id.partition, se.id.offset) {
+                assert!(se.id.offset > prev, "partition order violated");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_consumer_tails_late_events() {
+        let (topic, yokan) = setup(1, 5);
+        let mut c = Consumer::pipelined(
+            topic.clone(),
+            yokan,
+            ConsumerConfig { group: "g".into(), prefetch: 4 },
+            2,
+        )
+        .unwrap();
+        assert_eq!(c.drain_all().unwrap().len(), 5);
+        topic.append_batch(0, vec![Event::meta_only(json!({ "i": 99 }))]).unwrap();
+        // the prefetch thread claims it on its next round
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut more = Vec::new();
+        while more.is_empty() && std::time::Instant::now() < deadline {
+            more = c.pull(10).unwrap();
+        }
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].event.metadata["i"], 99);
+    }
+
+    #[test]
+    fn pipelined_and_sync_members_split_one_group() {
+        let (topic, yokan) = setup(4, 400);
+        let mut piped = Consumer::pipelined(
+            topic.clone(),
+            yokan.clone(),
+            ConsumerConfig { group: "g".into(), prefetch: 8 },
+            2,
+        )
+        .unwrap();
+        let mut sync = consumer(&topic, &yokan, "g");
+        let mut got = Vec::new();
+        loop {
+            let a = piped.pull(16).unwrap();
+            let b = sync.pull(16).unwrap();
+            if a.is_empty() && b.is_empty() {
+                break;
+            }
+            got.extend(a);
+            got.extend(b);
+        }
+        assert_eq!(got.len(), 400, "no duplicates, no losses across member kinds");
+        let uniq: HashSet<(u32, u64)> = got.iter().map(|e| (e.id.partition, e.id.offset)).collect();
+        assert_eq!(uniq.len(), 400);
     }
 
     #[test]

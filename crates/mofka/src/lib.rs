@@ -17,19 +17,28 @@
 //! and bootstrapping), and [`ssg`] (group membership and fault detection).
 //! The topic log is itself stored in a Warabi blob region with its metadata
 //! in Yokan, mirroring Mofka's composition.
+//!
+//! Two data planes serve producers ([`ServiceMode`]): the default
+//! *virtual-time* plane appends synchronously and deterministically (the
+//! simulation path), while the *real-time* plane ([`shard`]) gives each
+//! partition an owning shard worker so hundreds of concurrent clients
+//! scale past the single-lock ceiling — service mode and the stress
+//! bench only, never simulated runs.
 
 pub mod bedrock;
 pub mod consumer;
 pub mod event;
 pub mod producer;
 pub mod service;
+pub mod shard;
 pub mod ssg;
 pub mod topic;
 pub mod warabi;
 pub mod yokan;
 
 pub use consumer::{Consumer, ConsumerConfig};
-pub use event::{Event, EventId, Metadata};
+pub use event::{Event, EventId, Metadata, StoredEvent};
 pub use producer::{Producer, ProducerConfig};
-pub use service::{MofkaService, ServiceConfig, ServiceRecovery};
+pub use service::{MofkaService, ServiceConfig, ServiceMode, ServiceRecovery};
+pub use shard::DataPlane;
 pub use topic::TopicConfig;

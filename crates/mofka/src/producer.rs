@@ -5,6 +5,15 @@
 //! (§III-B). Partition selection is either round-robin or by hashing a
 //! metadata key field, which keeps all events of one task in one partition
 //! (preserving per-task ordering for consumers).
+//!
+//! On a real-time service (see [`crate::shard`]) a producer's `flush`
+//! hands each partition batch to the owning shard's queue instead of
+//! appending under the partition lock itself — concurrent producers
+//! stop contending there. Handed-off batches complete asynchronously;
+//! [`Producer::sync`] flushes *and* waits (a plane barrier), which is
+//! also where deferred append errors surface. On a virtual-time service
+//! there is no plane and `flush` appends synchronously, exactly as
+//! before — the deterministic path.
 
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -15,6 +24,7 @@ use std::sync::Arc;
 use dtf_core::error::Result;
 
 use crate::event::{Event, Metadata};
+use crate::shard::DataPlane;
 use crate::topic::Topic;
 
 /// How a producer assigns events to partitions.
@@ -83,10 +93,22 @@ pub struct Producer {
     pending_count: usize,
     rr_next: u32,
     stats: ProducerStats,
+    /// Concurrent data plane; `None` appends synchronously (virtual time).
+    plane: Option<Arc<DataPlane>>,
 }
 
 impl Producer {
+    /// A synchronous (plane-less) producer — the virtual-time path.
+    #[cfg(test)]
     pub(crate) fn new(topic: Arc<Topic>, cfg: ProducerConfig) -> Self {
+        Self::with_plane(topic, cfg, None)
+    }
+
+    pub(crate) fn with_plane(
+        topic: Arc<Topic>,
+        cfg: ProducerConfig,
+        plane: Option<Arc<DataPlane>>,
+    ) -> Self {
         assert!(cfg.batch_size >= 1, "batch_size must be >= 1");
         let parts = topic.num_partitions() as usize;
         Self {
@@ -96,6 +118,7 @@ impl Producer {
             pending_count: 0,
             rr_next: 0,
             stats: ProducerStats::default(),
+            plane,
         }
     }
 
@@ -155,18 +178,39 @@ impl Producer {
         Ok(())
     }
 
-    /// Append all buffered events to their partitions.
+    /// Append all buffered events to their partitions. With a data plane
+    /// this hands each batch to the owning shard and returns as soon as
+    /// every batch is *queued* (nonblocking, like Mofka's client); the
+    /// appends themselves complete asynchronously in handoff order. Call
+    /// [`Producer::sync`] (or the service's `sync`) to wait for them.
     pub fn flush(&mut self) -> Result<()> {
         for (p, buf) in self.pending.iter_mut().enumerate() {
             if buf.is_empty() {
                 continue;
             }
             let batch = std::mem::take(buf);
-            self.topic.append_batch(p as u32, batch)?;
+            match &self.plane {
+                Some(plane) => plane.enqueue_append(&self.topic, p as u32, batch)?,
+                None => {
+                    self.topic.append_batch(p as u32, batch)?;
+                }
+            }
             self.stats.batches += 1;
         }
         self.pending_count = 0;
         Ok(())
+    }
+
+    /// Flush, then wait until every batch this producer (and any other
+    /// client of the same plane) handed off has been appended. Deferred
+    /// shard append errors surface here. On a virtual-time service this
+    /// is just `flush` — appends there are already synchronous.
+    pub fn sync(&mut self) -> Result<()> {
+        self.flush()?;
+        match &self.plane {
+            Some(plane) => plane.barrier(),
+            None => Ok(()),
+        }
     }
 
     pub fn stats(&self) -> ProducerStats {
@@ -369,6 +413,24 @@ mod tests {
             duration: Dur(2),
         };
         assert_eq!(p.select_partition(&Event::typed(warn)), MISSING_KEY_PARTITION);
+    }
+
+    #[test]
+    fn plane_flush_is_queued_until_barrier() {
+        let t = topic(2);
+        let plane = DataPlane::manual(2);
+        let mut p = Producer::with_plane(
+            t.clone(),
+            ProducerConfig { batch_size: 4, strategy: PartitionStrategy::RoundRobin },
+            Some(plane.clone()),
+        );
+        for i in 0..8 {
+            p.push(Event::meta_only(json!(i))).unwrap();
+        }
+        assert_eq!(t.total_len(), 0, "batches queued on shards, not yet applied");
+        p.sync().unwrap();
+        assert_eq!(t.total_len(), 8, "barrier applied every handed-off batch");
+        assert_eq!(p.stats().batches, 4, "two auto-flushes x two partitions");
     }
 
     #[test]

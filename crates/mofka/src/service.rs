@@ -6,6 +6,15 @@
 //! opens such a directory read-only — the archive path: recovery repairs
 //! any torn tail, topics are rebuilt to their committed prefixes, and the
 //! regular consumer API drains them exactly as an in-situ analysis would.
+//!
+//! [`ServiceConfig::mode`] selects the data plane. The default,
+//! [`ServiceMode::VirtualTime`], appends synchronously under the partition
+//! lock — the deterministic path every simulated run takes, byte-identical
+//! across runs. [`ServiceMode::RealTime`] activates the sharded concurrent
+//! plane (see [`crate::shard`]): producers hand batches to shard-owning
+//! worker threads, and consumers may opt into prefetch pipelines via
+//! [`MofkaService::consumer_pipelined`]. The topic map itself is sharded
+//! in both modes (lookup-only — it cannot affect event order).
 
 use dtf_store::RecoveryReport;
 use parking_lot::RwLock;
@@ -17,16 +26,38 @@ use dtf_core::error::{DtfError, Result};
 
 use crate::consumer::{Consumer, ConsumerConfig};
 use crate::producer::{Producer, ProducerConfig};
+use crate::shard::DataPlane;
 use crate::topic::{Topic, TopicConfig};
 use crate::warabi::Warabi;
 use crate::yokan::Yokan;
 
-/// Service-level configuration: where (whether) to persist.
+/// Which data plane serves producers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ServiceMode {
+    /// Synchronous appends under the partition lock — deterministic, the
+    /// simulation path. The default.
+    #[default]
+    VirtualTime,
+    /// The sharded concurrent plane: per-partition shard ownership with
+    /// mpsc-batched producer handoff and optional consumer prefetch
+    /// pipelines. For live services and the stress bench; never used by
+    /// virtual-time simulated runs.
+    RealTime {
+        /// Worker shards; 0 = auto (available parallelism, min 2).
+        shards: usize,
+    },
+}
+
+/// Service-level configuration: where (whether) to persist, and which
+/// data plane to run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Root directory for durable state. `None` keeps the service fully
     /// in-memory (the default).
     pub persist: Option<PathBuf>,
+    /// Data-plane selection; defaults to the deterministic virtual-time
+    /// path.
+    pub mode: ServiceMode,
 }
 
 /// What recovery found when a persisted service directory was opened.
@@ -36,6 +67,75 @@ pub struct ServiceRecovery {
     pub warabi: RecoveryReport,
     /// Events restored into topic partitions (committed prefixes).
     pub restored_events: u64,
+}
+
+/// Shards of the topic map. Topic lookup is read-mostly and per-client;
+/// sharding the map keeps `topic()` calls from hundreds of concurrent
+/// clients off one global lock. Must be a power of two (mask indexing).
+const TOPIC_MAP_SHARDS: usize = 16;
+
+/// One shard of the topic map: a plain map under its own lock.
+type TopicMapShard = RwLock<HashMap<String, Arc<Topic>>>;
+
+/// A sharded `name -> Topic` map: each name hashes to one shard with its
+/// own `RwLock`. Lookup-only concurrency — which shard a name lands on
+/// can never affect event content or order.
+#[derive(Debug)]
+struct TopicMap {
+    shards: Box<[TopicMapShard]>,
+}
+
+impl TopicMap {
+    fn new() -> Self {
+        Self { shards: (0..TOPIC_MAP_SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, name: &str) -> &TopicMapShard {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h as usize) & (TOPIC_MAP_SHARDS - 1)]
+    }
+
+    fn get(&self, name: &str) -> Option<Arc<Topic>> {
+        self.shard(name).read().get(name).cloned()
+    }
+
+    /// Insert under the shard's write lock, calling `make` only if the
+    /// name is free — `make`'s side effects (recording the config in
+    /// Yokan) stay atomic with the reservation, as they were under the
+    /// old global lock.
+    fn try_insert(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Arc<Topic>,
+    ) -> std::result::Result<(), ()> {
+        let mut shard = self.shard(name).write();
+        if shard.contains_key(name) {
+            return Err(());
+        }
+        shard.insert(name.to_string(), make());
+        Ok(())
+    }
+
+    fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for shard in self.shards.iter() {
+            names.extend(shard.read().keys().cloned());
+        }
+        names.sort();
+        names
+    }
+
+    fn all(&self) -> Vec<Arc<Topic>> {
+        let mut topics = Vec::new();
+        for shard in self.shards.iter() {
+            topics.extend(shard.read().values().cloned());
+        }
+        topics
+    }
 }
 
 /// A running Mofka service instance. Cloneable handle semantics via `Arc`
@@ -60,7 +160,10 @@ pub struct ServiceRecovery {
 pub struct MofkaService {
     yokan: Arc<Yokan>,
     warabi: Arc<Warabi>,
-    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    topics: TopicMap,
+    /// The concurrent data plane; `None` in virtual-time mode (and for
+    /// read-only archive reopens).
+    plane: Option<Arc<DataPlane>>,
 }
 
 impl Default for MofkaService {
@@ -74,23 +177,46 @@ impl MofkaService {
         Self {
             yokan: Arc::new(Yokan::new()),
             warabi: Arc::new(Warabi::new()),
-            topics: RwLock::new(HashMap::new()),
+            topics: TopicMap::new(),
+            plane: None,
         }
+    }
+
+    /// An in-memory service running the sharded concurrent plane — the
+    /// service-mode entry point for live (wall-clock) clients.
+    pub fn real_time(shards: usize) -> Self {
+        Self { plane: Some(DataPlane::spawned(shards)), ..Self::new() }
+    }
+
+    /// An in-memory service on a *manual* plane: producer flushes are
+    /// queued per shard but applied only when the caller steps them
+    /// ([`DataPlane::step_shard`] via [`Self::plane`]) or a barrier
+    /// drains them inline. This is the deterministic-interleaving entry
+    /// point the seeded schedule harness drives — every handoff state
+    /// the spawned plane can reach is reachable one `step_shard` at a
+    /// time, with no worker threads racing the schedule.
+    pub fn manual(shards: usize) -> Self {
+        Self { plane: Some(DataPlane::manual(shards)), ..Self::new() }
     }
 
     /// Build a service per `cfg`: in-memory when `persist` is unset,
     /// durable (with any existing state recovered and topics restored)
-    /// when it names a directory.
+    /// when it names a directory; `cfg.mode` picks the data plane.
     pub fn with_config(cfg: &ServiceConfig) -> Result<Self> {
+        let plane = match cfg.mode {
+            ServiceMode::VirtualTime => None,
+            ServiceMode::RealTime { shards } => Some(DataPlane::spawned(shards)),
+        };
         match &cfg.persist {
-            None => Ok(Self::new()),
+            None => Ok(Self { plane, ..Self::new() }),
             Some(dir) => {
                 let (yokan, _) = Yokan::durable(&dir.join("yokan"))?;
                 let (warabi, _) = Warabi::durable(&dir.join("warabi"))?;
                 let svc = Self {
                     yokan: Arc::new(yokan),
                     warabi: Arc::new(warabi),
-                    topics: RwLock::new(HashMap::new()),
+                    topics: TopicMap::new(),
+                    plane,
                 };
                 svc.restore_topics()?;
                 Ok(svc)
@@ -102,13 +228,18 @@ impl MofkaService {
     /// path. Recovery repairs torn tails on disk (the only mutation);
     /// the returned service holds no log handles, so reopening the same
     /// directory any number of times yields the same committed state.
+    /// Archive readers never get a data plane: if the producing service
+    /// is still alive with batches queued in its shards, those batches
+    /// are not yet committed and this reopen sees the clean committed
+    /// prefix (see `MofkaService::shutdown` for the drain-first path).
     pub fn reopen(dir: &Path) -> Result<(Self, ServiceRecovery)> {
         let (yokan, yokan_report) = Yokan::replay(&dir.join("yokan"))?;
         let (warabi, warabi_report) = Warabi::replay(&dir.join("warabi"))?;
         let svc = Self {
             yokan: Arc::new(yokan),
             warabi: Arc::new(warabi),
-            topics: RwLock::new(HashMap::new()),
+            topics: TopicMap::new(),
+            plane: None,
         };
         let restored_events = svc.restore_topics()?;
         Ok((svc, ServiceRecovery { yokan: yokan_report, warabi: warabi_report, restored_events }))
@@ -119,66 +250,102 @@ impl MofkaService {
     fn restore_topics(&self) -> Result<u64> {
         let persist = self.yokan.is_durable().then(|| self.yokan.clone());
         let mut restored = 0u64;
-        let mut topics = self.topics.write();
         for (key, raw) in self.yokan.list_prefix("topic-config/") {
             let name = key["topic-config/".len()..].to_string();
             let cfg: TopicConfig = serde_json::from_slice(&raw)?;
             let topic = Arc::new(Topic::new(&name, &cfg, self.warabi.clone(), persist.clone()));
             restored += topic.restore(&self.yokan)?;
-            topics.insert(name, topic);
+            let _ = self.topics.try_insert(&name, || topic);
         }
         Ok(restored)
     }
 
-    /// Flush durable state (group commit). The blob log flushes before
-    /// the metadata log, so a crash between the two leaves orphan blobs
-    /// (harmless) rather than metadata pointing at missing blobs.
+    /// Flush durable state (group commit). In real-time mode a plane
+    /// barrier runs first, so every batch handed off before this call is
+    /// appended — and therefore written through to the stores — before
+    /// they flush. The blob log flushes before the metadata log, so a
+    /// crash between the two leaves orphan blobs (harmless) rather than
+    /// metadata pointing at missing blobs.
     pub fn sync(&self) -> Result<()> {
+        if let Some(plane) = &self.plane {
+            plane.barrier()?;
+        }
         self.warabi.sync()?;
         self.yokan.sync()
     }
 
+    /// Graceful shutdown of the data plane: drain every shard queue
+    /// (surfacing deferred append errors), then flush durable state.
+    /// After this, a `reopen` of the persist directory sees every event
+    /// that was ever handed to a producer `flush` — queued batches are
+    /// drained first, never dropped. The plane keeps running (workers
+    /// stop only when the last handle drops), so this is safe to call
+    /// more than once.
+    pub fn shutdown(&self) -> Result<()> {
+        self.sync()
+    }
+
     /// Create a topic. Errors if it already exists.
     pub fn create_topic(&self, name: &str, cfg: TopicConfig) -> Result<()> {
-        let mut topics = self.topics.write();
-        if topics.contains_key(name) {
-            return Err(DtfError::IllegalState(format!("topic {name} already exists")));
-        }
-        // record the topic config in Yokan, as Mofka does
-        self.yokan.put(
-            format!("topic-config/{name}"),
-            serde_json::to_vec(&cfg).expect("topic config serializes"),
-        );
         let persist = self.yokan.is_durable().then(|| self.yokan.clone());
-        topics.insert(
-            name.to_string(),
-            Arc::new(Topic::new(name, &cfg, self.warabi.clone(), persist)),
-        );
-        Ok(())
+        self.topics
+            .try_insert(name, || {
+                // record the topic config in Yokan, as Mofka does —
+                // under the map-shard lock, atomic with the reservation
+                self.yokan.put(
+                    format!("topic-config/{name}"),
+                    serde_json::to_vec(&cfg).expect("topic config serializes"),
+                );
+                Arc::new(Topic::new(name, &cfg, self.warabi.clone(), persist))
+            })
+            .map_err(|()| DtfError::IllegalState(format!("topic {name} already exists")))
     }
 
     pub fn topic(&self, name: &str) -> Result<Arc<Topic>> {
-        self.topics
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| DtfError::NotFound(format!("topic {name}")))
+        self.topics.get(name).ok_or_else(|| DtfError::NotFound(format!("topic {name}")))
     }
 
     pub fn topic_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
-        names.sort();
-        names
+        self.topics.names()
     }
 
-    /// Open a producer on `topic`.
+    /// Open a producer on `topic`. In real-time mode its flushes hand
+    /// batches to the shard plane; in virtual-time mode they append
+    /// synchronously (the deterministic path).
     pub fn producer(&self, topic: &str, cfg: ProducerConfig) -> Result<Producer> {
-        Ok(Producer::new(self.topic(topic)?, cfg))
+        Ok(Producer::with_plane(self.topic(topic)?, cfg, self.plane.clone()))
     }
 
-    /// Open a consumer on `topic`.
+    /// Open a consumer on `topic` (synchronous claims — the
+    /// deterministic path, available in every mode).
     pub fn consumer(&self, topic: &str, cfg: ConsumerConfig) -> Result<Consumer> {
         Ok(Consumer::new(self.topic(topic)?, self.yokan.clone(), cfg))
+    }
+
+    /// Open a consumer whose claims run on a background prefetch
+    /// pipeline, `depth` claimed-batches ahead of demand (see
+    /// `Consumer`). Real-time mode only: pipelined claims are
+    /// wall-clock-dependent, so virtual-time services refuse them
+    /// rather than silently losing determinism.
+    pub fn consumer_pipelined(
+        &self,
+        topic: &str,
+        cfg: ConsumerConfig,
+        depth: usize,
+    ) -> Result<Consumer> {
+        if self.plane.is_none() {
+            return Err(DtfError::IllegalState(
+                "pipelined consumers need real-time mode (virtual-time claims must stay \
+                 deterministic)"
+                    .into(),
+            ));
+        }
+        Consumer::pipelined(self.topic(topic)?, self.yokan.clone(), cfg, depth)
+    }
+
+    /// The concurrent data plane, if this service runs one.
+    pub fn plane(&self) -> Option<&Arc<DataPlane>> {
+        self.plane.as_ref()
     }
 
     /// Stall one partition of `topic` (fault injection): appends stage
@@ -195,7 +362,7 @@ impl MofkaService {
     /// Lift every stall on every topic (end of run: nothing may stay
     /// invisible when the post-run consumers drain).
     pub fn unstall_all(&self) {
-        for t in self.topics.read().values() {
+        for t in self.topics.all() {
             t.unstall_all();
         }
     }
@@ -260,8 +427,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dtf-svc-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
-            let svc =
-                MofkaService::with_config(&ServiceConfig { persist: Some(dir.clone()) }).unwrap();
+            let svc = MofkaService::with_config(&ServiceConfig {
+                persist: Some(dir.clone()),
+                ..Default::default()
+            })
+            .unwrap();
             svc.create_topic("events", TopicConfig { partitions: 2 }).unwrap();
             let mut p = svc.producer("events", ProducerConfig::default()).unwrap();
             for i in 0..20 {
@@ -293,5 +463,44 @@ mod tests {
         svc.create_topic("b", TopicConfig::default()).unwrap();
         svc.create_topic("a", TopicConfig::default()).unwrap();
         assert_eq!(svc.topic_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn real_time_service_routes_flushes_through_the_plane() {
+        let svc = MofkaService::real_time(2);
+        assert!(svc.plane().is_some());
+        svc.create_topic("t", TopicConfig { partitions: 2 }).unwrap();
+        let mut p = svc.producer("t", ProducerConfig::default()).unwrap();
+        for i in 0..100 {
+            p.push(Event::meta_only(json!(i))).unwrap();
+        }
+        p.sync().unwrap();
+        let mut c = svc.consumer("t", ConsumerConfig::default()).unwrap();
+        assert_eq!(c.drain_all().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn virtual_time_service_refuses_pipelined_consumers() {
+        let svc = MofkaService::new();
+        svc.create_topic("t", TopicConfig::default()).unwrap();
+        let err = svc.consumer_pipelined("t", ConsumerConfig::default(), 4).unwrap_err();
+        assert!(err.to_string().contains("real-time"));
+        // the real-time service grants them
+        let rt = MofkaService::real_time(2);
+        rt.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(rt.consumer_pipelined("t", ConsumerConfig::default(), 4).is_ok());
+    }
+
+    #[test]
+    fn sharded_topic_map_serves_many_topics() {
+        let svc = MofkaService::new();
+        let names: Vec<String> = (0..64).map(|i| format!("topic-{i:02}")).collect();
+        for n in &names {
+            svc.create_topic(n, TopicConfig { partitions: 1 }).unwrap();
+        }
+        assert_eq!(svc.topic_names(), names, "sorted across map shards");
+        for n in &names {
+            assert_eq!(svc.topic(n).unwrap().name(), n);
+        }
     }
 }

@@ -268,12 +268,20 @@ impl Topic {
     /// Read up to `max` events from partition `p` starting at `offset`.
     pub fn read(&self, p: u32, offset: u64, max: usize) -> Result<Vec<StoredEvent>> {
         let part = self.partition(p)?;
-        let state = part.state.read();
-        let log = &state.slots;
-        let start = (offset as usize).min(log.len());
-        let end = start.saturating_add(max).min(log.len());
-        let mut out = Vec::with_capacity(end - start);
-        for (i, slot) in log[start..end].iter().enumerate() {
+        // Copy the slot range out under the lock, then resolve payloads and
+        // build the result unlocked: readers here can hold thousands of
+        // slots, and keeping blob lookups inside the critical section
+        // stalls appenders (and every reader queued behind them) for the
+        // whole construction.
+        let (start, slots) = {
+            let state = part.state.read();
+            let log = &state.slots;
+            let start = (offset as usize).min(log.len());
+            let end = start.saturating_add(max).min(log.len());
+            (start, log[start..end].to_vec())
+        };
+        let mut out = Vec::with_capacity(slots.len());
+        for (i, slot) in slots.iter().enumerate() {
             // a blob id with no blob means the slot references data that
             // did not survive (reachable after a durable reopen); surface
             // it as corruption instead of silently yielding empty bytes

@@ -1,0 +1,179 @@
+//! Concurrency properties of the sharded data plane.
+//!
+//! Three invariants, property-tested over randomized shapes:
+//!
+//! 1. **Per-partition ordering** — however producer flushes interleave
+//!    with shard steps on a manual plane, each partition's log holds that
+//!    producer's events in push order.
+//! 2. **Exactly-once per group** — however pulls interleave across the
+//!    members of a consumer group, every event is delivered to exactly
+//!    one member, and no event is lost.
+//! 3. **No loss under concurrent flush/pull** — with real producer and
+//!    consumer threads racing on a spawned plane, the group still drains
+//!    exactly the produced set.
+
+use proptest::prelude::*;
+
+use dtf_mofka::{ConsumerConfig, Event, MofkaService, ProducerConfig, TopicConfig};
+
+fn ev(producer: u64, seq: u64) -> Event {
+    Event::meta_only(serde_json::json!({ "p": producer, "s": seq }))
+}
+
+fn key(e: &Event) -> (u64, u64) {
+    (e.metadata["p"].as_u64().unwrap(), e.metadata["s"].as_u64().unwrap())
+}
+
+proptest! {
+    /// Randomized flush/step interleavings on a manual plane keep every
+    /// partition's log in per-producer push order, and a final barrier
+    /// always drains the queues completely.
+    #[test]
+    fn per_partition_order_survives_any_step_schedule(
+        partitions in 1u32..5,
+        shards in 1usize..5,
+        batch in 1usize..17,
+        events in 8u64..200,
+        // each entry: after this many pushes, run one step of this shard
+        schedule in proptest::collection::vec((1u64..32, 0usize..8), 0..64),
+    ) {
+        let svc = MofkaService::manual(shards);
+        svc.create_topic("t", TopicConfig { partitions }).unwrap();
+        let plane = svc.plane().unwrap().clone();
+        let mut producer = svc
+            .producer("t", ProducerConfig { batch_size: batch, ..Default::default() })
+            .unwrap();
+
+        let mut schedule = schedule.into_iter();
+        let mut next = schedule.next();
+        let mut since_step = 0u64;
+        for s in 0..events {
+            producer.push(ev(0, s)).unwrap();
+            since_step += 1;
+            if let Some((after, shard)) = next {
+                if since_step >= after {
+                    plane.step_shard(shard % plane.num_shards());
+                    since_step = 0;
+                    next = schedule.next();
+                }
+            }
+        }
+        producer.sync().unwrap(); // flush + inline drain on a manual plane
+        for i in 0..plane.num_shards() {
+            prop_assert_eq!(plane.queued_jobs(i), 0, "barrier left shard {} non-empty", i);
+        }
+
+        // one fresh group drains everything; per partition, seqs of the
+        // single producer must come out strictly increasing
+        let mut consumer = svc
+            .consumer("t", ConsumerConfig { group: "check".into(), prefetch: 64 })
+            .unwrap();
+        let drained = consumer.drain_all().unwrap();
+        prop_assert_eq!(drained.len() as u64, events);
+        let mut last_seq: std::collections::HashMap<u32, u64> = Default::default();
+        for se in &drained {
+            let (_, s) = key(&se.event);
+            if let Some(prev) = last_seq.insert(se.id.partition, s) {
+                prop_assert!(
+                    s > prev,
+                    "partition {} delivered seq {} after {}",
+                    se.id.partition, s, prev
+                );
+            }
+        }
+    }
+
+    /// However pulls interleave across a group's members (decided by a
+    /// randomized round-robin schedule), each event lands on exactly one
+    /// member and none are lost.
+    #[test]
+    fn group_delivery_is_exactly_once_across_members(
+        partitions in 1u32..4,
+        members in 1usize..5,
+        prefetch in 1usize..33,
+        events in 1u64..300,
+        pulls in proptest::collection::vec((0usize..4, 1usize..64), 1..48),
+    ) {
+        let svc = MofkaService::new();
+        svc.create_topic("t", TopicConfig { partitions }).unwrap();
+        let mut producer = svc.producer("t", ProducerConfig::default()).unwrap();
+        for s in 0..events {
+            producer.push(ev(0, s)).unwrap();
+        }
+        producer.flush().unwrap();
+
+        let mut group: Vec<_> = (0..members)
+            .map(|_| {
+                svc.consumer("t", ConsumerConfig { group: "g".into(), prefetch }).unwrap()
+            })
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        fn deliver(
+            batch: Vec<dtf_mofka::StoredEvent>,
+            seen: &mut std::collections::HashSet<(u64, u64)>,
+        ) {
+            for se in batch {
+                prop_assert!(seen.insert(key(&se.event)), "duplicate delivery {:?}", se.id);
+            }
+        }
+        for (m, n) in pulls {
+            let batch = group[m % members].pull(n).unwrap();
+            deliver(batch, &mut seen);
+        }
+        // whatever the schedule left behind, the group can always finish
+        for member in &mut group {
+            let rest = member.drain_all().unwrap();
+            deliver(rest, &mut seen);
+        }
+        prop_assert_eq!(seen.len() as u64, events, "events lost");
+    }
+}
+
+proptest! {
+    // real threads are slow; a handful of cases is still dozens of
+    // distinct producer/consumer races per test run
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Real producer threads racing real pipelined consumers on a
+    /// spawned plane: the group drains exactly the produced set.
+    #[test]
+    fn nothing_is_lost_under_concurrent_flush_and_pull(
+        producers in 1usize..5,
+        partitions in 1u32..4,
+        shards in 1usize..4,
+        batch in 1usize..33,
+        per_producer in 1u64..200,
+        depth in 1usize..4,
+    ) {
+        let svc = MofkaService::real_time(shards);
+        svc.create_topic("t", TopicConfig { partitions }).unwrap();
+        let total = producers as u64 * per_producer;
+
+        let consumed = std::thread::scope(|scope| {
+            for p in 0..producers {
+                let svc = &svc;
+                scope.spawn(move || {
+                    let mut producer = svc
+                        .producer("t", ProducerConfig { batch_size: batch, ..Default::default() })
+                        .unwrap();
+                    for s in 0..per_producer {
+                        producer.push(ev(p as u64, s)).unwrap();
+                    }
+                    producer.sync().unwrap();
+                });
+            }
+            let mut consumer = svc
+                .consumer_pipelined("t", ConsumerConfig { group: "g".into(), prefetch: 32 }, depth)
+                .unwrap();
+            let mut seen = std::collections::HashSet::new();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while (seen.len() as u64) < total && std::time::Instant::now() < deadline {
+                for se in consumer.pull(64).unwrap() {
+                    assert!(seen.insert(key(&se.event)), "duplicate delivery {:?}", se.id);
+                }
+            }
+            seen
+        });
+        prop_assert_eq!(consumed.len() as u64, total, "events lost in the race");
+    }
+}

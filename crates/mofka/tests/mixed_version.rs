@@ -75,7 +75,11 @@ fn json_era_store_replays_and_extends_with_binary_records() {
 
     // --- JSON era: generic events, then headers restamped to format 0
     {
-        let svc = MofkaService::with_config(&ServiceConfig { persist: Some(dir.clone()) }).unwrap();
+        let svc = MofkaService::with_config(&ServiceConfig {
+            persist: Some(dir.clone()),
+            ..Default::default()
+        })
+        .unwrap();
         svc.create_topic("t", TopicConfig { partitions: 1 }).unwrap();
         let t = svc.topic("t").unwrap();
         for i in 0..20u64 {
@@ -98,7 +102,11 @@ fn json_era_store_replays_and_extends_with_binary_records() {
     // --- binary era: open the v0 store writable and append typed records
     let before_upgrade;
     {
-        let svc = MofkaService::with_config(&ServiceConfig { persist: Some(dir.clone()) }).unwrap();
+        let svc = MofkaService::with_config(&ServiceConfig {
+            persist: Some(dir.clone()),
+            ..Default::default()
+        })
+        .unwrap();
         let t = svc.topic("t").unwrap();
         assert_eq!(t.total_len(), 20, "the writable open restored the JSON era");
         for i in 0..10u64 {
@@ -138,7 +146,11 @@ fn json_era_store_replays_and_extends_with_binary_records() {
 fn fresh_stores_are_stamped_binary() {
     let dir = scratch("fresh");
     {
-        let svc = MofkaService::with_config(&ServiceConfig { persist: Some(dir.clone()) }).unwrap();
+        let svc = MofkaService::with_config(&ServiceConfig {
+            persist: Some(dir.clone()),
+            ..Default::default()
+        })
+        .unwrap();
         svc.create_topic("t", TopicConfig { partitions: 1 }).unwrap();
         svc.topic("t").unwrap().append_batch(0, vec![Event::typed(typed_log(0))]).unwrap();
         svc.sync().unwrap();

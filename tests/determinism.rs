@@ -115,3 +115,114 @@ fn campaign_summaries_are_reproducible() {
         assert_eq!(a.warnings, b.warnings);
     }
 }
+
+/// Satellite gate for the concurrent data plane: with the sharded
+/// real-time service compiled in — and actually *running*, busy on
+/// worker threads in this very process — a simulated (virtual-time)
+/// campaign still exports byte-for-byte what the golden fingerprint
+/// pins. Virtual-time runs never touch the plane (`dtf_wms::sim` pins
+/// `ServiceMode::VirtualTime`), so wall-clock nondeterminism cannot leak
+/// into characterization data.
+#[test]
+fn virtual_time_export_is_byte_identical_with_concurrent_plane_running() {
+    use dtf::mofka::{Event, MofkaService, ProducerConfig, TopicConfig};
+    use dtf::perfrecup::export::export_run;
+
+    fn fnv64(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    // a real-time service churning in the background for the whole test
+    let noisy = MofkaService::real_time(2);
+    noisy.create_topic("noise", TopicConfig { partitions: 2 }).unwrap();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let fingerprint = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut producer = noisy
+                .producer("noise", ProducerConfig { batch_size: 32, ..Default::default() })
+                .unwrap();
+            let mut s = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                producer.push(Event::meta_only(serde_json::json!({ "s": s }))).unwrap();
+                s += 1;
+            }
+            producer.sync().unwrap();
+        });
+
+        // the same fixed-seed virtual-time run `wire_format.rs` pins
+        let workload = Workload::ImageProcessing;
+        let mut cfg = SimConfig {
+            campaign_seed: 13,
+            run: RunId(0),
+            online_darshan: true,
+            ..Default::default()
+        };
+        workload.adjust(&mut cfg);
+        let rr = RunRng::new(13, RunId(0));
+        let data = SimCluster::new(cfg).unwrap().run(workload.generate(&rr)).unwrap();
+
+        let dir =
+            std::env::temp_dir().join(format!("dtf-determinism-concurrent-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        export_run(&data, &dir).unwrap();
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        let mut fingerprint = String::new();
+        for name in &names {
+            let bytes = std::fs::read(dir.join(name)).unwrap();
+            fingerprint.push_str(&format!("{name} {:016x} {}\n", fnv64(&bytes), bytes.len()));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        fingerprint
+    });
+
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/export_fnv64.txt");
+    let expected = std::fs::read_to_string(&golden).unwrap();
+    assert_eq!(
+        fingerprint, expected,
+        "virtual-time export drifted while the concurrent plane was running"
+    );
+}
+
+/// The same event sequence lands identically whether it flows through
+/// the synchronous virtual-time path or the sharded real-time plane:
+/// per-partition logs hold the same events at the same offsets once the
+/// plane is drained.
+#[test]
+fn virtual_and_real_time_services_store_identical_streams() {
+    use dtf::mofka::{ConsumerConfig, Event, MofkaService, ProducerConfig, TopicConfig};
+
+    fn run(svc: &MofkaService) -> Vec<(u32, u64, u64)> {
+        svc.create_topic("t", TopicConfig { partitions: 3 }).unwrap();
+        let mut producer =
+            svc.producer("t", ProducerConfig { batch_size: 16, ..Default::default() }).unwrap();
+        for s in 0..500u64 {
+            producer.push(Event::meta_only(serde_json::json!({ "s": s }))).unwrap();
+        }
+        producer.sync().unwrap();
+        let mut consumer =
+            svc.consumer("t", ConsumerConfig { group: "g".into(), prefetch: 64 }).unwrap();
+        let mut rows: Vec<(u32, u64, u64)> = consumer
+            .drain_all()
+            .unwrap()
+            .iter()
+            .map(|se| (se.id.partition, se.id.offset, se.event.metadata["s"].as_u64().unwrap()))
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    let virtual_rows = run(&MofkaService::new());
+    let real_rows = run(&MofkaService::real_time(2));
+    assert_eq!(virtual_rows, real_rows, "the two data planes stored different streams");
+}
