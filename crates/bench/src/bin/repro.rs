@@ -21,13 +21,18 @@
 //!                      BENCH_repro.json: exits nonzero if events/s
 //!                      regressed by more than 20%)
 //!   store-bench     (measure dtf-store append throughput per flush policy,
-//!                    the recovery-scan rate, and the binary-codec rows —
-//!                    encode/decode MiB/s plus binary-vs-json replay; prints
-//!                    the `storage` section of BENCH_repro.json)
+//!                    the recovery-scan rate, the binary-codec rows, and the
+//!                    schema-6 scale rows — snapshot-bounded recovery at two
+//!                    log sizes plus indexed point/range reads, scaled by
+//!                    DTF_STORE_SCALE; prints the `storage` section and
+//!                    refreshes it inside BENCH_repro.json when present)
 //!   store-check     (measure and gate against the committed
 //!                    BENCH_repro.json `storage` section: exits nonzero on
 //!                    a >20% drop in group-commit append, recovery rate, or
-//!                    codec throughput, or a >20% rise in binary replay time)
+//!                    codec throughput, a >20% rise in binary replay time,
+//!                    a recovery ratio above 2x between the 8x-apart log
+//!                    sizes, or an indexed point/range speedup below 10x;
+//!                    exit 2 on a pre-schema-6 baseline)
 //!   stress-bench    (many-client stress of the sharded real-time data
 //!                    plane: 256 concurrent producers + 8 consumer groups
 //!                    on one service; prints the `stress` section and
@@ -37,10 +42,12 @@
 //!                    nonzero on a >20% drop in aggregate events/s)
 //!   recovery-smoke  (--seed N: run a persistent seeded campaign, verify a
 //!                    fresh-process archive reopen reproduces the export
-//!                    bundle byte-for-byte, then corrupt the store tail
-//!                    under several crash faults and check the recovery
-//!                    oracle; exits nonzero — keeping the store dir as an
-//!                    artifact — on any violation)
+//!                    bundle byte-for-byte, then damage store copies under
+//!                    seeded crash faults — torn/zeroed/bit-flipped tails,
+//!                    corrupted index sidecars and snapshots, orphaned
+//!                    compaction staging — and check the recovery oracle;
+//!                    exits nonzero — keeping the store dir as an artifact —
+//!                    on any violation)
 //!   all      (everything above, in order)
 //! ```
 //!
@@ -313,7 +320,55 @@ fn store_bench() -> i32 {
         b.codec.replay_events,
         b.codec.replay_json_ms / b.codec.replay_binary_ms.max(1e-12)
     );
-    println!("{}", serde_json::to_string_pretty(&b).expect("section serializes"));
+    println!(
+        "store scale (x{}): recovery {:.1} ms @ {} records vs {:.1} ms @ {} (ratio {:.2}, \
+         full replay {:.1} ms)",
+        b.scale.scale,
+        b.scale.recovery_small_ms,
+        b.scale.small_records,
+        b.scale.recovery_large_ms,
+        b.scale.large_records,
+        b.scale.recovery_ratio,
+        b.scale.full_replay_large_ms
+    );
+    println!(
+        "store indexed: point {:.1} us ({:.0}x vs {:.1} ms scan), range {:.2} ms ({:.0}x), \
+         reader open {:.1} ms",
+        b.scale.indexed.point_avg_us,
+        b.scale.indexed.point_speedup,
+        b.scale.indexed.full_scan_ms,
+        b.scale.indexed.range_ms,
+        b.scale.indexed.range_speedup,
+        b.scale.indexed.reader_open_ms
+    );
+    let section = serde_json::to_value(&b).expect("section serializes");
+    println!("{}", serde_json::to_string_pretty(&section).expect("section serializes"));
+    // refresh the committed artifact's storage section in place, leaving
+    // every other section at its committed baseline
+    if let Ok(s) = std::fs::read_to_string("BENCH_repro.json") {
+        match serde_json::from_str::<serde_json::Value>(&s) {
+            Ok(serde_json::Value::Object(mut doc)) => {
+                doc.insert("storage".to_string(), section);
+                let pretty = serde_json::to_string_pretty(&serde_json::Value::Object(doc))
+                    .expect("doc serializes");
+                match std::fs::write("BENCH_repro.json", pretty) {
+                    Ok(()) => println!("refreshed storage section of BENCH_repro.json"),
+                    Err(e) => {
+                        eprintln!("store-bench: cannot rewrite BENCH_repro.json: {e}");
+                        return 1;
+                    }
+                }
+            }
+            Ok(_) => {
+                eprintln!("store-bench: BENCH_repro.json is not a JSON object, leaving it");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("store-bench: BENCH_repro.json is not valid JSON, leaving it: {e}");
+                return 1;
+            }
+        }
+    }
     0
 }
 
@@ -362,6 +417,17 @@ fn store_check() -> i32 {
         eprintln!("store-check: BENCH_repro.json has no storage.codec.replay_binary_ms");
         return 2;
     };
+    // schema-6 scale rows: their absence means a pre-index baseline, exit 2
+    if doc["storage"]["scale"]["recovery_ratio"].as_f64().is_none() {
+        eprintln!(
+            "store-check: BENCH_repro.json has no storage.scale.recovery_ratio (schema < 6?)"
+        );
+        return 2;
+    }
+    if doc["storage"]["scale"]["indexed"]["point_speedup"].as_f64().is_none() {
+        eprintln!("store-check: BENCH_repro.json has no storage.scale.indexed.point_speedup");
+        return 2;
+    }
     let b = dtf_bench::storage::storage_bench();
     let measured_append = b
         .append
@@ -400,6 +466,34 @@ fn store_check() -> i32 {
             ALLOWED_REGRESSION * 100.0
         );
         failed = true;
+    }
+    // schema-6 absolute gates, measured fresh at whatever DTF_STORE_SCALE
+    // this run uses: snapshots must keep recovery tail-bounded (an 8x log
+    // must not cost more than 2x the reopen) and the sparse index must
+    // beat a full scan by an order of magnitude per query.
+    const RATIO_CEILING: f64 = 2.0;
+    const SPEEDUP_FLOOR: f64 = 10.0;
+    println!(
+        "store scale recovery ratio: measured {:.2} at x{} ({} -> {} records, ceiling {RATIO_CEILING})",
+        b.scale.recovery_ratio, b.scale.scale, b.scale.small_records, b.scale.large_records
+    );
+    if b.scale.recovery_ratio > RATIO_CEILING {
+        eprintln!(
+            "store-check: FAIL — snapshot-aided recovery is not tail-bounded \
+             (8x log costs {:.2}x reopen, ceiling {RATIO_CEILING})",
+            b.scale.recovery_ratio
+        );
+        failed = true;
+    }
+    for (what, speedup) in [
+        ("indexed point read", b.scale.indexed.point_speedup),
+        ("indexed range read", b.scale.indexed.range_speedup),
+    ] {
+        println!("store {what}: measured {speedup:.0}x vs full scan (floor {SPEEDUP_FLOOR})");
+        if speedup < SPEEDUP_FLOOR {
+            eprintln!("store-check: FAIL — {what} is only {speedup:.1}x a full scan");
+            failed = true;
+        }
     }
     if failed {
         1
@@ -538,7 +632,7 @@ fn recovery_smoke(seed: u64) -> i32 {
     use dtf_wms::sim::{SimCluster, SimConfig};
     use dtf_wms::RunData;
 
-    const FAULTS: u64 = 6;
+    const FAULTS: u64 = 9;
     let base = std::env::temp_dir().join(format!("dtf-recovery-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
     let store = base.join("store");
@@ -615,7 +709,9 @@ fn recovery_smoke(seed: u64) -> i32 {
         }
     };
     for i in 0..FAULTS {
-        let fault = CrashFault::generate(seed.wrapping_mul(FAULTS).wrapping_add(i));
+        // the extended fault space also damages cache artifacts (sparse
+        // indexes, snapshots) and leaves orphaned compaction staging
+        let fault = CrashFault::generate_extended(seed.wrapping_mul(FAULTS).wrapping_add(i));
         let victim = base.join(format!("victim-{i}"));
         let outcome = copy_store(&store, &victim).and_then(|()| fault.apply(&victim)).and_then(
             |(file, at)| {

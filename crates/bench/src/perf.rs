@@ -33,7 +33,9 @@ pub struct BenchReport {
     pub frame_kernels: FrameKernels,
     /// Events/s through plugin → producer → topic → `RunData` ingest.
     pub provenance_pipeline: crate::provenance::ProvenancePipeline,
-    /// dtf-store append throughput per flush policy + recovery-scan rate.
+    /// dtf-store append throughput per flush policy, recovery-scan rate,
+    /// codec rows, and the scale rows — snapshot-bounded recovery and
+    /// indexed reads (schema 6).
     pub storage: crate::storage::StorageBench,
     /// Many-client aggregate throughput through the sharded real-time
     /// data plane (schema 5).
@@ -216,7 +218,7 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
     let campaigns =
         Workload::ALL.iter().map(|&w| campaign_bench(w, seed, runs, parallel_jobs)).collect();
     BenchReport {
-        schema: 5,
+        schema: 6,
         seed,
         cores,
         parallel_jobs,

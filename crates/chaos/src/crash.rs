@@ -61,6 +61,18 @@ pub enum CrashKind {
     /// the recovery scan must bounds-check before slicing; anywhere else
     /// it is payload damage the CRC catches.
     MaxLenFrame,
+    /// Damage (or forge) an index sidecar (`seg-*.dti`). Sidecars are
+    /// caches: recovery must detect the damage and rebuild, losing
+    /// **nothing** — this kind asserts exact-state recovery, not a prefix.
+    CorruptIndex,
+    /// Damage (or forge) a KV snapshot (`snap-*.dtk`). Same cache
+    /// contract: the snapshot is discarded and full replay reproduces the
+    /// identical map.
+    CorruptSnapshot,
+    /// Leave a stale compaction-staging directory (`<dir>.new`) full of
+    /// garbage beside the store — the artifact of a crash before the
+    /// swap's first rename. Repair sweeps it; state is untouched.
+    OrphanStaging,
 }
 
 /// One seeded crash fault: plain, serializable data.
@@ -86,11 +98,76 @@ impl CrashFault {
         Self { target, kind, seed }
     }
 
+    /// Like [`CrashFault::generate`], but drawing from the full kind set
+    /// including cache damage (index sidecars, snapshots) and orphaned
+    /// compaction staging. A separate derivation so seeds recorded
+    /// against `generate` keep reproducing the same four-kind faults.
+    pub fn generate_extended(seed: u64) -> Self {
+        let mut rng = RunRng::new(seed, RunId(0)).stream("crash-fault-ext");
+        let target = if rng.gen::<bool>() { CrashTarget::YokanWal } else { CrashTarget::WarabiLog };
+        let kind = match rng.gen_range(0..7u32) {
+            0 => CrashKind::TruncateTail,
+            1 => CrashKind::ZeroTail,
+            2 => CrashKind::BitFlip,
+            3 => CrashKind::MaxLenFrame,
+            4 => CrashKind::CorruptIndex,
+            5 => CrashKind::CorruptSnapshot,
+            _ => CrashKind::OrphanStaging,
+        };
+        Self { target, kind, seed }
+    }
+
+    /// Whether this fault damages only cache artifacts (sidecars,
+    /// snapshots, staging) — recovery must then reproduce the **exact**
+    /// original state, not merely a committed prefix.
+    pub fn is_cache_only(&self) -> bool {
+        matches!(
+            self.kind,
+            CrashKind::CorruptIndex | CrashKind::CorruptSnapshot | CrashKind::OrphanStaging
+        )
+    }
+
     /// Apply the fault to a persisted service directory (normally a copy
     /// — see [`copy_store`]). Returns the damaged file and the byte
     /// offset the damage starts at.
     pub fn apply(&self, store_dir: &Path) -> Result<(PathBuf, u64)> {
         let dir = store_dir.join(self.target.subdir());
+        // cache-artifact kinds need no committed tail — handle them first
+        match self.kind {
+            CrashKind::CorruptIndex => {
+                let seg = segment_paths(&dir)?.pop().ok_or_else(|| {
+                    DtfError::NotFound(format!("no segments under {}", dir.display()))
+                })?;
+                let side = seg.with_extension("dti");
+                return Ok((damage_or_forge(&side, self.seed)?, 0));
+            }
+            CrashKind::CorruptSnapshot => {
+                // newest snapshot if one exists, else a forged one
+                let snap = fs::read_dir(&dir)?
+                    .flatten()
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.extension().is_some_and(|x| x == "dtk")
+                            && p.file_name()
+                                .is_some_and(|n| n.to_string_lossy().starts_with("snap-"))
+                    })
+                    .max();
+                let snap = snap.unwrap_or_else(|| dir.join("snap-00000000000000ff.dtk"));
+                return Ok((damage_or_forge(&snap, self.seed)?, 0));
+            }
+            CrashKind::OrphanStaging => {
+                let mut name = dir.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+                name.push(".new");
+                let staging = dir.with_file_name(name);
+                fs::create_dir_all(&staging)?;
+                fs::write(
+                    staging.join("seg-0000000000000000.dtl"),
+                    b"stale staging left by a crash before the swap's first rename",
+                )?;
+                return Ok((staging, 0));
+            }
+            _ => {}
+        }
         let seg = segment_paths(&dir)?
             .pop()
             .ok_or_else(|| DtfError::NotFound(format!("no segments under {}", dir.display())))?;
@@ -134,9 +211,30 @@ impl CrashFault {
                 }
                 fs::write(&seg, &data)?;
             }
+            // handled by the early return above
+            CrashKind::CorruptIndex | CrashKind::CorruptSnapshot | CrashKind::OrphanStaging => {
+                unreachable!()
+            }
         }
         Ok((seg, at))
     }
+}
+
+/// Flip bits in an existing cache file, or forge a garbage one when the
+/// store never wrote it — both are crash artifacts loaders must reject.
+fn damage_or_forge(path: &Path, seed: u64) -> Result<PathBuf> {
+    match fs::read(path) {
+        Ok(mut data) if !data.is_empty() => {
+            let mut rng = RunRng::new(seed, RunId(0)).stream("crash-cache");
+            let off = rng.gen_range(0..data.len() as u64) as usize;
+            data[off] ^= 1 << rng.gen_range(0..8u32);
+            fs::write(path, &data)?;
+        }
+        _ => {
+            fs::write(path, b"torn cache artifact: not a valid sidecar")?;
+        }
+    }
+    Ok(path.to_path_buf())
 }
 
 /// Recursively copy a persisted store directory, so faults can be applied
@@ -274,6 +372,70 @@ mod tests {
                 "seed {seed} fault {fault:?} violated recovery: {violations:?}"
             );
             fs::remove_dir_all(&victim).unwrap();
+        }
+        fs::remove_dir_all(&golden).unwrap();
+    }
+
+    #[test]
+    fn extended_faults_are_deterministic_and_reach_the_new_kinds() {
+        for seed in [1u64, 42, 999] {
+            assert_eq!(CrashFault::generate_extended(seed), CrashFault::generate_extended(seed));
+        }
+        let kinds: std::collections::HashSet<String> =
+            (0..64u64).map(|s| format!("{:?}", CrashFault::generate_extended(s).kind)).collect();
+        for want in ["CorruptIndex", "CorruptSnapshot", "OrphanStaging", "TruncateTail"] {
+            assert!(kinds.contains(want), "{want} never generated in 64 seeds");
+        }
+    }
+
+    #[test]
+    fn every_extended_fault_recovers_a_prefix() {
+        let golden = tmp("ext-golden");
+        seeded_store(&golden, 200);
+        let (original, _) = MofkaService::reopen(&golden).unwrap();
+        for seed in 0..14u64 {
+            let fault = CrashFault::generate_extended(seed);
+            let victim = tmp(&format!("ext-victim-{seed}"));
+            copy_store(&golden, &victim).unwrap();
+            fault.apply(&victim).unwrap();
+            let (recovered, _) = MofkaService::reopen(&victim).unwrap();
+            let violations = recovery_oracle(&original, &recovered);
+            assert!(
+                violations.is_empty(),
+                "seed {seed} fault {fault:?} violated recovery: {violations:?}"
+            );
+            if fault.is_cache_only() {
+                // caches are never truth: damaging them loses nothing
+                let orig = original.topic("t").unwrap();
+                let rec = recovered.topic("t").unwrap();
+                assert_eq!(rec.total_len(), orig.total_len(), "cache fault {fault:?} lost events");
+            }
+            fs::remove_dir_all(&victim).unwrap();
+        }
+        fs::remove_dir_all(&golden).unwrap();
+    }
+
+    #[test]
+    fn every_cache_kind_on_both_targets_recovers_exact_state() {
+        let golden = tmp("cache-golden");
+        seeded_store(&golden, 150);
+        let (original, _) = MofkaService::reopen(&golden).unwrap();
+        let total = original.topic("t").unwrap().total_len();
+        let mut case = 0u32;
+        for kind in [CrashKind::CorruptIndex, CrashKind::CorruptSnapshot, CrashKind::OrphanStaging]
+        {
+            for target in [CrashTarget::YokanWal, CrashTarget::WarabiLog] {
+                let fault = CrashFault { target, kind, seed: 7 };
+                assert!(fault.is_cache_only());
+                let victim = tmp(&format!("cache-victim-{case}"));
+                case += 1;
+                copy_store(&golden, &victim).unwrap();
+                fault.apply(&victim).unwrap();
+                let (recovered, _) = MofkaService::reopen(&victim).unwrap();
+                assert!(recovery_oracle(&original, &recovered).is_empty(), "{fault:?}");
+                assert_eq!(recovered.topic("t").unwrap().total_len(), total, "{fault:?}");
+                fs::remove_dir_all(&victim).unwrap();
+            }
         }
         fs::remove_dir_all(&golden).unwrap();
     }

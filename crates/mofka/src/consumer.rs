@@ -20,10 +20,15 @@
 //! Claiming *is* the group's commit point: dropping a pipelined consumer
 //! discards any claimed-but-undelivered batches still staged in its
 //! pipeline (the group has moved past them), so drain before dropping —
-//! the same at-most-once window every prefetching consumer has.
+//! the same at-most-once window every prefetching consumer has. The
+//! discard is *counted*, never silent: drop drains the pipeline, tallies
+//! every claimed-but-undelivered event into a [`DiscardedClaims`] handle
+//! (clone it via [`Consumer::discarded_claims`] before dropping), and
+//! logs the loss — so delivered + discarded always accounts for exactly
+//! what the group's offsets say was claimed.
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -56,6 +61,24 @@ fn claim_range(
     Ok(claimed)
 }
 
+/// Running count of claimed-but-undelivered events a consumer discarded
+/// at shutdown. The handle is cloneable and outlives the consumer —
+/// claim-conservation audits read it after the drop that populates it:
+/// events delivered + events discarded == offsets the group advanced.
+#[derive(Debug, Clone, Default)]
+pub struct DiscardedClaims(Arc<AtomicU64>);
+
+impl DiscardedClaims {
+    /// Events discarded so far.
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::AcqRel);
+    }
+}
+
 /// The background half of a pipelined consumer: claims and reads batches
 /// ahead of demand, staging them (bounded at `depth`) for `pull`.
 #[derive(Debug)]
@@ -66,6 +89,8 @@ struct Prefetcher {
     idle: Arc<AtomicBool>,
     rx: Option<mpsc::Receiver<Result<Vec<StoredEvent>>>>,
     handle: Option<std::thread::JoinHandle<()>>,
+    /// Tally of staged events thrown away when this pipeline shut down.
+    discarded: DiscardedClaims,
 }
 
 impl Prefetcher {
@@ -75,6 +100,7 @@ impl Prefetcher {
         group: String,
         prefetch: usize,
         depth: usize,
+        discarded: DiscardedClaims,
     ) -> Result<Self> {
         let (tx, rx) = mpsc::sync_channel::<Result<Vec<StoredEvent>>>(depth);
         let stop = Arc::new(AtomicBool::new(false));
@@ -147,17 +173,31 @@ impl Prefetcher {
                 }
             })
             .map_err(|e| dtf_core::error::DtfError::Io(format!("spawn prefetcher: {e}")))?;
-        Ok(Self { stop, idle, rx: Some(rx), handle: Some(handle) })
+        Ok(Self { stop, idle, rx: Some(rx), handle: Some(handle), discarded })
     }
 }
 
 impl Drop for Prefetcher {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // closing the channel fails any blocked send, waking the thread
-        self.rx.take();
+        // Drain what the thread staged before the channel closes: these
+        // batches are claimed — the group's offsets have moved past them
+        // — so they are counted as discarded, never silently dropped.
+        // Receiving unblocks a send in flight; the thread then observes
+        // `stop`, exits, and drops its sender, ending the loop.
+        let mut lost = 0u64;
+        if let Some(rx) = self.rx.take() {
+            while let Ok(batch) = rx.recv() {
+                if let Ok(events) = batch {
+                    lost += events.len() as u64;
+                }
+            }
+        }
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+        if lost > 0 {
+            self.discarded.add(lost);
         }
     }
 }
@@ -191,6 +231,9 @@ pub struct Consumer {
     /// Background prefetch pipeline; `None` claims synchronously in
     /// `pull` (the deterministic path).
     pipeline: Option<Prefetcher>,
+    /// Claimed-but-undelivered events discarded at drop (pipelined
+    /// consumers only; stays 0 on the synchronous path until drop).
+    discarded: DiscardedClaims,
 }
 
 impl Consumer {
@@ -203,6 +246,7 @@ impl Consumer {
             buffer: std::collections::VecDeque::new(),
             next_partition: 0,
             pipeline: None,
+            discarded: DiscardedClaims::default(),
         }
     }
 
@@ -217,12 +261,14 @@ impl Consumer {
     ) -> Result<Self> {
         assert!(cfg.prefetch >= 1, "prefetch must be >= 1");
         assert!(depth >= 1, "pipeline depth must be >= 1");
+        let discarded = DiscardedClaims::default();
         let pipeline = Prefetcher::spawn(
             topic.clone(),
             yokan.clone(),
             cfg.group.clone(),
             cfg.prefetch,
             depth,
+            discarded.clone(),
         )?;
         Ok(Self {
             topic,
@@ -231,7 +277,15 @@ impl Consumer {
             buffer: std::collections::VecDeque::new(),
             next_partition: 0,
             pipeline: Some(pipeline),
+            discarded,
         })
+    }
+
+    /// Handle to this consumer's discarded-claims tally. Clone it before
+    /// dropping the consumer: the final count — every claimed event that
+    /// was staged or buffered but never delivered — lands during drop.
+    pub fn discarded_claims(&self) -> DiscardedClaims {
+        self.discarded.clone()
     }
 
     /// Atomically claim up to `n` offsets in `partition`; returns the
@@ -323,6 +377,16 @@ impl Consumer {
         Ok(self.buffer.drain(..take).collect())
     }
 
+    fn log_discard(&self, total: u64) {
+        eprintln!(
+            "mofka: consumer (group {:?}, topic {:?}) dropped with {total} \
+             claimed-but-undelivered events; the group's offsets have moved \
+             past them (see Consumer::discarded_claims)",
+            self.cfg.group,
+            self.topic.name()
+        );
+    }
+
     /// Drain everything currently in the topic for this group.
     pub fn drain_all(&mut self) -> Result<Vec<StoredEvent>> {
         let mut out = Vec::new();
@@ -334,6 +398,23 @@ impl Consumer {
             out.extend(batch);
         }
         Ok(out)
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        // locally buffered events are claimed too — count them with
+        // whatever the pipeline drain finds
+        let buffered = self.buffer.len() as u64;
+        if buffered > 0 {
+            self.discarded.add(buffered);
+        }
+        // Prefetcher::drop drains and tallies the staged batches
+        self.pipeline.take();
+        let total = self.discarded.count();
+        if total > 0 {
+            self.log_discard(total);
+        }
     }
 }
 
@@ -520,6 +601,62 @@ mod tests {
         assert_eq!(got.len(), 400, "no duplicates, no losses across member kinds");
         let uniq: HashSet<(u32, u64)> = got.iter().map(|e| (e.id.partition, e.id.offset)).collect();
         assert_eq!(uniq.len(), 400);
+    }
+
+    /// Offsets the group has committed past, summed over partitions.
+    fn group_claimed(topic: &Arc<Topic>, yokan: &Arc<Yokan>, group: &str) -> u64 {
+        (0..topic.num_partitions())
+            .map(|p| {
+                yokan
+                    .get(&format!("group/{}/{}/{}", topic.name(), group, p))
+                    .and_then(|b| String::from_utf8(b.to_vec()).ok())
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    #[test]
+    fn dropped_pipeline_counts_discarded_claims_exactly() {
+        let (topic, yokan) = setup(2, 200);
+        let mut c = Consumer::pipelined(
+            topic.clone(),
+            yokan.clone(),
+            ConsumerConfig { group: "g".into(), prefetch: 16 },
+            4,
+        )
+        .unwrap();
+        // deliver a prefix, then drop with batches still staged: pull(10)
+        // buffers the rest of a 16-event batch, so something is always
+        // left behind
+        let delivered = c.pull(10).unwrap().len() as u64;
+        let discarded = c.discarded_claims();
+        drop(c);
+        let claimed = group_claimed(&topic, &yokan, "g");
+        assert!(discarded.count() > 0, "undelivered claims must be surfaced");
+        assert_eq!(
+            delivered + discarded.count(),
+            claimed,
+            "every claimed event is either delivered or counted as discarded"
+        );
+    }
+
+    #[test]
+    fn drained_consumer_discards_nothing() {
+        let (topic, yokan) = setup(3, 90);
+        let mut c = Consumer::pipelined(
+            topic.clone(),
+            yokan.clone(),
+            ConsumerConfig { group: "g".into(), prefetch: 8 },
+            2,
+        )
+        .unwrap();
+        let got = c.drain_all().unwrap();
+        assert_eq!(got.len(), 90);
+        let discarded = c.discarded_claims();
+        drop(c);
+        assert_eq!(discarded.count(), 0, "a drained pipeline has nothing to discard");
+        assert_eq!(group_claimed(&topic, &yokan, "g"), 90);
     }
 
     #[test]

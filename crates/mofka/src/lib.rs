@@ -36,7 +36,7 @@ pub mod topic;
 pub mod warabi;
 pub mod yokan;
 
-pub use consumer::{Consumer, ConsumerConfig};
+pub use consumer::{Consumer, ConsumerConfig, DiscardedClaims};
 pub use event::{Event, EventId, Metadata, StoredEvent};
 pub use producer::{Producer, ProducerConfig};
 pub use service::{MofkaService, ServiceConfig, ServiceMode, ServiceRecovery};

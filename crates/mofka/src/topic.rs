@@ -214,7 +214,10 @@ impl Topic {
                 }
                 let slot = decode_slot(value)?;
                 if let Some(b) = slot.payload {
-                    if self.warabi.get(b).is_none() {
+                    // existence check only — on an archive this reads the
+                    // segment map, not the payload, so restore stays
+                    // metadata-bounded and blob bytes load on demand
+                    if !self.warabi.contains(b) {
                         break; // dangling blob: truncate at the tear
                     }
                 }

@@ -9,13 +9,18 @@
 //! [`SegmentedLog`] in which blob id == log record index, so recovery
 //! yields the committed blob prefix in order. Write errors are deferred
 //! to [`Warabi::sync`]; [`Warabi::replay`] reopens read-only for archive
-//! consumers. A dangling [`BlobId`] (beyond the recovered prefix after a
-//! crash) is simply `None` from [`Warabi::get`] — callers decide whether
-//! that is an error or a truncation point.
+//! consumers — **lazily**, through an indexed [`LogReader`]: only segment
+//! headers (and the torn-tail candidate) are read at open, and blob
+//! payloads are fetched on demand via sparse-index seeks through a block
+//! cache instead of materializing the whole blob log in memory. A
+//! dangling [`BlobId`] (beyond the recovered prefix after a crash) is
+//! simply `None` from [`Warabi::get`] — callers decide whether that is an
+//! error or a truncation point; [`Warabi::contains`] answers the
+//! existence question without ever touching payload bytes.
 
 use bytes::Bytes;
 use dtf_core::error::{DtfError, Result};
-use dtf_store::{LogConfig, RecoveryReport, SegmentedLog};
+use dtf_store::{CacheStats, LogConfig, LogReader, ReaderOptions, RecoveryReport, SegmentedLog};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -38,10 +43,17 @@ struct Wal {
 }
 
 /// An append-only blob store with an optional durable log.
+///
+/// Three backings share one API: purely in-memory ([`Warabi::new`]),
+/// durable write-through ([`Warabi::durable`] — blobs in memory *and* in
+/// a log), and read-only archive ([`Warabi::replay`] — blobs stay on disk
+/// behind an indexed reader; `blobs` then only holds post-archive puts,
+/// addressed after the archived prefix).
 #[derive(Debug, Default)]
 pub struct Warabi {
     blobs: RwLock<Vec<Bytes>>,
     wal: Option<Mutex<Wal>>,
+    archive: Option<LogReader>,
 }
 
 impl Warabi {
@@ -58,28 +70,43 @@ impl Warabi {
     pub fn durable_with(dir: &Path, cfg: LogConfig) -> Result<(Self, RecoveryReport)> {
         let (log, blobs, report) = SegmentedLog::open(dir, cfg)?;
         Ok((
-            Self { blobs: RwLock::new(blobs), wal: Some(Mutex::new(Wal { log, error: None })) },
+            Self {
+                blobs: RwLock::new(blobs),
+                wal: Some(Mutex::new(Wal { log, error: None })),
+                archive: None,
+            },
             report,
         ))
     }
 
-    /// Rebuild blobs from the log at `dir` without keeping it attached
-    /// (read-only archive open; see `Yokan::replay`).
+    /// Open the log at `dir` as a read-only archive (see `Yokan::replay`).
+    /// Blobs are *not* loaded: an indexed [`LogReader`] serves them on
+    /// demand through sidecar seeks and a block cache, so opening a
+    /// GB-scale blob log costs headers plus one tail scan.
     pub fn replay(dir: &Path) -> Result<(Self, RecoveryReport)> {
-        let (log, blobs, report) = SegmentedLog::open(dir, LogConfig::default())?;
-        drop(log);
-        Ok((Self { blobs: RwLock::new(blobs), wal: None }, report))
+        Self::replay_with(dir, ReaderOptions::default())
+    }
+
+    pub fn replay_with(dir: &Path, opts: ReaderOptions) -> Result<(Self, RecoveryReport)> {
+        let (reader, report) = LogReader::open(dir, opts)?;
+        Ok((Self { blobs: RwLock::new(Vec::new()), wal: None, archive: Some(reader) }, report))
     }
 
     pub fn is_durable(&self) -> bool {
         self.wal.is_some()
     }
 
+    /// Blobs served lazily from an archived log (0 unless opened by
+    /// [`Warabi::replay`]); ids below this resolve through the reader.
+    fn archived(&self) -> u64 {
+        self.archive.as_ref().map(|r| r.records()).unwrap_or(0)
+    }
+
     /// Store a blob, returning its id.
     pub fn put(&self, data: impl Into<Bytes>) -> BlobId {
         let data = data.into();
         let mut blobs = self.blobs.write();
-        let id = BlobId(blobs.len() as u64);
+        let id = BlobId(self.archived() + blobs.len() as u64);
         if let Some(wal) = &self.wal {
             let mut wal = wal.lock();
             if let Err(e) = wal.log.append(&data) {
@@ -90,17 +117,27 @@ impl Warabi {
         id
     }
 
-    /// Fetch a blob (cheap clone of a refcounted buffer). `None` for an
+    /// Fetch a blob (cheap clone of a refcounted buffer; an archive read
+    /// seeks to the blob's indexed block and caches it). `None` for an
     /// id past the end — reachable after crash recovery truncates the
     /// blob log, so callers must treat it as data loss, not a bug.
     pub fn get(&self, id: BlobId) -> Option<Bytes> {
-        self.blobs.read().get(id.0 as usize).cloned()
+        let archived = self.archived();
+        if id.0 < archived {
+            return self.archive.as_ref()?.get(id.0);
+        }
+        self.blobs.read().get((id.0 - archived) as usize).cloned()
+    }
+
+    /// Whether `id` names a stored blob — without reading its payload
+    /// (an archive answers from the segment map alone).
+    pub fn contains(&self, id: BlobId) -> bool {
+        (id.0 as usize) < self.len()
     }
 
     /// Read a byte range of a blob.
     pub fn get_range(&self, id: BlobId, offset: usize, len: usize) -> Option<Bytes> {
-        let blobs = self.blobs.read();
-        let blob = blobs.get(id.0 as usize)?;
+        let blob = self.get(id)?;
         if offset.checked_add(len)? > blob.len() {
             return None;
         }
@@ -108,16 +145,24 @@ impl Warabi {
     }
 
     pub fn len(&self) -> usize {
-        self.blobs.read().len()
+        (self.archived() as usize) + self.blobs.read().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.blobs.read().is_empty()
+        self.len() == 0
     }
 
-    /// Total stored bytes.
+    /// Total stored bytes. For an archive this comes from the segment
+    /// map — no payloads are read to answer it.
     pub fn total_bytes(&self) -> usize {
-        self.blobs.read().iter().map(|b| b.len()).sum()
+        let archived = self.archive.as_ref().map(|r| r.payload_bytes() as usize).unwrap_or(0);
+        archived + self.blobs.read().iter().map(|b| b.len()).sum::<usize>()
+    }
+
+    /// Block-cache statistics of the archive reader, when this store was
+    /// opened by [`Warabi::replay`].
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.archive.as_ref().map(|r| r.cache_stats())
     }
 
     /// Flush the blob log and surface any deferred write error. A no-op
@@ -238,6 +283,55 @@ mod tests {
         assert!(report.torn);
         assert_eq!(w.get(BlobId(0)).unwrap().as_ref(), b"kept");
         assert!(w.get(BlobId(1)).is_none(), "dangling id maps to None, not a panic");
+        assert!(!w.contains(BlobId(1)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_serves_blobs_lazily_through_the_index() {
+        let dir = tmpdir("lazy");
+        let n = 300u64;
+        {
+            let cfg = LogConfig { segment_bytes: 1 << 10, ..LogConfig::default() };
+            let (w, _) = Warabi::durable_with(&dir, cfg).unwrap();
+            for i in 0..n {
+                w.put(Bytes::from(format!("payload-{i:06}")));
+            }
+            w.sync().unwrap();
+        }
+        let (w, report) = Warabi::replay(&dir).unwrap();
+        assert_eq!(report.records, n);
+        assert_eq!(w.len(), n as usize);
+        assert!(!w.is_empty());
+        // existence answers come from the segment map, not payload reads
+        assert!(w.contains(BlobId(n - 1)));
+        assert!(!w.contains(BlobId(n)));
+        assert_eq!(w.cache_stats().unwrap().misses, 0, "contains/len read no blocks");
+        for id in [0u64, 1, 150, n - 1] {
+            assert_eq!(w.get(BlobId(id)).unwrap().as_ref(), format!("payload-{id:06}").as_bytes());
+        }
+        assert_eq!(w.get_range(BlobId(7), 8, 6).unwrap().as_ref(), b"000007");
+        let stats = w.cache_stats().unwrap();
+        assert!(stats.misses > 0, "point reads faulted blocks in");
+        assert_eq!(w.total_bytes(), n as usize * "payload-000000".len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn puts_after_replay_chain_past_the_archived_prefix() {
+        let dir = tmpdir("overlay");
+        {
+            let (w, _) = Warabi::durable(&dir).unwrap();
+            w.put(Bytes::from_static(b"archived"));
+            w.sync().unwrap();
+        }
+        let (w, _) = Warabi::replay(&dir).unwrap();
+        let id = w.put(Bytes::from_static(b"fresh"));
+        assert_eq!(id, BlobId(1), "ids keep counting past the archive");
+        assert_eq!(w.get(BlobId(0)).unwrap().as_ref(), b"archived");
+        assert_eq!(w.get(id).unwrap().as_ref(), b"fresh");
+        assert_eq!(w.len(), 2);
+        assert!(w.contains(id));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -64,7 +64,9 @@ impl Yokan {
     /// attached: reads only (after recovery's torn-tail repair). The
     /// archive-reader path — reopening the same directory twice is safe.
     pub fn replay(dir: &Path) -> Result<(Self, RecoveryReport)> {
-        let (kv, map, report) = KvWal::open(dir, KvWalConfig::default())?;
+        // no maintenance worker for a handle that is dropped immediately
+        let cfg = KvWalConfig { background: false, ..KvWalConfig::default() };
+        let (kv, map, report) = KvWal::open(dir, cfg)?;
         drop(kv);
         Ok((Self { map: RwLock::new(map), wal: None }, report))
     }
@@ -84,7 +86,7 @@ impl Yokan {
             wal.record(r);
         }
         map.insert(key, value);
-        self.maybe_compact(&map);
+        self.maybe_maintain(&map);
     }
 
     pub fn get(&self, key: &str) -> Option<Bytes> {
@@ -99,7 +101,7 @@ impl Yokan {
             wal.record(r);
         }
         let existed = map.remove(key).is_some();
-        self.maybe_compact(&map);
+        self.maybe_maintain(&map);
         existed
     }
 
@@ -136,7 +138,7 @@ impl Yokan {
             wal.record(r);
         }
         map.insert(key.to_string(), new);
-        self.maybe_compact(&map);
+        self.maybe_maintain(&map);
     }
 
     /// Flush the WAL (group commit) and surface any write error deferred
@@ -152,10 +154,13 @@ impl Yokan {
         Ok(())
     }
 
-    fn maybe_compact(&self, map: &BTreeMap<String, Bytes>) {
+    /// Drive WAL maintenance — periodic snapshots and threshold
+    /// compaction, background by default — after a mutation. Failures are
+    /// deferred to [`Yokan::sync`] like any other WAL error.
+    fn maybe_maintain(&self, map: &BTreeMap<String, Bytes>) {
         if let Some(wal) = &self.wal {
             let mut wal = wal.lock();
-            let r = wal.kv.maybe_compact(map).map(|_| ());
+            let r = wal.kv.maybe_maintain(map).map(|_| ());
             wal.record(r);
         }
     }

@@ -1,0 +1,740 @@
+//! Sparse per-segment indexes and the indexed archive reader.
+//!
+//! Every sealed segment `seg-<seqno>.dtl` can carry a sidecar
+//! `seg-<seqno>.dti` holding a **sparse index**: the byte offset of every
+//! `stride`-th record, plus (optionally) a caller-extracted `u64` key per
+//! entry — a timestamp, a task-prefix hash, whatever is monotone in the
+//! stream — so point and range lookups seek to a block instead of
+//! scanning the log from byte zero.
+//!
+//! Sidecars are **caches, never truth**. They are validated on load
+//! (magic, CRC, seqno, first-record, and the exact segment byte length
+//! they were built against) and rebuilt from the segment whenever they
+//! are missing, stale, or corrupt; deleting every `.dti` merely costs the
+//! rebuild. Durability never depends on them: the recovery scan ignores
+//! them entirely.
+//!
+//! [`LogReader`] is the read-only archive view built on these sidecars: a
+//! header-validated segment map where only the *last* segment's body is
+//! scanned at open (the only place a torn tail can live), cold segments
+//! are trusted via their CRC'd headers and sidecars, and reads go through
+//! a [`BlockCache`] in stride-sized blocks.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use bytes::Bytes;
+use dtf_core::error::{DtfError, Result};
+
+use crate::cache::{BlockCache, CacheStats, DEFAULT_CACHE_BYTES};
+use crate::crc32::crc32;
+use crate::log::{
+    header_fields, parse_seqno, segment_paths, RecoveryReport, FRAME_OVERHEAD, HEADER_LEN,
+    MAX_RECORD_BYTES,
+};
+
+/// Sidecar magic: 7 bytes + a version byte, mirroring the segment header.
+const INDEX_MAGIC: &[u8; 7] = b"DTFIDX1";
+const INDEX_VERSION: u8 = 1;
+/// Records per sparse-index entry (and per cached block).
+pub const DEFAULT_STRIDE: u32 = 64;
+/// Fixed prefix of the sidecar before the entry array:
+/// magic(7) + version(1) + seqno(8) + first_record(8) + records(4) +
+/// seg_bytes(8) + stride(4) + has_keys(1) + n_entries(4).
+const SIDECAR_FIXED: usize = 45;
+
+/// Per-record key extractor for keyed indexes. Must be cheap and total:
+/// a payload it cannot interpret should map to 0.
+pub type KeyFn = fn(&[u8]) -> u64;
+
+fn io_err(path: &Path, e: std::io::Error) -> DtfError {
+    DtfError::Io(format!("{}: {e}", path.display()))
+}
+
+/// The sparse index of one segment. Entry `j` is the byte offset (from
+/// the segment start, header included) of record `first_record + j*stride`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentIndex {
+    pub seqno: u64,
+    pub first_record: u64,
+    /// Records in this segment when the index was built.
+    pub records: u32,
+    /// Segment file length the index was built against — a cheap
+    /// staleness check (appends and truncations both change it).
+    pub seg_bytes: u64,
+    pub stride: u32,
+    pub offsets: Vec<u32>,
+    /// One key per entry when built with a [`KeyFn`], else empty.
+    pub keys: Vec<u64>,
+}
+
+impl SegmentIndex {
+    /// Sidecar path for a segment: `seg-<seqno>.dtl` → `seg-<seqno>.dti`.
+    pub fn sidecar_path(seg: &Path) -> PathBuf {
+        seg.with_extension("dti")
+    }
+
+    /// Build by scanning the segment's frames. Fails if the header or any
+    /// frame is damaged — callers treat that exactly as the recovery scan
+    /// would (a tear at the damaged byte).
+    pub fn build(seg: &Path, stride: u32, key_fn: Option<KeyFn>) -> Result<Self> {
+        let stride = stride.max(1);
+        let data = fs::read(seg).map_err(|e| io_err(seg, e))?;
+        let (seqno, first_record) = header_fields(&data)
+            .ok_or_else(|| DtfError::Io(format!("{}: damaged segment header", seg.display())))?;
+        let mut idx = Self {
+            seqno,
+            first_record,
+            records: 0,
+            seg_bytes: data.len() as u64,
+            stride,
+            offsets: Vec::new(),
+            keys: Vec::new(),
+        };
+        let mut off = HEADER_LEN;
+        while off < data.len() {
+            if off + FRAME_OVERHEAD > data.len() {
+                return Err(DtfError::Io(format!("{}: torn frame at {off}", seg.display())));
+            }
+            let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+            if len > MAX_RECORD_BYTES || len > data.len() - off - FRAME_OVERHEAD {
+                return Err(DtfError::Io(format!("{}: bad frame length at {off}", seg.display())));
+            }
+            let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+            let payload = &data[off + 8..off + 8 + len];
+            if crc32(payload) != crc {
+                return Err(DtfError::Io(format!(
+                    "{}: frame crc mismatch at {off}",
+                    seg.display()
+                )));
+            }
+            if idx.records.is_multiple_of(stride) {
+                idx.offsets.push(off as u32);
+                if let Some(f) = key_fn {
+                    idx.keys.push(f(payload));
+                }
+            }
+            idx.records += 1;
+            off += FRAME_OVERHEAD + len;
+        }
+        Ok(idx)
+    }
+
+    /// Build from offsets the writer tracked while appending — no rescan.
+    /// `offsets` must hold every `stride`-th record's byte offset.
+    pub(crate) fn from_tracked(
+        seqno: u64,
+        first_record: u64,
+        records: u32,
+        seg_bytes: u64,
+        stride: u32,
+        offsets: Vec<u32>,
+    ) -> Self {
+        Self { seqno, first_record, records, seg_bytes, stride, offsets, keys: Vec::new() }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let has_keys = !self.keys.is_empty();
+        let entry = if has_keys { 12 } else { 4 };
+        let mut out = Vec::with_capacity(SIDECAR_FIXED + self.offsets.len() * entry + 4);
+        out.extend_from_slice(INDEX_MAGIC);
+        out.push(INDEX_VERSION);
+        out.extend_from_slice(&self.seqno.to_le_bytes());
+        out.extend_from_slice(&self.first_record.to_le_bytes());
+        out.extend_from_slice(&self.records.to_le_bytes());
+        out.extend_from_slice(&self.seg_bytes.to_le_bytes());
+        out.extend_from_slice(&self.stride.to_le_bytes());
+        out.push(has_keys as u8);
+        out.extend_from_slice(&(self.offsets.len() as u32).to_le_bytes());
+        for (j, off) in self.offsets.iter().enumerate() {
+            out.extend_from_slice(&off.to_le_bytes());
+            if has_keys {
+                out.extend_from_slice(&self.keys[j].to_le_bytes());
+            }
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(data: &[u8]) -> Option<Self> {
+        if data.len() < SIDECAR_FIXED + 4 || &data[..7] != INDEX_MAGIC || data[7] != INDEX_VERSION {
+            return None;
+        }
+        let body = &data[..data.len() - 4];
+        let crc = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        if crc32(body) != crc {
+            return None;
+        }
+        let seqno = u64::from_le_bytes(data[8..16].try_into().unwrap());
+        let first_record = u64::from_le_bytes(data[16..24].try_into().unwrap());
+        let records = u32::from_le_bytes(data[24..28].try_into().unwrap());
+        let seg_bytes = u64::from_le_bytes(data[28..36].try_into().unwrap());
+        let stride = u32::from_le_bytes(data[36..40].try_into().unwrap());
+        let has_keys = data[40] == 1;
+        let n = u32::from_le_bytes(data[41..45].try_into().unwrap()) as usize;
+        let entry = if has_keys { 12 } else { 4 };
+        if stride == 0 || body.len() != SIDECAR_FIXED + n * entry {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(if has_keys { n } else { 0 });
+        let mut at = SIDECAR_FIXED;
+        for _ in 0..n {
+            offsets.push(u32::from_le_bytes(data[at..at + 4].try_into().unwrap()));
+            at += 4;
+            if has_keys {
+                keys.push(u64::from_le_bytes(data[at..at + 8].try_into().unwrap()));
+                at += 8;
+            }
+        }
+        Some(Self { seqno, first_record, records, seg_bytes, stride, offsets, keys })
+    }
+
+    /// Load the sidecar next to `seg` and validate it against the segment
+    /// as it exists *now*: same seqno, same first record, same byte
+    /// length, expected record count, and (when `want_keys`) a keyed
+    /// build. Any mismatch is `None` — the caller rebuilds.
+    pub fn load_validated(
+        seg: &Path,
+        expect_first: u64,
+        expect_records: u32,
+        want_keys: bool,
+    ) -> Option<Self> {
+        let data = fs::read(Self::sidecar_path(seg)).ok()?;
+        let idx = Self::decode(&data)?;
+        let seg_len = fs::metadata(seg).ok()?.len();
+        let expected_entries = (expect_records as usize).div_ceil(idx.stride.max(1) as usize);
+        (idx.seqno == parse_seqno(seg)
+            && idx.first_record == expect_first
+            && idx.records == expect_records
+            && idx.seg_bytes == seg_len
+            && idx.offsets.len() == expected_entries
+            && (!want_keys || !idx.keys.is_empty() || expect_records == 0))
+            .then_some(idx)
+    }
+
+    /// Write the sidecar next to `seg`. Best-effort by contract: callers
+    /// may ignore the error, since a missing sidecar only costs a rebuild.
+    pub fn write(&self, seg: &Path) -> Result<()> {
+        let path = Self::sidecar_path(seg);
+        fs::write(&path, self.encode()).map_err(|e| io_err(&path, e))
+    }
+
+    /// The block holding record `rec` (global index): returns the block
+    /// number and its byte span `[start, end)` within the segment.
+    fn block_of(&self, rec: u64) -> Option<(u32, u32, u32)> {
+        if rec < self.first_record || rec >= self.first_record + self.records as u64 {
+            return None;
+        }
+        let block = ((rec - self.first_record) / self.stride as u64) as usize;
+        let start = *self.offsets.get(block)?;
+        let end = self.offsets.get(block + 1).copied().unwrap_or(self.seg_bytes as u32);
+        Some((block as u32, start, end))
+    }
+}
+
+/// Remove the sidecar of a segment, if present (used when recovery drops
+/// or truncates the segment itself).
+pub(crate) fn remove_sidecar(seg: &Path) {
+    let _ = fs::remove_file(SegmentIndex::sidecar_path(seg));
+}
+
+/// Tuning for [`LogReader`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReaderOptions {
+    pub cache_bytes: usize,
+    /// Stride used when a sidecar must be rebuilt.
+    pub stride: u32,
+    /// Extract a monotone `u64` key per record (enables [`LogReader::find_from_key`]).
+    /// Sidecars without keys are rebuilt when this is set.
+    pub key_fn: Option<KeyFn>,
+    /// Persist rebuilt sidecars so the next open is cheap.
+    pub write_sidecars: bool,
+}
+
+impl Default for ReaderOptions {
+    fn default() -> Self {
+        Self {
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            stride: DEFAULT_STRIDE,
+            key_fn: None,
+            write_sidecars: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SegMeta {
+    path: PathBuf,
+    index: SegmentIndex,
+}
+
+/// Read-only indexed view of a segmented log directory.
+///
+/// Opening performs the same *repairs* the recovery scan would make for
+/// the damage classes it can see — a torn tail in the last segment is
+/// truncated, segments past a damaged header are dropped — but bodies of
+/// cold segments with valid sidecars are never read. Damage hiding in a
+/// cold body surfaces as `None` from [`LogReader::get`] when (and only
+/// when) that record is actually read, the same dangling semantics a
+/// truncated store exposes.
+#[derive(Debug)]
+pub struct LogReader {
+    dir: PathBuf,
+    segs: Vec<SegMeta>,
+    records: u64,
+    /// Payload bytes across all records (frame and header overhead
+    /// excluded), computable from the segment map without reading bodies.
+    payload_bytes: u64,
+    cache: Mutex<BlockCache>,
+}
+
+impl LogReader {
+    /// Open `dir` read-only (beyond recovery repairs; see type docs).
+    pub fn open(dir: &Path, opts: ReaderOptions) -> Result<(Self, RecoveryReport)> {
+        let paths = segment_paths(dir)?;
+        let mut report = RecoveryReport::default();
+        let mut survivors: Vec<(PathBuf, u64, u64, u64, u8)> = Vec::new(); // path, seqno, first, len, format
+        let mut prev: Option<(u64, u64)> = None; // seqno, first_record
+        let mut drop_from = None;
+        for (i, path) in paths.iter().enumerate() {
+            let head = read_header(path);
+            let ok = head.is_some_and(|(seqno, first, _, _)| {
+                seqno == parse_seqno(path)
+                    && prev.map(|(ps, pf)| seqno == ps + 1 && first >= pf).unwrap_or(first == 0)
+            });
+            let Some((seqno, first, len, format)) = head.filter(|_| ok) else {
+                drop_from = Some(i);
+                break;
+            };
+            prev = Some((seqno, first));
+            survivors.push((path.clone(), seqno, first, len, format));
+        }
+        if let Some(i) = drop_from {
+            report.dropped_segments += paths.len() - i;
+            for p in &paths[i..] {
+                remove_sidecar(p);
+                fs::remove_file(p).map_err(|e| io_err(p, e))?;
+            }
+        }
+
+        let mut segs = Vec::with_capacity(survivors.len());
+        let want_keys = opts.key_fn.is_some();
+        let mut idx = 0usize;
+        while idx < survivors.len() {
+            let (path, first, format) = {
+                let s = &survivors[idx];
+                (s.0.clone(), s.2, s.4)
+            };
+            let last = idx + 1 == survivors.len();
+            let index = if last {
+                // The only place a torn tail can live: scan and repair.
+                match SegmentIndex::build(&path, opts.stride, opts.key_fn) {
+                    Ok(ix) => ix,
+                    Err(_) => {
+                        let repaired = truncate_at_tear(&path, first, opts)?;
+                        report.torn = true;
+                        report.truncated_bytes += repaired.1;
+                        repaired.0
+                    }
+                }
+            } else {
+                let expect_records = (survivors[idx + 1].2 - first) as u32;
+                match SegmentIndex::load_validated(&path, first, expect_records, want_keys) {
+                    Some(ix) => ix,
+                    None => match SegmentIndex::build(&path, opts.stride, opts.key_fn) {
+                        Ok(ix) if ix.records == expect_records => {
+                            if opts.write_sidecars {
+                                let _ = ix.write(&path);
+                            }
+                            ix
+                        }
+                        // Damage (or a record-count lie) in a cold body:
+                        // recovery semantics — truncate here, drop the rest.
+                        _ => {
+                            let repaired = truncate_at_tear(&path, first, opts)?;
+                            report.torn = true;
+                            report.truncated_bytes += repaired.1;
+                            report.dropped_segments += survivors.len() - idx - 1;
+                            for (p, ..) in &survivors[idx + 1..] {
+                                remove_sidecar(p);
+                                fs::remove_file(p).map_err(|e| io_err(p, e))?;
+                            }
+                            survivors.truncate(idx + 1);
+                            repaired.0
+                        }
+                    },
+                }
+            };
+            report.segments += 1;
+            report.format = report.format.max(format);
+            segs.push(SegMeta { path, index });
+            idx += 1;
+        }
+
+        let records =
+            segs.last().map(|s| s.index.first_record + s.index.records as u64).unwrap_or(0);
+        report.records = records;
+        let payload_bytes = segs
+            .iter()
+            .map(|s| {
+                s.index.seg_bytes
+                    - HEADER_LEN as u64
+                    - s.index.records as u64 * FRAME_OVERHEAD as u64
+            })
+            .sum();
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                segs,
+                records,
+                payload_bytes,
+                cache: Mutex::new(BlockCache::new(opts.cache_bytes)),
+            },
+            report,
+        ))
+    }
+
+    /// Total records visible to this reader.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Sum of record payload lengths, derived from the segment map.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Point read of record `idx` through the block cache. `None` for an
+    /// index past the end *or* a record whose bytes no longer verify —
+    /// the dangling-record semantics of a recovered store.
+    pub fn get(&self, idx: u64) -> Option<Bytes> {
+        let seg = self.seg_for(idx)?;
+        let (block, start, end) = seg.index.block_of(idx)?;
+        let data = self.block_bytes(seg, block, start, end)?;
+        // hop the frames inside the block to the target record
+        let skip = (idx - seg.index.first_record) % seg.index.stride as u64;
+        let mut off = 0usize;
+        for _ in 0..skip {
+            let len = frame_len(&data, off)?;
+            off += FRAME_OVERHEAD + len;
+        }
+        let len = frame_len(&data, off)?;
+        let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+        let payload = data.slice(off + 8..off + 8 + len);
+        (crc32(&payload) == crc).then_some(payload)
+    }
+
+    /// Range read of up to `n` records starting at `start`, stopping at
+    /// the end of the log or the first unreadable record. Sequential
+    /// block hops; each block is read (and cached) once.
+    pub fn range(&self, start: u64, n: usize) -> Vec<Bytes> {
+        let mut out = Vec::with_capacity(n.min(4096));
+        for idx in start..self.records.min(start.saturating_add(n as u64)) {
+            match self.get(idx) {
+                Some(b) => out.push(b),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// For keyed indexes: the smallest record index from whose *block*
+    /// forward scanning will reach the first record with key ≥ `k`,
+    /// assuming keys are nondecreasing over the stream. Sparse by
+    /// construction — the answer is block-aligned, up to `stride - 1`
+    /// records early. `None` when the reader has no keyed entries.
+    pub fn find_from_key(&self, k: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut prev_start: Option<u64> = None;
+        for seg in &self.segs {
+            if seg.index.keys.is_empty() {
+                return None;
+            }
+            for (j, key) in seg.index.keys.iter().enumerate() {
+                let block_start = seg.index.first_record + j as u64 * seg.index.stride as u64;
+                if *key >= k {
+                    // the run may begin inside the previous block
+                    best = Some(prev_start.unwrap_or(block_start));
+                    return best;
+                }
+                prev_start = Some(block_start);
+            }
+        }
+        best.or(prev_start)
+    }
+
+    fn seg_for(&self, idx: u64) -> Option<&SegMeta> {
+        if idx >= self.records {
+            return None;
+        }
+        let at = self.segs.partition_point(|s| s.index.first_record <= idx);
+        self.segs.get(at.checked_sub(1)?)
+    }
+
+    fn block_bytes(&self, seg: &SegMeta, block: u32, start: u32, end: u32) -> Option<Bytes> {
+        let seqno = seg.index.seqno;
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(seqno, block) {
+            return Some(hit);
+        }
+        let mut f = File::open(&seg.path).ok()?;
+        f.seek(SeekFrom::Start(start as u64)).ok()?;
+        let mut buf = vec![0u8; (end - start) as usize];
+        f.read_exact(&mut buf).ok()?;
+        let data = Bytes::from(buf);
+        self.cache.lock().expect("cache lock").insert(seqno, block, data.clone());
+        Some(data)
+    }
+}
+
+/// Bounds-checked frame length at `off` inside a block.
+fn frame_len(data: &Bytes, off: usize) -> Option<usize> {
+    if off + FRAME_OVERHEAD > data.len() {
+        return None;
+    }
+    let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+    (len <= MAX_RECORD_BYTES && len <= data.len() - off - FRAME_OVERHEAD).then_some(len)
+}
+
+/// Header fields of a segment file read without its body:
+/// `(seqno, first_record, file_len, format)`. `None` when damaged.
+fn read_header(path: &Path) -> Option<(u64, u64, u64, u8)> {
+    let mut f = File::open(path).ok()?;
+    let len = f.metadata().ok()?.len();
+    let mut head = [0u8; HEADER_LEN];
+    f.read_exact(&mut head).ok()?;
+    let (seqno, first) = header_fields(&head)?;
+    Some((seqno, first, len, head[7]))
+}
+
+/// Recovery repair for a damaged segment body: rescan frame by frame,
+/// truncate the file at the first bad frame, and return the index of what
+/// survived plus the bytes cut.
+fn truncate_at_tear(
+    path: &Path,
+    first_record: u64,
+    opts: ReaderOptions,
+) -> Result<(SegmentIndex, u64)> {
+    let data = fs::read(path).map_err(|e| io_err(path, e))?;
+    let mut off = HEADER_LEN.min(data.len());
+    let mut records = 0u32;
+    let stride = opts.stride.max(1);
+    let mut offsets = Vec::new();
+    let mut keys = Vec::new();
+    while off < data.len() {
+        if off + FRAME_OVERHEAD > data.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+        if len > MAX_RECORD_BYTES || len > data.len() - off - FRAME_OVERHEAD {
+            break;
+        }
+        let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+        let payload = &data[off + 8..off + 8 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        if records.is_multiple_of(stride) {
+            offsets.push(off as u32);
+            if let Some(f) = opts.key_fn {
+                keys.push(f(payload));
+            }
+        }
+        records += 1;
+        off += FRAME_OVERHEAD + len;
+    }
+    let cut = (data.len() - off) as u64;
+    OpenOptions::new()
+        .write(true)
+        .open(path)
+        .and_then(|f| f.set_len(off as u64))
+        .map_err(|e| io_err(path, e))?;
+    remove_sidecar(path); // stale against the new length
+    let (seqno, _) = header_fields(&data).unwrap_or((parse_seqno(path), first_record));
+    Ok((
+        SegmentIndex { seqno, first_record, records, seg_bytes: off as u64, stride, offsets, keys },
+        cut,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{FlushPolicy, LogConfig, SegmentedLog};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtf-index-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build_log(dir: &Path, n: u64, seg_bytes: u64) {
+        let cfg =
+            LogConfig { segment_bytes: seg_bytes, flush: FlushPolicy::Manual, sync_data: false };
+        let (mut log, _, _) = SegmentedLog::open(dir, cfg).unwrap();
+        for i in 0..n {
+            log.append(format!("record-{i:06}").as_bytes()).unwrap();
+        }
+        log.sync().unwrap();
+    }
+
+    #[test]
+    fn sidecar_roundtrip_and_validation() {
+        let dir = tmpdir("roundtrip");
+        build_log(&dir, 100, 1 << 20);
+        let seg = segment_paths(&dir).unwrap().pop().unwrap();
+        let built = SegmentIndex::build(&seg, 8, None).unwrap();
+        assert_eq!(built.records, 100);
+        assert_eq!(built.offsets.len(), 13); // ceil(100/8)
+        built.write(&seg).unwrap();
+        let loaded = SegmentIndex::load_validated(&seg, 0, 100, false).unwrap();
+        assert_eq!(loaded, built);
+        // corrupt one byte: validation must reject, never misread
+        let side = SegmentIndex::sidecar_path(&seg);
+        let mut raw = fs::read(&side).unwrap();
+        let at = raw.len() / 2;
+        raw[at] ^= 0xff;
+        fs::write(&side, &raw).unwrap();
+        assert!(SegmentIndex::load_validated(&seg, 0, 100, false).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_sidecar_is_rejected_after_append() {
+        let dir = tmpdir("stale");
+        build_log(&dir, 10, 1 << 20);
+        let seg = segment_paths(&dir).unwrap().pop().unwrap();
+        SegmentIndex::build(&seg, 4, None).unwrap().write(&seg).unwrap();
+        // more appends change the segment length
+        let cfg =
+            LogConfig { segment_bytes: 1 << 20, flush: FlushPolicy::Manual, sync_data: false };
+        let (mut log, _, _) = SegmentedLog::open(&dir, cfg).unwrap();
+        log.append(b"more").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        assert!(SegmentIndex::load_validated(&seg, 0, 10, false).is_none(), "stale by length");
+        assert!(SegmentIndex::load_validated(&seg, 0, 11, false).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_point_and_range_match_full_scan() {
+        let dir = tmpdir("reader");
+        build_log(&dir, 500, 512); // many segments
+        let (reader, report) = LogReader::open(&dir, ReaderOptions::default()).unwrap();
+        assert_eq!(reader.records(), 500);
+        assert!(!report.torn);
+        assert!(report.segments > 3);
+        for idx in [0u64, 1, 63, 64, 250, 499] {
+            assert_eq!(reader.get(idx).unwrap().as_ref(), format!("record-{idx:06}").as_bytes());
+        }
+        assert!(reader.get(500).is_none());
+        let r = reader.range(100, 50);
+        assert_eq!(r.len(), 50);
+        assert_eq!(r[0].as_ref(), b"record-000100");
+        assert_eq!(r[49].as_ref(), b"record-000149");
+        let stats = reader.cache_stats();
+        assert!(stats.hits > 0, "range reads inside one block must hit the cache");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deleting_sidecars_changes_nothing_but_rebuild_cost() {
+        let dir = tmpdir("rebuild");
+        build_log(&dir, 200, 512);
+        let (reader, _) = LogReader::open(&dir, ReaderOptions::default()).unwrap();
+        let before: Vec<Bytes> = (0..200).map(|i| reader.get(i).unwrap()).collect();
+        drop(reader);
+        for seg in segment_paths(&dir).unwrap() {
+            let _ = fs::remove_file(SegmentIndex::sidecar_path(&seg));
+        }
+        let (reader, report) = LogReader::open(&dir, ReaderOptions::default()).unwrap();
+        assert_eq!(report.records, 200);
+        for (i, b) in before.iter().enumerate() {
+            assert_eq!(reader.get(i as u64).unwrap(), *b);
+        }
+        // rebuilt sidecars were persisted for the sealed segments
+        let paths = segment_paths(&dir).unwrap();
+        for seg in &paths[..paths.len() - 1] {
+            assert!(SegmentIndex::sidecar_path(seg).exists(), "sidecar rebuilt and written");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_rebuilt_not_trusted() {
+        let dir = tmpdir("corrupt-side");
+        build_log(&dir, 200, 512);
+        let paths = segment_paths(&dir).unwrap();
+        let side = SegmentIndex::sidecar_path(&paths[0]);
+        fs::write(&side, b"garbage that is not an index").unwrap();
+        let (reader, report) = LogReader::open(&dir, ReaderOptions::default()).unwrap();
+        assert_eq!(report.records, 200);
+        assert_eq!(reader.get(0).unwrap().as_ref(), b"record-000000");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_last_segment_is_repaired_at_open() {
+        let dir = tmpdir("torn");
+        build_log(&dir, 100, 1 << 20);
+        let seg = segment_paths(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+        let (reader, report) = LogReader::open(&dir, ReaderOptions::default()).unwrap();
+        assert!(report.torn);
+        assert_eq!(reader.records(), 99);
+        assert!(reader.get(98).is_some());
+        assert!(reader.get(99).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keyed_index_seeks_monotone_keys() {
+        let dir = tmpdir("keyed");
+        // key = record index (monotone), encoded in the payload text
+        build_log(&dir, 300, 512);
+        fn key_of(payload: &[u8]) -> u64 {
+            std::str::from_utf8(payload)
+                .ok()
+                .and_then(|s| s.strip_prefix("record-"))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        }
+        let opts = ReaderOptions { key_fn: Some(key_of), stride: 16, ..Default::default() };
+        let (reader, _) = LogReader::open(&dir, opts).unwrap();
+        let start = reader.find_from_key(123).unwrap();
+        assert!(start <= 123, "seek lands at or before the target");
+        assert!(123 - start < 32, "…and within two strides of it");
+        // forward scan from the hint reaches the exact record
+        let found = (start..reader.records()).find(|i| key_of(&reader.get(*i).unwrap()) >= 123);
+        assert_eq!(found, Some(123));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_is_an_empty_reader() {
+        let dir = tmpdir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let (reader, report) = LogReader::open(&dir, ReaderOptions::default()).unwrap();
+        assert!(reader.is_empty());
+        assert_eq!(report.records, 0);
+        assert!(reader.get(0).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,34 +1,54 @@
-//! A tiny write-ahead-logged key-value store on the segmented log.
+//! A write-ahead-logged key-value store on the segmented log, with
+//! snapshot-bounded recovery and background compaction.
 //!
 //! Every mutation is one log record — `0x00 | klen:u32le | key | value`
-//! for a put, `0x01 | klen:u32le | key` for a delete — and the live map
-//! is rebuilt by replaying the log on open. When the log grows well past
-//! the live key count, [`KvWal::maybe_compact`] rewrites the current map
-//! as a snapshot of puts into a sibling `<dir>.new` log and swaps it in
-//! by `rename`, fsyncing the parent directory afterwards so the swap
-//! survives power loss. Both crash windows of the swap are repaired on open: a
-//! leftover `<dir>.new` next to an intact `<dir>` is discarded (the swap
-//! never started destroying the original), and a `<dir>.new` with no
-//! `<dir>` is renamed into place (the swap had already passed the point
-//! of no return).
+//! for a put, `0x01 | klen:u32le | key` for a delete. The live map is
+//! rebuilt on open; with a valid snapshot (see [`crate::snapshot`]) only
+//! the log tail past the snapshot's watermark is replayed, so reopen cost
+//! tracks the tail, not the log. The fallback chain keeps equivalence an
+//! invariant: a snapshot that is missing, corrupt, or whose watermark the
+//! (possibly truncated) log can no longer reach is discarded and the
+//! store falls back to full replay — recovered state is always
+//! byte-identical to a full replay of the same directory.
+//!
+//! Maintenance — periodic snapshots and threshold compaction — runs on a
+//! background worker thread by default ([`KvWalConfig::background`]), so
+//! the O(live-set) work stays off the put/delete hot path; the writer
+//! only stages jobs and applies completions. Compaction rewrites the map
+//! as a snapshot of puts into a sibling `<dir>.new` staging log, copies
+//! the bounded tail written since the trigger, and swaps with a
+//! rename-aside protocol: `dir` → `<dir>.old`, `<dir>.new` → `dir`,
+//! fsync parent, remove `<dir>.old`. An authoritative directory exists at
+//! every instant (the old remove-then-rename swap had a window where a
+//! crash mid-removal lost records); every crash state — stale staging
+//! left *before* any rename, the aside/staging pair between renames, a
+//! leftover aside after promotion — is repaired on open.
 //!
 //! [`KvWal`] is the log half only — the caller owns the map, so e.g. the
 //! Yokan analog can keep its one `RwLock<BTreeMap>` and write through.
 //! [`WalKv`] bundles both for standalone use (tests, benches).
 
 use std::collections::BTreeMap;
-use std::fs;
+use std::fs::{self, OpenOptions};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 use bytes::Bytes;
 use dtf_core::error::{DtfError, Result};
 
-use crate::log::{fsync_dir, FlushPolicy, LogConfig, RecoveryReport, SegmentedLog};
+use crate::log::{
+    fsync_dir, header_bytes, parse_seqno, segment_name, segment_paths, FlushPolicy, LogConfig,
+    RecoveryReport, SegmentedLog, HEADER_LEN,
+};
+use crate::snapshot;
 
 const TAG_PUT: u8 = 0;
 const TAG_DELETE: u8 = 1;
 
-/// KV tuning: the underlying log config plus the compaction trigger.
+/// KV tuning: the underlying log config plus maintenance triggers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KvWalConfig {
     pub log: LogConfig,
@@ -37,11 +57,24 @@ pub struct KvWalConfig {
     /// …and only once records ≥ ratio × live keys (the log is mostly
     /// overwrites and deletes).
     pub compact_ratio: u64,
+    /// Write a recovery snapshot every this many records (0 disables).
+    /// Snapshots bound reopen cost; they are caches, never truth.
+    pub snapshot_every: u64,
+    /// Run snapshots and compaction staging on a background worker
+    /// thread. Off, maintenance runs inline inside `maybe_maintain` —
+    /// deterministic, for tests and benches.
+    pub background: bool,
 }
 
 impl Default for KvWalConfig {
     fn default() -> Self {
-        Self { log: LogConfig::default(), compact_min_records: 8192, compact_ratio: 4 }
+        Self {
+            log: LogConfig::default(),
+            compact_min_records: 8192,
+            compact_ratio: 4,
+            snapshot_every: 8192,
+            background: true,
+        }
     }
 }
 
@@ -88,37 +121,243 @@ fn apply_record(map: &mut BTreeMap<String, Bytes>, rec: &Bytes) -> Result<()> {
     Ok(())
 }
 
-fn sibling_new(dir: &Path) -> PathBuf {
+fn sibling(dir: &Path, suffix: &str) -> PathBuf {
     let mut name = dir.file_name().map(|n| n.to_os_string()).unwrap_or_default();
-    name.push(".new");
+    name.push(suffix);
     dir.with_file_name(name)
 }
 
+fn sibling_new(dir: &Path) -> PathBuf {
+    sibling(dir, ".new")
+}
+
+fn sibling_old(dir: &Path) -> PathBuf {
+    sibling(dir, ".old")
+}
+
+fn dir_err(path: &Path, e: std::io::Error) -> DtfError {
+    DtfError::Io(format!("{}: {e}", path.display()))
+}
+
 /// Repair an interrupted compaction swap before opening the log. Returns
-/// whether a completed swap was finished (`<dir>.new` promoted). With
-/// `sync`, the parent directory is fsynced after the promotion rename —
-/// otherwise a power loss could resurrect the half-swapped state this
-/// repair just resolved.
+/// whether a swapped store was promoted into place. The matrix covers
+/// every crash point of the rename-aside protocol (and the legacy
+/// remove-then-rename one):
+///
+/// - `<dir>` missing, `<dir>.new` present — crash between the renames
+///   (or, legacy, after the removal): the staging is complete and
+///   authoritative; promote it.
+/// - `<dir>` missing, only `<dir>.old` present — should be unreachable
+///   (staging only disappears by promotion), but the aside copy is a
+///   complete store: restore it rather than lose it.
+/// - `<dir>` present — it is authoritative. A `<dir>.new` beside it is
+///   stale staging from a crash *before* any rename was attempted (or an
+///   abandoned background job) and is removed; a `<dir>.old` is the
+///   already-replaced original from a crash after promotion and is
+///   removed too.
+///
+/// With `sync`, promotions fsync the parent directory — otherwise a power
+/// loss could resurrect the half-swapped state this repair just resolved.
 fn repair_compaction(dir: &Path, sync: bool) -> Result<bool> {
-    let new_dir = sibling_new(dir);
-    if !new_dir.exists() {
-        return Ok(false);
+    let staging = sibling_new(dir);
+    let aside = sibling_old(dir);
+    let mut promoted = false;
+    if !dir.exists() {
+        let resurrect = if staging.exists() {
+            Some(&staging)
+        } else if aside.exists() {
+            Some(&aside)
+        } else {
+            None
+        };
+        if let Some(src) = resurrect {
+            fs::rename(src, dir).map_err(|e| dir_err(src, e))?;
+            if sync {
+                if let Some(parent) = dir.parent() {
+                    fsync_dir(parent)?;
+                }
+            }
+            promoted = true;
+        }
     }
     if dir.exists() {
-        // the original is intact: the snapshot never became authoritative
-        fs::remove_dir_all(&new_dir)
-            .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
-        Ok(false)
-    } else {
-        // the original was removed: the snapshot is the store
-        fs::rename(&new_dir, dir)
-            .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
-        if sync {
-            if let Some(parent) = dir.parent() {
-                fsync_dir(parent)?;
+        for stale in [&staging, &aside] {
+            if stale.exists() {
+                fs::remove_dir_all(stale).map_err(|e| dir_err(stale, e))?;
             }
         }
-        Ok(true)
+    }
+    Ok(promoted)
+}
+
+/// Write `map` as a snapshot of puts into the staging log at `staging`.
+/// Returns `(segments, records)` of the staged log.
+fn stage_snapshot(
+    staging: &Path,
+    map: &BTreeMap<String, Bytes>,
+    cfg: LogConfig,
+) -> Result<(u64, u64)> {
+    if staging.exists() {
+        fs::remove_dir_all(staging).map_err(|e| dir_err(staging, e))?;
+    }
+    let snap_cfg = LogConfig { flush: FlushPolicy::Manual, ..cfg };
+    let (mut snap, _, _) = SegmentedLog::open(staging, snap_cfg)?;
+    for (k, v) in map {
+        snap.append(&encode_put(k, v))?;
+    }
+    snap.sync()?;
+    let out = (snap.segments(), snap.records());
+    drop(snap);
+    if cfg.sync_data {
+        // staging's directory entries must be durable before any rename
+        // can make it authoritative
+        fsync_dir(staging)?;
+    }
+    Ok(out)
+}
+
+/// Copy the tail segments (seqno ≥ `tail_seqno`, records ≥ `watermark`)
+/// into `staging`, renumbering headers so they chain after the staged
+/// snapshot (`staged_segments` segments, `staged_records` records). The
+/// tail is bounded by what was appended since the compaction trigger.
+fn copy_tail(
+    dir: &Path,
+    staging: &Path,
+    tail_seqno: u64,
+    watermark: u64,
+    staged_segments: u64,
+    staged_records: u64,
+    sync: bool,
+) -> Result<()> {
+    for path in segment_paths(dir)? {
+        let seqno = parse_seqno(&path);
+        if seqno < tail_seqno {
+            continue;
+        }
+        let data = fs::read(&path).map_err(|e| dir_err(&path, e))?;
+        if data.len() < HEADER_LEN {
+            continue;
+        }
+        let first = u64::from_le_bytes(data[16..24].try_into().unwrap());
+        let new_seqno = staged_segments + (seqno - tail_seqno);
+        let new_first = staged_records + (first - watermark);
+        let dst = staging.join(segment_name(new_seqno));
+        let mut f = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&dst)
+            .map_err(|e| dir_err(&dst, e))?;
+        f.write_all(&header_bytes(new_seqno, new_first, data[7])).map_err(|e| dir_err(&dst, e))?;
+        f.write_all(&data[HEADER_LEN..]).map_err(|e| dir_err(&dst, e))?;
+        if sync {
+            f.sync_data().map_err(|e| dir_err(&dst, e))?;
+        }
+    }
+    Ok(())
+}
+
+/// Crash points inside the compaction swap, for fault-injection tests:
+/// [`KvWal::fail_compaction_at`] makes the swap stop (with the directory
+/// in exactly that on-disk state) when it reaches the step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactStep {
+    /// Staging written: `<dir>.new` holds the snapshot, nothing renamed.
+    Staged,
+    /// Tail segments copied into staging; still nothing renamed.
+    TailCopied,
+    /// Original renamed aside: `<dir>.old` + `<dir>.new`, no `<dir>`.
+    OldAside,
+    /// Staging promoted to `<dir>`; `<dir>.old` not yet removed.
+    Promoted,
+}
+
+/// Background maintenance jobs shipped to the worker thread. Maps are
+/// cloned at enqueue time — cheap for values ([`Bytes`] is refcounted),
+/// O(live keys) for the key strings, and off the hot path's I/O either
+/// way.
+enum Job {
+    Snapshot { dir: PathBuf, watermark: u64, map: BTreeMap<String, Bytes>, sync: bool },
+    Stage { staging: PathBuf, map: BTreeMap<String, Bytes>, cfg: LogConfig },
+}
+
+enum Done {
+    Snapshot,
+    /// Staging is written and durable; the writer finishes the swap.
+    Staged {
+        segments: u64,
+        records: u64,
+    },
+    Failed(String),
+}
+
+/// Worker-thread handle. Dropping it closes the job channel and joins —
+/// an in-flight job finishes (at worst leaving stale staging that the
+/// next open repairs).
+struct Worker {
+    tx: Option<Sender<Job>>,
+    done: Arc<Mutex<Option<Done>>>,
+    busy: bool,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("busy", &self.busy).finish()
+    }
+}
+
+impl Worker {
+    fn spawn() -> Self {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
+        let done: Arc<Mutex<Option<Done>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&done);
+        let handle = std::thread::Builder::new()
+            .name("dtf-kv-maintenance".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let outcome = match job {
+                        Job::Snapshot { dir, watermark, map, sync } => {
+                            match snapshot::write_snapshot(&dir, watermark, &map, sync) {
+                                Ok(_) => {
+                                    snapshot::prune(&dir, Some(watermark));
+                                    Done::Snapshot
+                                }
+                                Err(e) => Done::Failed(format!("snapshot: {e}")),
+                            }
+                        }
+                        Job::Stage { staging, map, cfg } => {
+                            match stage_snapshot(&staging, &map, cfg) {
+                                Ok((segments, records)) => Done::Staged { segments, records },
+                                Err(e) => Done::Failed(format!("compaction staging: {e}")),
+                            }
+                        }
+                    };
+                    *slot.lock().expect("worker done slot") = Some(outcome);
+                }
+            })
+            .expect("spawn kv maintenance worker");
+        Self { tx: Some(tx), done, busy: false, handle: Some(handle) }
+    }
+
+    fn submit(&mut self, job: Job) {
+        self.busy = true;
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(job);
+        }
+    }
+
+    fn take_done(&mut self) -> Option<Done> {
+        self.done.lock().expect("worker done slot").take()
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -127,22 +366,75 @@ fn repair_compaction(dir: &Path, sync: bool) -> Result<bool> {
 pub struct KvWal {
     log: SegmentedLog,
     cfg: KvWalConfig,
+    worker: Option<Worker>,
+    /// `(watermark, tail_seqno)` of a staged compaction awaiting its swap.
+    pending_swap: Option<(u64, u64)>,
+    /// Records at the last snapshot (or compaction, which supersedes it).
+    last_snapshot: u64,
+    last_error: Option<String>,
+    crash_at: Option<CompactStep>,
 }
 
 impl KvWal {
     /// Open the WAL at `dir`, repairing any interrupted compaction, and
-    /// replay it into a fresh map.
+    /// restore its map — from the newest valid snapshot plus a tail
+    /// replay when possible, by full replay otherwise. Either path yields
+    /// the identical map; `report.snapshot_records` says how many records'
+    /// replay the snapshot saved, `report.skipped_segments` how many
+    /// segment bodies were never read.
     pub fn open(
         dir: &Path,
         cfg: KvWalConfig,
     ) -> Result<(Self, BTreeMap<String, Bytes>, RecoveryReport)> {
         repair_compaction(dir, cfg.log.sync_data)?;
-        let (log, records, report) = SegmentedLog::open(dir, cfg.log)?;
-        let mut map = BTreeMap::new();
-        for rec in &records {
-            apply_record(&mut map, rec)?;
+        let mut restored = None;
+        if let Some((watermark, snap_map)) = snapshot::load_best(dir) {
+            if watermark > 0 {
+                match SegmentedLog::open_tail(dir, cfg.log, watermark)? {
+                    Some((log, tail, mut report)) if report.records >= watermark => {
+                        report.snapshot_records = watermark;
+                        restored = Some((log, snap_map, tail, report, watermark));
+                    }
+                    _ => {
+                        // the log no longer reaches the watermark (tear
+                        // below it) or its header chain is broken: the
+                        // snapshot would show state a full replay cannot —
+                        // discard it, full replay is truth
+                        snapshot::prune(dir, None);
+                    }
+                }
+            }
         }
-        Ok((Self { log, cfg }, map, report))
+        let (log, map, report, last_snapshot) = match restored {
+            Some((log, mut map, tail, report, watermark)) => {
+                for rec in &tail {
+                    apply_record(&mut map, rec)?;
+                }
+                (log, map, report, watermark)
+            }
+            None => {
+                let (log, records, report) = SegmentedLog::open(dir, cfg.log)?;
+                let mut map = BTreeMap::new();
+                for rec in &records {
+                    apply_record(&mut map, rec)?;
+                }
+                (log, map, report, 0)
+            }
+        };
+        let worker = cfg.background.then(Worker::spawn);
+        Ok((
+            Self {
+                log,
+                cfg,
+                worker,
+                pending_swap: None,
+                last_snapshot,
+                last_error: None,
+                crash_at: None,
+            },
+            map,
+            report,
+        ))
     }
 
     /// Log a put. The caller applies the same mutation to its map.
@@ -171,56 +463,173 @@ impl KvWal {
         self.log.dir()
     }
 
-    /// Compact if the trigger fires: snapshot `map` as puts into
-    /// `<dir>.new`, sync, swap by rename, and reopen the log. Returns
-    /// whether compaction ran. `map` must reflect every record already
-    /// appended (the caller's write-through copy).
-    pub fn maybe_compact(&mut self, map: &BTreeMap<String, Bytes>) -> Result<bool> {
+    /// Whether a background maintenance job is in flight.
+    pub fn maintenance_busy(&self) -> bool {
+        self.worker.as_ref().map(|w| w.busy).unwrap_or(false)
+    }
+
+    /// The last background maintenance failure, if any. Maintenance is
+    /// cache work — failures leave a bigger log or a missing snapshot,
+    /// never lost state — so they are surfaced here instead of failing
+    /// the write path.
+    pub fn last_maintenance_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+
+    /// Test hook: make the compaction swap stop dead (directories left in
+    /// exactly that state) when it reaches `step`. The store must be
+    /// abandoned afterwards; reopening exercises crash repair.
+    pub fn fail_compaction_at(&mut self, step: Option<CompactStep>) {
+        self.crash_at = step;
+    }
+
+    fn check_crash(&self, step: CompactStep) -> Result<()> {
+        if self.crash_at == Some(step) {
+            return Err(DtfError::Io(format!("injected compaction crash at {step:?}")));
+        }
+        Ok(())
+    }
+
+    /// Drive maintenance: apply any finished background work, then fire
+    /// whichever trigger is due — compaction (records ≥ min and ≥ ratio ×
+    /// live) or, failing that, a periodic snapshot. Returns whether the
+    /// visible log was compacted by this call. `map` must reflect every
+    /// record already appended (the caller's write-through copy).
+    pub fn maybe_maintain(&mut self, map: &BTreeMap<String, Bytes>) -> Result<bool> {
+        let compacted = self.apply_done()?;
+        if self.maintenance_busy() || self.pending_swap.is_some() {
+            return Ok(compacted);
+        }
         let live = map.len() as u64;
-        if self.log.records() < self.cfg.compact_min_records
-            || self.log.records() < self.cfg.compact_ratio * live.max(1)
+        let records = self.log.records();
+        if records >= self.cfg.compact_min_records
+            && records >= self.cfg.compact_ratio * live.max(1)
         {
-            return Ok(false);
-        }
-        self.log.sync()?;
-        let dir = self.log.dir().to_path_buf();
-        let new_dir = sibling_new(&dir);
-        if new_dir.exists() {
-            fs::remove_dir_all(&new_dir)
-                .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
-        }
-        {
-            let snap_cfg = LogConfig { flush: FlushPolicy::Manual, ..self.cfg.log };
-            let (mut snap, _, _) = SegmentedLog::open(&new_dir, snap_cfg)?;
-            for (k, v) in map {
-                snap.append(&encode_put(k, v))?;
+            // roll so the tail past the watermark starts on a clean
+            // segment boundary — that's what the swap will copy
+            self.log.roll()?;
+            let watermark = self.log.records();
+            let tail_seqno = self.log.current_seqno();
+            self.pending_swap = Some((watermark, tail_seqno));
+            let staging = sibling_new(self.log.dir());
+            if let Some(worker) = &mut self.worker {
+                worker.submit(Job::Stage { staging, map: map.clone(), cfg: self.cfg.log });
+                return Ok(compacted);
             }
-            snap.sync()?;
+            let (segments, records) = stage_snapshot(&staging, map, self.cfg.log)?;
+            self.check_crash(CompactStep::Staged)?;
+            self.finish_swap(segments, records)?;
+            return Ok(true);
         }
-        if self.cfg.log.sync_data {
-            // the snapshot's directory entries must be durable before the
-            // swap can make it authoritative
-            fsync_dir(&new_dir)?;
+        if self.cfg.snapshot_every > 0 && records - self.last_snapshot >= self.cfg.snapshot_every {
+            self.snapshot_now(map)?;
         }
-        // point of no return: once `dir` is gone the snapshot is authoritative
-        fs::remove_dir_all(&dir).map_err(|e| DtfError::Io(format!("{}: {e}", dir.display())))?;
-        fs::rename(&new_dir, &dir)
-            .map_err(|e| DtfError::Io(format!("{}: {e}", new_dir.display())))?;
-        if self.cfg.log.sync_data {
-            // …and the rename itself only survives power loss once the
-            // parent directory is flushed
+        Ok(compacted)
+    }
+
+    /// Write a recovery snapshot of `map` now (at the current committed
+    /// watermark), regardless of cadence. Background mode stages it on
+    /// the worker; inline mode blocks until it is durable.
+    pub fn snapshot_now(&mut self, map: &BTreeMap<String, Bytes>) -> Result<()> {
+        self.log.sync()?; // the watermark must cover exactly what's on disk
+        let watermark = self.log.records();
+        let dir = self.log.dir().to_path_buf();
+        self.last_snapshot = watermark;
+        if let Some(worker) = &mut self.worker {
+            worker.submit(Job::Snapshot {
+                dir,
+                watermark,
+                map: map.clone(),
+                sync: self.cfg.log.sync_data,
+            });
+            return Ok(());
+        }
+        snapshot::write_snapshot(&dir, watermark, map, self.cfg.log.sync_data)?;
+        snapshot::prune(&dir, Some(watermark));
+        Ok(())
+    }
+
+    /// Apply a finished background job: complete a staged compaction's
+    /// swap, or record a snapshot/failure. Returns whether a swap landed.
+    fn apply_done(&mut self) -> Result<bool> {
+        let Some(worker) = &mut self.worker else { return Ok(false) };
+        let Some(done) = worker.take_done() else { return Ok(false) };
+        worker.busy = false;
+        match done {
+            Done::Snapshot => Ok(false),
+            Done::Staged { segments, records } => {
+                self.check_crash(CompactStep::Staged)?;
+                self.finish_swap(segments, records)?;
+                Ok(true)
+            }
+            Done::Failed(msg) => {
+                self.pending_swap = None;
+                self.last_error = Some(msg);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Complete a compaction whose snapshot is staged: copy the bounded
+    /// tail, then swap via rename-aside and reattach the log without a
+    /// replay. See the module docs for the crash-state matrix.
+    fn finish_swap(&mut self, staged_segments: u64, staged_records: u64) -> Result<()> {
+        let (watermark, tail_seqno) =
+            self.pending_swap.take().expect("finish_swap without a staged compaction");
+        self.log.sync()?; // tail records must be on disk before the copy
+        let dir = self.log.dir().to_path_buf();
+        let staging = sibling_new(&dir);
+        let aside = sibling_old(&dir);
+        let sync = self.cfg.log.sync_data;
+        copy_tail(&dir, &staging, tail_seqno, watermark, staged_segments, staged_records, sync)?;
+        if sync {
+            fsync_dir(&staging)?;
+        }
+        self.check_crash(CompactStep::TailCopied)?;
+        if aside.exists() {
+            fs::remove_dir_all(&aside).map_err(|e| dir_err(&aside, e))?;
+        }
+        fs::rename(&dir, &aside).map_err(|e| dir_err(&dir, e))?;
+        self.check_crash(CompactStep::OldAside)?;
+        fs::rename(&staging, &dir).map_err(|e| dir_err(&staging, e))?;
+        if sync {
+            // the rename pair only survives power loss once the parent
+            // directory is flushed
             if let Some(parent) = dir.parent() {
                 fsync_dir(parent)?;
             }
         }
-        let (log, _, _) = SegmentedLog::open(&dir, self.cfg.log)?;
-        self.log = log;
-        Ok(true)
+        self.check_crash(CompactStep::Promoted)?;
+        fs::remove_dir_all(&aside).map_err(|e| dir_err(&aside, e))?;
+        // the swapped directory was written by us this instant: reattach
+        // at its end instead of replaying it
+        self.log = SegmentedLog::attach_end(&dir, self.cfg.log)?;
+        self.last_snapshot = self.log.records();
+        Ok(())
+    }
+
+    /// Block until in-flight background maintenance has completed *and*
+    /// its completion has been applied (swap finished, snapshot durable).
+    /// Deterministic-test and shutdown hook; a no-op inline.
+    pub fn maintenance_barrier(&mut self) -> Result<()> {
+        while self.maintenance_busy() {
+            if self.apply_done()? {
+                continue;
+            }
+            if self.maintenance_busy() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        Ok(())
     }
 
     /// Crash simulation: discard buffered records (see
-    /// [`SegmentedLog::abandon`]).
+    /// [`SegmentedLog::abandon`]). A background job still in flight runs
+    /// to completion and at worst leaves stale staging or an extra
+    /// snapshot — both repaired/ignored on reopen, exactly like a real
+    /// crash.
     pub fn abandon(self) {
+        drop(self.worker);
         self.log.abandon();
     }
 }
@@ -245,14 +654,14 @@ impl WalKv {
         let value = value.into();
         self.wal.append_put(&key, &value)?;
         self.map.insert(key, value);
-        self.wal.maybe_compact(&self.map)?;
+        self.wal.maybe_maintain(&self.map)?;
         Ok(())
     }
 
     pub fn delete(&mut self, key: &str) -> Result<bool> {
         self.wal.append_delete(key)?;
         let existed = self.map.remove(key).is_some();
-        self.wal.maybe_compact(&self.map)?;
+        self.wal.maybe_maintain(&self.map)?;
         Ok(existed)
     }
 
@@ -279,6 +688,10 @@ impl WalKv {
     pub fn wal_records(&self) -> u64 {
         self.wal.records()
     }
+
+    pub fn wal(&mut self) -> &mut KvWal {
+        &mut self.wal
+    }
 }
 
 #[cfg(test)]
@@ -289,9 +702,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dtf-kv-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let _ = fs::remove_dir_all(sibling_new(&dir));
+        let _ = fs::remove_dir_all(sibling_old(&dir));
         dir
     }
 
+    /// Inline maintenance, no fsync: deterministic and fast for tests.
     fn fast() -> KvWalConfig {
         KvWalConfig {
             log: LogConfig {
@@ -299,6 +714,7 @@ mod tests {
                 sync_data: false,
                 ..LogConfig::default()
             },
+            background: false,
             ..KvWalConfig::default()
         }
     }
@@ -345,14 +761,93 @@ mod tests {
     }
 
     #[test]
+    fn background_compaction_lands_after_the_barrier() {
+        let dir = tmpdir("bg-compact");
+        let cfg =
+            KvWalConfig { compact_min_records: 64, compact_ratio: 4, background: true, ..fast() };
+        let (mut kv, _) = WalKv::open(&dir, cfg).unwrap();
+        for round in 0..20u32 {
+            for k in 0..10u32 {
+                kv.put(format!("key-{k}"), format!("v{round}").into_bytes()).unwrap();
+            }
+        }
+        kv.wal().maintenance_barrier().unwrap();
+        // one more write applies the staged swap if the barrier caught it mid-poll
+        kv.put("key-0", &b"v19"[..]).unwrap();
+        kv.wal().maintenance_barrier().unwrap();
+        assert!(kv.wal().last_maintenance_error().is_none());
+        assert!(kv.wal_records() < 64, "background compaction must have landed");
+        drop(kv);
+        let (kv, _) = WalKv::open(&dir, cfg).unwrap();
+        assert_eq!(kv.len(), 10);
+        for k in 1..10u32 {
+            assert_eq!(kv.get(&format!("key-{k}")).unwrap().as_ref(), b"v19");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_bounds_reopen_to_the_tail() {
+        let dir = tmpdir("snap-tail");
+        let cfg = KvWalConfig {
+            snapshot_every: 100,
+            compact_min_records: u64::MAX, // isolate snapshotting
+            log: LogConfig { segment_bytes: 1 << 10, ..fast().log },
+            ..fast()
+        };
+        {
+            let (mut kv, _) = WalKv::open(&dir, cfg).unwrap();
+            for i in 0..230u32 {
+                kv.put(format!("k-{}", i % 40), i.to_le_bytes().to_vec()).unwrap();
+            }
+            kv.sync().unwrap();
+        }
+        let (kv, report) = WalKv::open(&dir, cfg).unwrap();
+        assert!(report.snapshot_records >= 100, "a snapshot pinned a watermark");
+        assert!(report.skipped_segments > 0, "cold segment bodies were not read");
+        assert_eq!(report.records, 230);
+        assert_eq!(kv.len(), 40);
+        for k in 0..40u32 {
+            let want = (0..230u32).rfind(|i| i % 40 == k).unwrap();
+            assert_eq!(kv.get(&format!("k-{k}")).unwrap().as_ref(), want.to_le_bytes());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreachable_watermark_discards_the_snapshot() {
+        let dir = tmpdir("snap-unreach");
+        let cfg = KvWalConfig { compact_min_records: u64::MAX, snapshot_every: 0, ..fast() };
+        {
+            let (mut kv, _) = WalKv::open(&dir, cfg).unwrap();
+            for i in 0..50u32 {
+                kv.put(format!("k-{i}"), vec![i as u8]).unwrap();
+            }
+            kv.sync().unwrap();
+            let snap_map = kv.map.clone();
+            kv.wal.snapshot_now(&snap_map).unwrap();
+        }
+        // hard-truncate the log below the watermark: drop the last bytes
+        let path = segment_paths(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 40).unwrap();
+        let (kv, report) = WalKv::open(&dir, cfg).unwrap();
+        assert_eq!(report.snapshot_records, 0, "snapshot discarded, full replay is truth");
+        assert!(report.records < 50);
+        assert_eq!(kv.len(), report.records as usize);
+        assert!(snapshot::snapshot_paths(&dir).is_empty(), "stale snapshot pruned");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn interrupted_compaction_before_swap_is_discarded() {
         let dir = tmpdir("crash-pre");
         {
             let (mut kv, _) = WalKv::open(&dir, fast()).unwrap();
             kv.put("live", &b"yes"[..]).unwrap();
         }
-        // simulate a crash after writing the snapshot but before the swap:
-        // both <dir> and <dir>.new exist, <dir> is authoritative
+        // simulate a crash after writing the snapshot but before any
+        // rename: both <dir> and <dir>.new exist, <dir> is authoritative
         let new_dir = sibling_new(&dir);
         let (mut snap, _, _) = SegmentedLog::open(&new_dir, LogConfig::default()).unwrap();
         snap.append(&encode_put("stale", b"no")).unwrap();
@@ -369,7 +864,7 @@ mod tests {
     #[test]
     fn interrupted_compaction_after_removal_is_completed() {
         let dir = tmpdir("crash-post");
-        // simulate a crash between remove_dir_all(dir) and rename: only
+        // legacy crash state (remove-then-rename protocol): only
         // <dir>.new exists and must be promoted
         let new_dir = sibling_new(&dir);
         {
@@ -381,6 +876,21 @@ mod tests {
         let (kv, _) = WalKv::open(&dir, fast()).unwrap();
         assert_eq!(kv.get("survivor").unwrap().as_ref(), b"promoted");
         assert!(!new_dir.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aside_only_state_is_restored_not_lost() {
+        let dir = tmpdir("crash-aside");
+        let aside = sibling_old(&dir);
+        {
+            let (mut snap, _, _) = SegmentedLog::open(&aside, LogConfig::default()).unwrap();
+            snap.append(&encode_put("kept", b"alive")).unwrap();
+            snap.sync().unwrap();
+        }
+        let (kv, _) = WalKv::open(&dir, fast()).unwrap();
+        assert_eq!(kv.get("kept").unwrap().as_ref(), b"alive");
+        assert!(!aside.exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -5,7 +5,7 @@
 //! payloads, which is what lets provenance survive the run and be analyzed
 //! post-hoc by PERFRECUP).
 //!
-//! Two layers, both durable, both recoverable:
+//! Durable layers, all recoverable:
 //!
 //! * [`log`] — a segmented append-only record log: length-prefixed,
 //!   CRC32-framed records in fixed-size segment files, each segment headed
@@ -16,23 +16,40 @@
 //!   truncates a torn tail, so a reopened log contains exactly the
 //!   committed record prefix. Recovered records are zero-copy slices of
 //!   the per-segment read buffer, not per-record allocations.
-//! * [`kv`] — a tiny write-ahead-logged KV built on the same log: put and
-//!   delete records replay into a `BTreeMap` on open, and a threshold
-//!   triggers compaction into a fresh snapshot log swapped in by atomic
-//!   rename followed by a parent-directory fsync (with both crash windows
-//!   of the swap repaired on open).
+//!   [`log::SegmentedLog::open_tail`] recovers tail-bounded: segment
+//!   bodies below a snapshot watermark are trusted via their CRC'd
+//!   headers and never read.
+//! * [`kv`] — a write-ahead-logged KV built on the same log: put and
+//!   delete records replay into a `BTreeMap` on open. Periodic
+//!   [`snapshot`]s pin a replay watermark so reopen cost tracks the log
+//!   *tail*, and threshold compaction rewrites the live map into a
+//!   staging log swapped in by a rename-aside protocol (every crash state
+//!   repaired on open). Both run on a background worker by default,
+//!   keeping the O(live-set) work off the put/delete path.
+//! * [`index`] — sparse per-segment index sidecars (`seg-*.dti`) and the
+//!   [`index::LogReader`] archive view: point/range reads seek to an
+//!   indexed block instead of scanning the log, served through the
+//!   [`cache`] block/readahead LRU.
 //!
-//! The recovery invariant both layers maintain: **no committed record is
+//! The recovery invariant every layer maintains: **no committed record is
 //! ever lost, and no uncommitted record ever surfaces**. "Committed"
 //! means flushed by policy or an explicit [`log::SegmentedLog::sync`];
 //! a torn or bit-flipped tail truncates the stream at the first damaged
-//! byte and never resurrects anything behind it.
+//! byte and never resurrects anything behind it. Index sidecars and
+//! snapshots are **caches, never truth**: each is validated on load,
+//! rebuilt (or discarded for full replay) on any mismatch, and deleting
+//! all of them reproduces the identical state from the log alone.
 
+pub mod cache;
 pub mod crc32;
+pub mod index;
 pub mod kv;
 pub mod log;
+pub mod snapshot;
 
-pub use kv::{KvWal, KvWalConfig, WalKv};
+pub use cache::{BlockCache, CacheStats};
+pub use index::{LogReader, ReaderOptions, SegmentIndex};
+pub use kv::{CompactStep, KvWal, KvWalConfig, WalKv};
 pub use log::{
     fsync_dir, FlushPolicy, LogConfig, RecoveryReport, SegmentedLog, FORMAT_BINARY, FORMAT_JSON,
 };

@@ -34,13 +34,14 @@
 //! committed prefix.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
 use dtf_core::error::{DtfError, Result};
 
 use crate::crc32::crc32;
+use crate::index::{remove_sidecar, SegmentIndex, DEFAULT_STRIDE};
 
 const MAGIC_PREFIX: &[u8; 7] = b"DTFSEG1";
 /// Header byte 7: record payloads are compact JSON text (stores written
@@ -107,6 +108,12 @@ pub struct RecoveryReport {
     /// Highest header format version among the surviving segments
     /// ([`FORMAT_JSON`] for an empty or legacy-only store).
     pub format: u8,
+    /// Segments whose bodies were never read because tail-only recovery
+    /// skipped them (their records are covered by a snapshot watermark).
+    pub skipped_segments: usize,
+    /// Records whose effects were restored from a snapshot instead of
+    /// replay (set by the KV layer; always 0 for a raw log open).
+    pub snapshot_records: u64,
 }
 
 /// A segmented append-only record log rooted at one directory.
@@ -124,17 +131,52 @@ pub struct SegmentedLog {
     committed: u64,
     pending: Vec<u8>,
     pending_records: u64,
+    /// First record index of the current segment.
+    seg_first: u64,
+    /// Byte offsets of every [`DEFAULT_STRIDE`]-th record in the current
+    /// segment, tracked while appending so sealing the segment writes its
+    /// index sidecar without a rescan.
+    seg_offsets: Vec<u32>,
+}
+
+/// What one [`SegmentedLog::scan_bodies`] pass over segment bodies found.
+#[derive(Debug, Default)]
+struct ScanOutcome {
+    /// Record payloads from `collect_from` (global index) onward.
+    records: Vec<Bytes>,
+    /// Total records through the scanned range, including the skipped base.
+    total: u64,
+    /// `(seqno, path, byte length)` of the segment appends continue into.
+    active: Option<(u64, PathBuf, u64)>,
+    dropped_segments: usize,
+    torn: bool,
+    truncated_bytes: u64,
+    /// First record index of the active segment.
+    seg_first: u64,
+    /// Sparse offsets of the active segment (stride [`DEFAULT_STRIDE`]).
+    seg_offsets: Vec<u32>,
+    /// Segments that passed full header validation in this scan.
+    segments: usize,
+    format: u8,
 }
 
 fn io_err(path: &Path, e: std::io::Error) -> DtfError {
     DtfError::Io(format!("{}: {e}", path.display()))
 }
 
-fn segment_name(seqno: u64) -> String {
+pub(crate) fn segment_name(seqno: u64) -> String {
     format!("seg-{seqno:016x}.dtl")
 }
 
-fn header_bytes(seqno: u64, first_record: u64, format: u8) -> [u8; HEADER_LEN] {
+/// Floor the segment size so a header plus one tiny frame always fits.
+fn clamp(cfg: LogConfig) -> LogConfig {
+    LogConfig {
+        segment_bytes: cfg.segment_bytes.max((HEADER_LEN + FRAME_OVERHEAD) as u64 + 8),
+        ..cfg
+    }
+}
+
+pub(crate) fn header_bytes(seqno: u64, first_record: u64, format: u8) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[..7].copy_from_slice(MAGIC_PREFIX);
     h[7] = format;
@@ -143,6 +185,33 @@ fn header_bytes(seqno: u64, first_record: u64, format: u8) -> [u8; HEADER_LEN] {
     let crc = crc32(&h[..24]);
     h[24..28].copy_from_slice(&crc.to_le_bytes());
     h
+}
+
+/// Validate a segment header's fixed fields (magic, known format, CRC)
+/// and return `(seqno, first_record)`. `None` when damaged. The caller
+/// still owns the chain checks (seqno matches the filename and the
+/// previous segment, first_record matches the running count).
+pub(crate) fn header_fields(data: &[u8]) -> Option<(u64, u64)> {
+    if data.len() < HEADER_LEN
+        || &data[..7] != MAGIC_PREFIX
+        || data[7] > FORMAT_MAX
+        || u32::from_le_bytes(data[24..28].try_into().unwrap()) != crc32(&data[..24])
+    {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(data[8..16].try_into().unwrap()),
+        u64::from_le_bytes(data[16..24].try_into().unwrap()),
+    ))
+}
+
+/// Read and validate only a segment's 28-byte header:
+/// `(seqno, first_record, format)`. `None` when unreadable or damaged.
+fn read_header(path: &Path) -> Option<(u64, u64, u8)> {
+    let mut head = [0u8; HEADER_LEN];
+    File::open(path).and_then(|mut f| f.read_exact(&mut head)).ok()?;
+    let (seqno, first) = header_fields(&head)?;
+    Some((seqno, first, head[7]))
 }
 
 /// Fsync a directory, making renames/creations inside it power-loss
@@ -175,7 +244,7 @@ pub fn segment_paths(dir: &Path) -> Result<Vec<PathBuf>> {
     Ok(found.into_iter().map(|(_, p)| p).collect())
 }
 
-fn parse_seqno(path: &Path) -> u64 {
+pub(crate) fn parse_seqno(path: &Path) -> u64 {
     path.file_name()
         .and_then(|n| n.to_str())
         .and_then(|n| n.strip_prefix("seg-"))
@@ -189,16 +258,98 @@ impl SegmentedLog {
     /// scan. Returns the log positioned for appending, the recovered
     /// records in order, and the scan report.
     pub fn open(dir: &Path, cfg: LogConfig) -> Result<(Self, Vec<Bytes>, RecoveryReport)> {
-        let cfg = LogConfig {
-            segment_bytes: cfg.segment_bytes.max((HEADER_LEN + FRAME_OVERHEAD) as u64 + 8),
-            ..cfg
-        };
+        let cfg = clamp(cfg);
         fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
         let paths = segment_paths(dir)?;
-        let mut report = RecoveryReport::default();
-        let mut records: Vec<Bytes> = Vec::new();
-        // (seqno, path, byte length) of the segment appends continue into
-        let mut active: Option<(u64, PathBuf, u64)> = None;
+        let out = Self::scan_bodies(&paths, 0, 0)?;
+        let report = RecoveryReport {
+            segments: out.segments,
+            records: out.total,
+            truncated_bytes: out.truncated_bytes,
+            dropped_segments: out.dropped_segments,
+            torn: out.torn,
+            format: out.format,
+            ..Default::default()
+        };
+        let log = Self::position(dir, cfg, &out)?;
+        Ok((log, out.records, report))
+    }
+
+    /// Tail-only recovery: trust the CRC-validated headers of segments
+    /// wholly below `from_record` without reading their bodies, and
+    /// replay only from the segment containing `from_record`. Returns
+    /// `Ok(None)` when the header chain cannot support it (a damaged or
+    /// discontinuous header anywhere in the walk) — the caller falls back
+    /// to a full [`SegmentedLog::open`], which repairs.
+    ///
+    /// The returned records start exactly at `from_record`; records
+    /// before it inside the boundary segment are parsed and discarded
+    /// (bounded by one segment). A tear can still truncate *below*
+    /// `from_record` — callers holding a snapshot watermark must compare
+    /// `report.records` against it and fall back to full replay when the
+    /// log no longer reaches the watermark.
+    pub fn open_tail(
+        dir: &Path,
+        cfg: LogConfig,
+        from_record: u64,
+    ) -> Result<Option<(Self, Vec<Bytes>, RecoveryReport)>> {
+        let cfg = clamp(cfg);
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let paths = segment_paths(dir)?;
+        if paths.is_empty() {
+            return Ok(None);
+        }
+        let mut prev: Option<(u64, u64)> = None;
+        let mut firsts = Vec::with_capacity(paths.len());
+        let mut head_format = FORMAT_JSON;
+        for path in &paths {
+            let Some((seqno, first, format)) = read_header(path) else { return Ok(None) };
+            let chain_ok = seqno == parse_seqno(path)
+                && prev.map(|(ps, pf)| seqno == ps + 1 && first >= pf).unwrap_or(first == 0);
+            if !chain_ok {
+                return Ok(None);
+            }
+            prev = Some((seqno, first));
+            head_format = head_format.max(format);
+            firsts.push(first);
+        }
+        // last segment whose first record is at or below the watermark:
+        // every earlier segment's body is wholly covered by it
+        let boundary = firsts.partition_point(|f| *f <= from_record).saturating_sub(1);
+        let out = Self::scan_bodies(&paths[boundary..], firsts[boundary], from_record)?;
+        let report = RecoveryReport {
+            segments: boundary + out.segments,
+            records: out.total,
+            truncated_bytes: out.truncated_bytes,
+            dropped_segments: out.dropped_segments,
+            torn: out.torn,
+            format: head_format.max(out.format),
+            skipped_segments: boundary,
+            ..Default::default()
+        };
+        let log = Self::position(dir, cfg, &out)?;
+        Ok(Some((log, out.records, report)))
+    }
+
+    /// Reposition for appending after the caller rewrote the directory
+    /// (compaction swap): bodies of cold segments are never read. Falls
+    /// back to a full open if the header chain is unexpectedly broken.
+    pub(crate) fn attach_end(dir: &Path, cfg: LogConfig) -> Result<Self> {
+        match Self::open_tail(dir, cfg, u64::MAX)? {
+            Some((log, _, _)) => Ok(log),
+            None => Ok(Self::open(dir, cfg)?.0),
+        }
+    }
+
+    /// Walk `paths` reading full bodies, starting the global record count
+    /// at `base` (the first path's first-record index) and collecting
+    /// payloads from global index `collect_from` onward. Repairs exactly
+    /// as recovery always has: a bad frame truncates the file there, a
+    /// bad header (or anything after a tear) drops the file — dropped
+    /// and truncated segments also lose their index sidecars, which
+    /// would otherwise go stale.
+    fn scan_bodies(paths: &[PathBuf], base: u64, collect_from: u64) -> Result<ScanOutcome> {
+        let mut out = ScanOutcome { total: base, ..Default::default() };
         let mut drop_from: Option<usize> = None;
         let mut prev_seqno: Option<u64> = None;
 
@@ -207,20 +358,22 @@ impl SegmentedLog {
             // One read and one allocation per segment: recovered records
             // are zero-copy slices into this buffer.
             let data = Bytes::from(fs::read(path).map_err(|e| io_err(path, e))?);
-            let header_ok = data.len() >= HEADER_LEN
-                && &data[..7] == MAGIC_PREFIX
-                && data[7] <= FORMAT_MAX
-                && u32::from_le_bytes(data[24..28].try_into().unwrap()) == crc32(&data[..24])
-                && u64::from_le_bytes(data[8..16].try_into().unwrap()) == seqno
-                && u64::from_le_bytes(data[16..24].try_into().unwrap()) == records.len() as u64
-                && prev_seqno.map(|p| seqno == p + 1).unwrap_or(true);
+            let header_ok = header_fields(&data)
+                .map(|(s, first)| {
+                    s == seqno
+                        && first == out.total
+                        && prev_seqno.map(|p| seqno == p + 1).unwrap_or(true)
+                })
+                .unwrap_or(false);
             if !header_ok {
                 drop_from = Some(i);
                 break;
             }
             prev_seqno = Some(seqno);
-            report.segments += 1;
-            report.format = report.format.max(data[7]);
+            out.segments += 1;
+            out.format = out.format.max(data[7]);
+            let seg_first = out.total;
+            let mut seg_offsets: Vec<u32> = Vec::new();
             let mut off = HEADER_LEN;
             loop {
                 if off == data.len() {
@@ -245,47 +398,62 @@ impl SegmentedLog {
                     let f =
                         OpenOptions::new().write(true).open(path).map_err(|e| io_err(path, e))?;
                     f.set_len(off as u64).map_err(|e| io_err(path, e))?;
-                    report.truncated_bytes += (data.len() - off) as u64;
-                    report.torn = true;
-                    active = Some((seqno, path.clone(), off as u64));
+                    remove_sidecar(path); // stale against the new length
+                    out.truncated_bytes += (data.len() - off) as u64;
+                    out.torn = true;
+                    out.active = Some((seqno, path.clone(), off as u64));
+                    out.seg_first = seg_first;
+                    out.seg_offsets = seg_offsets;
                     drop_from = Some(i + 1);
                     break 'segments;
                 };
-                records.push(data.slice(off + 8..off + 8 + len));
+                if (out.total - seg_first).is_multiple_of(DEFAULT_STRIDE as u64) {
+                    seg_offsets.push(off as u32);
+                }
+                if out.total >= collect_from {
+                    out.records.push(data.slice(off + 8..off + 8 + len));
+                }
+                out.total += 1;
                 off += FRAME_OVERHEAD + len;
             }
-            active = Some((seqno, path.clone(), data.len() as u64));
+            out.active = Some((seqno, path.clone(), data.len() as u64));
+            out.seg_first = seg_first;
+            out.seg_offsets = seg_offsets;
         }
 
         if let Some(i) = drop_from {
-            report.dropped_segments = paths.len() - i;
+            out.dropped_segments = paths.len() - i;
             for path in &paths[i..] {
+                remove_sidecar(path);
                 fs::remove_file(path).map_err(|e| io_err(path, e))?;
             }
         }
-        report.records = records.len() as u64;
+        Ok(out)
+    }
 
-        let (file, seg_seqno, seg_len) = match active {
+    /// Build the appendable log from a scan outcome.
+    fn position(dir: &Path, cfg: LogConfig, out: &ScanOutcome) -> Result<Self> {
+        let (file, seg_seqno, seg_len) = match &out.active {
             Some((seqno, path, len)) => {
                 let file =
-                    OpenOptions::new().append(true).open(&path).map_err(|e| io_err(&path, e))?;
-                (file, seqno, len)
+                    OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, e))?;
+                (file, *seqno, *len)
             }
             None => Self::create_segment(dir, 0, 0)?,
         };
-        let n = records.len() as u64;
-        let log = Self {
+        Ok(Self {
             dir: dir.to_path_buf(),
             cfg,
             file,
             seg_seqno,
             seg_len,
-            records: n,
-            committed: n,
+            records: out.total,
+            committed: out.total,
             pending: Vec::new(),
             pending_records: 0,
-        };
-        Ok((log, records, report))
+            seg_first: out.seg_first,
+            seg_offsets: out.seg_offsets.clone(),
+        })
     }
 
     fn create_segment(dir: &Path, seqno: u64, first_record: u64) -> Result<(File, u64, u64)> {
@@ -314,6 +482,9 @@ impl SegmentedLog {
             self.roll()?;
         }
         let index = self.records;
+        if (self.records - self.seg_first).is_multiple_of(DEFAULT_STRIDE as u64) {
+            self.seg_offsets.push(self.seg_len as u32);
+        }
         self.pending.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.pending.extend_from_slice(&crc32(payload).to_le_bytes());
         self.pending.extend_from_slice(payload);
@@ -351,8 +522,11 @@ impl SegmentedLog {
     /// Flush the current segment and start the next one. The directory is
     /// fsynced after the new segment is created — without it, power loss
     /// can forget the file itself even though its writes were synced.
-    fn roll(&mut self) -> Result<()> {
+    /// Sealing a segment also writes its index sidecar from the offsets
+    /// tracked during appends.
+    pub(crate) fn roll(&mut self) -> Result<()> {
         self.sync()?;
+        self.write_sidecar();
         let (file, seqno, len) = Self::create_segment(&self.dir, self.seg_seqno + 1, self.records)?;
         if self.cfg.sync_data {
             fsync_dir(&self.dir)?;
@@ -360,7 +534,23 @@ impl SegmentedLog {
         self.file = file;
         self.seg_seqno = seqno;
         self.seg_len = len;
+        self.seg_first = self.records;
+        self.seg_offsets.clear();
         Ok(())
+    }
+
+    /// Best-effort index sidecar for the segment being sealed. Sidecars
+    /// are a pure cache — a failed write only costs a later rebuild.
+    fn write_sidecar(&mut self) {
+        let idx = SegmentIndex::from_tracked(
+            self.seg_seqno,
+            self.seg_first,
+            (self.records - self.seg_first) as u32,
+            self.seg_len,
+            DEFAULT_STRIDE,
+            std::mem::take(&mut self.seg_offsets),
+        );
+        let _ = idx.write(&self.dir.join(segment_name(self.seg_seqno)));
     }
 
     /// Records appended (committed or still buffered).
@@ -380,6 +570,11 @@ impl SegmentedLog {
 
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Sequence number of the segment currently accepting appends.
+    pub(crate) fn current_seqno(&self) -> u64 {
+        self.seg_seqno
     }
 
     /// Drop the log as a hard crash would: buffered (uncommitted) records
@@ -731,6 +926,104 @@ mod tests {
             SegmentedLog::open(&dir, cfg(160, FlushPolicy::Manual)).unwrap();
         assert!(recovered.len() < 12, "records past the unknown format are dropped");
         assert_eq!(report.dropped_segments, paths.len() - 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_tail_replays_only_past_the_watermark() {
+        let dir = tmpdir("tail");
+        {
+            let (mut log, _, _) = SegmentedLog::open(&dir, cfg(128, FlushPolicy::Manual)).unwrap();
+            for i in 0..50u8 {
+                log.append(&[i; 40]).unwrap();
+            }
+            log.sync().unwrap();
+            assert!(log.segments() > 5);
+        }
+        let (mut log, tail, report) =
+            SegmentedLog::open_tail(&dir, cfg(128, FlushPolicy::Manual), 30).unwrap().unwrap();
+        assert_eq!(report.records, 50, "total counts skipped and replayed records");
+        assert!(report.skipped_segments > 0, "cold bodies were not read");
+        assert_eq!(tail.len(), 20, "exactly the records past the watermark");
+        for (i, r) in tail.iter().enumerate() {
+            assert_eq!(r.as_ref(), &[30 + i as u8; 40]);
+        }
+        // appends continue from the full count, not the tail count
+        assert_eq!(log.append(b"next").unwrap(), 50);
+        log.sync().unwrap();
+        let (_, full, _) = SegmentedLog::open(&dir, cfg(128, FlushPolicy::Manual)).unwrap();
+        assert_eq!(full.len(), 51);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_tail_declines_on_a_damaged_header_chain() {
+        let dir = tmpdir("tail-damaged");
+        {
+            let (mut log, _, _) = SegmentedLog::open(&dir, cfg(128, FlushPolicy::Manual)).unwrap();
+            for i in 0..50u8 {
+                log.append(&[i; 40]).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let victim = &segment_paths(&dir).unwrap()[1];
+        let mut data = fs::read(victim).unwrap();
+        data[3] ^= 0xff;
+        fs::write(victim, &data).unwrap();
+        assert!(
+            SegmentedLog::open_tail(&dir, cfg(128, FlushPolicy::Manual), 40).unwrap().is_none(),
+            "a broken chain defers to the full open, which repairs"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_tail_reports_a_tear_below_the_watermark() {
+        let dir = tmpdir("tail-tear");
+        {
+            let (mut log, _, _) =
+                SegmentedLog::open(&dir, cfg(1 << 20, FlushPolicy::EveryRecord)).unwrap();
+            for i in 0..20u8 {
+                log.append(&[i; 16]).unwrap();
+            }
+        }
+        let path = segment_paths(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 30).unwrap();
+        // watermark 19 is no longer reachable: the caller sees that in
+        // report.records and must fall back to full replay
+        let (_, tail, report) =
+            SegmentedLog::open_tail(&dir, cfg(1 << 20, FlushPolicy::EveryRecord), 19)
+                .unwrap()
+                .unwrap();
+        assert!(report.torn);
+        assert!(report.records < 19);
+        assert!(tail.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rolling_seals_segments_with_index_sidecars() {
+        let dir = tmpdir("roll-sidecar");
+        {
+            let (mut log, _, _) = SegmentedLog::open(&dir, cfg(128, FlushPolicy::Manual)).unwrap();
+            for i in 0..50u8 {
+                log.append(&[i; 40]).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let paths = segment_paths(&dir).unwrap();
+        let mut firsts: Vec<u64> = paths
+            .iter()
+            .map(|p| u64::from_le_bytes(fs::read(p).unwrap()[16..24].try_into().unwrap()))
+            .collect();
+        firsts.push(50);
+        for (i, seg) in paths[..paths.len() - 1].iter().enumerate() {
+            let expect = (firsts[i + 1] - firsts[i]) as u32;
+            let idx = SegmentIndex::load_validated(seg, firsts[i], expect, false)
+                .expect("sealed segment carries a valid sidecar");
+            assert_eq!(idx.records, expect);
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,262 @@
+//! Durable KV snapshots pinning a replay watermark.
+//!
+//! A snapshot file `snap-<watermark:016x>.dtk` lives *inside* the KV's
+//! log directory and holds the full key→value map as of `watermark`
+//! committed records. Reopening a store with a valid snapshot restores
+//! the map directly and replays only the log tail past the watermark —
+//! recovery cost becomes proportional to the tail, not the log.
+//!
+//! Snapshots follow the same rule as index sidecars: **caches, never
+//! truth**. Every load path degrades to full replay — a missing,
+//! corrupt, or torn snapshot is simply skipped, and a snapshot whose
+//! watermark the (possibly truncated) log can no longer reach is
+//! discarded by the caller. Equivalence with full replay is therefore an
+//! invariant, not a fast path.
+//!
+//! Write ordering: encode → write to a `.tmp` sibling → fsync the file →
+//! rename into place → fsync the directory. A crash at any point leaves
+//! either the previous snapshot set or a `.tmp` orphan that loaders
+//! ignore (and [`prune`] sweeps). The rename is the commit point.
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use dtf_core::error::{DtfError, Result};
+
+use crate::crc32::crc32;
+use crate::log::fsync_dir;
+
+const SNAP_MAGIC: &[u8; 8] = b"DTFSNAP1";
+/// Fixed prefix: magic(8) + watermark(8) + n_keys(8).
+const SNAP_FIXED: usize = 24;
+
+fn io_err(path: &Path, e: std::io::Error) -> DtfError {
+    DtfError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Path of the snapshot pinning `watermark` inside `dir`.
+pub fn snapshot_path(dir: &Path, watermark: u64) -> PathBuf {
+    dir.join(format!("snap-{watermark:016x}.dtk"))
+}
+
+/// Snapshot files under `dir` as `(watermark, path)`, ascending. `.tmp`
+/// orphans from interrupted writes are not listed.
+pub fn snapshot_paths(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else { return found };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(hex) = name.strip_prefix("snap-").and_then(|s| s.strip_suffix(".dtk")) {
+            if let Ok(wm) = u64::from_str_radix(hex, 16) {
+                found.push((wm, entry.path()));
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+fn encode(watermark: u64, map: &BTreeMap<String, Bytes>) -> Vec<u8> {
+    let body: usize = map.iter().map(|(k, v)| 8 + k.len() + v.len()).sum();
+    let mut out = Vec::with_capacity(SNAP_FIXED + body + 4);
+    out.extend_from_slice(SNAP_MAGIC);
+    out.extend_from_slice(&watermark.to_le_bytes());
+    out.extend_from_slice(&(map.len() as u64).to_le_bytes());
+    for (k, v) in map {
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(v);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode(data: &[u8]) -> Option<(u64, BTreeMap<String, Bytes>)> {
+    if data.len() < SNAP_FIXED + 4 || &data[..8] != SNAP_MAGIC {
+        return None;
+    }
+    let body = &data[..data.len() - 4];
+    let crc = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    if crc32(body) != crc {
+        return None;
+    }
+    let watermark = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let n = u64::from_le_bytes(data[16..24].try_into().unwrap());
+    let mut map = BTreeMap::new();
+    let mut at = SNAP_FIXED;
+    for _ in 0..n {
+        if at + 4 > body.len() {
+            return None;
+        }
+        let klen = u32::from_le_bytes(body[at..at + 4].try_into().unwrap()) as usize;
+        at += 4;
+        if at + klen + 4 > body.len() {
+            return None;
+        }
+        let key = std::str::from_utf8(&body[at..at + klen]).ok()?.to_owned();
+        at += klen;
+        let vlen = u32::from_le_bytes(body[at..at + 4].try_into().unwrap()) as usize;
+        at += 4;
+        if at + vlen > body.len() {
+            return None;
+        }
+        map.insert(key, Bytes::copy_from_slice(&body[at..at + vlen]));
+        at += vlen;
+    }
+    (at == body.len()).then_some((watermark, map))
+}
+
+/// Write the snapshot for `watermark` durably (tmp → fsync → rename →
+/// dir fsync when `sync`). Returns the final path.
+pub fn write_snapshot(
+    dir: &Path,
+    watermark: u64,
+    map: &BTreeMap<String, Bytes>,
+    sync: bool,
+) -> Result<PathBuf> {
+    let path = snapshot_path(dir, watermark);
+    let tmp = path.with_extension("dtk.tmp");
+    let mut f = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&tmp)
+        .map_err(|e| io_err(&tmp, e))?;
+    f.write_all(&encode(watermark, map)).map_err(|e| io_err(&tmp, e))?;
+    if sync {
+        f.sync_data().map_err(|e| io_err(&tmp, e))?;
+    }
+    drop(f);
+    fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+    if sync {
+        fsync_dir(dir)?;
+    }
+    Ok(path)
+}
+
+/// Load the newest valid snapshot under `dir`:
+/// `(watermark, map)`. Corrupt or torn candidates are skipped (and
+/// removed best-effort) in favour of older ones; `None` means full
+/// replay.
+pub fn load_best(dir: &Path) -> Option<(u64, BTreeMap<String, Bytes>)> {
+    for (wm, path) in snapshot_paths(dir).into_iter().rev() {
+        match fs::read(&path).ok().and_then(|d| decode(&d)) {
+            Some((got_wm, map)) if got_wm == wm => return Some((wm, map)),
+            _ => {
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
+    None
+}
+
+/// Remove snapshot files (and `.tmp` orphans) under `dir`, keeping only
+/// the watermark in `keep`. Best-effort: failures leave extra cache
+/// files, never lost state.
+pub fn prune(dir: &Path, keep: Option<u64>) {
+    for (wm, path) in snapshot_paths(dir) {
+        if keep != Some(wm) {
+            let _ = fs::remove_file(path);
+        }
+    }
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().ends_with(".dtk.tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Verify a file is a decodable snapshot (used by chaos oracles).
+pub fn is_valid_snapshot_file(path: &Path) -> bool {
+    fs::read(path).ok().and_then(|d| decode(&d)).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtf-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(n: u32) -> BTreeMap<String, Bytes> {
+        (0..n).map(|i| (format!("key-{i:04}"), Bytes::from(vec![i as u8; 10]))).collect()
+    }
+
+    #[test]
+    fn roundtrip_and_best_selection() {
+        let dir = tmpdir("roundtrip");
+        write_snapshot(&dir, 100, &sample(5), false).unwrap();
+        write_snapshot(&dir, 250, &sample(9), false).unwrap();
+        let (wm, map) = load_best(&dir).unwrap();
+        assert_eq!(wm, 250);
+        assert_eq!(map, sample(9));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = tmpdir("fallback");
+        write_snapshot(&dir, 100, &sample(5), false).unwrap();
+        let newest = write_snapshot(&dir, 250, &sample(9), false).unwrap();
+        let mut raw = fs::read(&newest).unwrap();
+        let at = raw.len() / 2;
+        raw[at] ^= 0x01;
+        fs::write(&newest, &raw).unwrap();
+        let (wm, map) = load_best(&dir).unwrap();
+        assert_eq!(wm, 100, "damaged snapshot skipped, previous one wins");
+        assert_eq!(map, sample(5));
+        assert!(!newest.exists(), "the damaged candidate was swept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_previous_set_intact() {
+        let dir = tmpdir("torn");
+        write_snapshot(&dir, 100, &sample(5), false).unwrap();
+        // simulate a crash before rename: a .tmp orphan
+        fs::write(dir.join("snap-00000000000000fa.dtk.tmp"), b"partial").unwrap();
+        let (wm, _) = load_best(&dir).unwrap();
+        assert_eq!(wm, 100);
+        prune(&dir, Some(100));
+        assert!(snapshot_path(&dir, 100).exists());
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1, "orphan swept by prune");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_only_the_pinned_watermark() {
+        let dir = tmpdir("prune");
+        for wm in [10u64, 20, 30] {
+            write_snapshot(&dir, wm, &sample(3), false).unwrap();
+        }
+        prune(&dir, Some(20));
+        let left = snapshot_paths(&dir);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].0, 20);
+        prune(&dir, None);
+        assert!(snapshot_paths(&dir).is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_map_snapshots_are_valid() {
+        let dir = tmpdir("empty");
+        let p = write_snapshot(&dir, 0, &BTreeMap::new(), false).unwrap();
+        assert!(is_valid_snapshot_file(&p));
+        let (wm, map) = load_best(&dir).unwrap();
+        assert_eq!(wm, 0);
+        assert!(map.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

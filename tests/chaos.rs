@@ -347,24 +347,29 @@ fn crash_faults_recover_committed_prefixes_deterministically() {
     ];
     for (target, kind, seed) in faults {
         let fault = CrashFault { target, kind, seed };
+        // archives serve blob payloads lazily through the segment index,
+        // so each victim directory must outlive its oracle reads
         let recover = |label: &str| {
             let victim = base.join(format!("victim-{seed:x}-{label}"));
             copy_store(&golden, &victim).unwrap();
             fault.apply(&victim).unwrap();
             let (svc, recovery) = MofkaService::reopen(&victim).unwrap();
-            std::fs::remove_dir_all(&victim).unwrap();
-            (svc, recovery.restored_events)
+            (svc, recovery.restored_events, victim)
         };
-        let (first, n1) = recover("a");
+        let (first, n1, victim_a) = recover("a");
         let violations = recovery_oracle(&pristine, &first);
         assert!(violations.is_empty(), "{fault:?} violated recovery: {violations:?}");
-        let (second, n2) = recover("b");
+        let (second, n2, victim_b) = recover("b");
         assert_eq!(n1, n2, "{fault:?}: recovery must be deterministic from the seed");
         assert!(
             recovery_oracle(&first, &second).is_empty()
                 && recovery_oracle(&second, &first).is_empty(),
             "{fault:?}: both recoveries must expose the identical stream"
         );
+        drop(first);
+        drop(second);
+        std::fs::remove_dir_all(&victim_a).unwrap();
+        std::fs::remove_dir_all(&victim_b).unwrap();
     }
     std::fs::remove_dir_all(&base).unwrap();
 }
