@@ -9,12 +9,14 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod liveviews;
 pub mod perf;
 pub mod provenance;
 pub mod storage;
 pub mod stress;
 
 pub use experiments::{fig3, fig4, fig5, fig6, fig7, fig8, table1};
+pub use liveviews::{view_bench, ViewBench};
 pub use perf::{bench_artifact, bench_report, BenchReport};
 pub use provenance::{provenance_pipeline, ProvenancePipeline};
 pub use storage::{storage_bench, StorageBench};

@@ -40,6 +40,9 @@ pub struct BenchReport {
     /// Many-client aggregate throughput through the sharded real-time
     /// data plane (schema 5).
     pub stress: crate::stress::StressBench,
+    /// Incremental live-view maintenance vs full recompute, with the
+    /// live/post-hoc equivalence verdict (schema 7).
+    pub views: crate::liveviews::ViewBench,
     pub campaigns: Vec<CampaignBench>,
     /// Peak resident set size in bytes (`VmHWM`), `None` where unexposed.
     pub peak_rss_bytes: Option<u64>,
@@ -215,10 +218,12 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
         "stress run reported delivery violations: {:?}",
         stress.violations
     );
+    let views = crate::liveviews::view_bench();
+    assert!(views.equivalent, "live views diverged from the post-hoc kernels");
     let campaigns =
         Workload::ALL.iter().map(|&w| campaign_bench(w, seed, runs, parallel_jobs)).collect();
     BenchReport {
-        schema: 6,
+        schema: 7,
         seed,
         cores,
         parallel_jobs,
@@ -227,6 +232,7 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
         provenance_pipeline: provenance,
         storage,
         stress: stress.bench,
+        views,
         campaigns,
         peak_rss_bytes: peak_rss_bytes(),
     }
@@ -303,6 +309,17 @@ pub fn bench_artifact(seed: u64, runs: u32, jobs: Option<usize>) -> (String, Str
         report.stress.events_per_producer,
         report.stress.consumer_groups,
         report.stress.wall_s
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "live views: Δ-refresh {:.2}ms vs recompute {:.1}ms ({:.0}x, {} events, \
+         equivalent: {})",
+        report.views.delta_refresh_ms,
+        report.views.recompute_ms,
+        report.views.speedup,
+        report.views.events,
+        report.views.equivalent
     )
     .unwrap();
     for c in &report.campaigns {

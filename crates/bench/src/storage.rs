@@ -134,6 +134,14 @@ pub struct IndexedBench {
     pub point_speedup: f64,
     /// `full_scan / range` — same for the range read.
     pub range_speedup: f64,
+    /// Block-cache hits/misses across the point-read pass (schema 7) —
+    /// spread lookups mostly miss; same-block neighbours hit.
+    pub point_cache_hits: u64,
+    pub point_cache_misses: u64,
+    /// Same counters for the range read on its fresh reader: one miss per
+    /// block touched, hits for every record after the first in a block.
+    pub range_cache_hits: u64,
+    pub range_cache_misses: u64,
 }
 
 fn scratch(label: &str) -> PathBuf {
@@ -444,6 +452,7 @@ fn indexed_bench(records: u64) -> IndexedBench {
         assert_eq!(&rec[..8], &idx.to_le_bytes());
     }
     let point_avg_s = t0.elapsed().as_secs_f64() / POINTS as f64;
+    let point_cache = reader.cache_stats();
 
     // range read mid-log on a fresh reader (fresh cache)
     let (reader2, _) = LogReader::open(&dir, opts).expect("reader reopen");
@@ -452,6 +461,7 @@ fn indexed_bench(records: u64) -> IndexedBench {
     let got = reader2.range(records / 2, want);
     let range_s = t0.elapsed().as_secs_f64();
     assert_eq!(got.len(), want);
+    let range_cache = reader2.cache_stats();
 
     let _ = std::fs::remove_dir_all(&dir);
     IndexedBench {
@@ -465,6 +475,10 @@ fn indexed_bench(records: u64) -> IndexedBench {
         range_ms: range_s * 1e3,
         point_speedup: full_scan_s / point_avg_s.max(1e-12),
         range_speedup: full_scan_s / range_s.max(1e-12),
+        point_cache_hits: point_cache.hits,
+        point_cache_misses: point_cache.misses,
+        range_cache_hits: range_cache.hits,
+        range_cache_misses: range_cache.misses,
     }
 }
 
@@ -621,5 +635,10 @@ mod tests {
             idx.point_speedup
         );
         assert!(idx.range_speedup > 1.0, "range speedup {}", idx.range_speedup);
+        assert!(
+            idx.point_cache_hits + idx.point_cache_misses > 0,
+            "point reads must touch the block cache"
+        );
+        assert!(idx.range_cache_misses > 0, "a fresh-cache range read must miss at least once");
     }
 }

@@ -40,6 +40,7 @@ pub mod schedule;
 pub use crash::{copy_store, recovery_oracle, CrashFault, CrashKind, CrashTarget};
 pub use oracle::check_run;
 pub use runner::{
-    run_campaign, run_schedule, schedule_seed, transition_log, CampaignReport, ScheduleOutcome,
+    run_campaign, run_schedule, run_schedule_data, schedule_seed, transition_log, CampaignReport,
+    ScheduleOutcome,
 };
 pub use schedule::{ChaosConfig, STALLABLE_TOPICS};

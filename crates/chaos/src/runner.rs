@@ -224,6 +224,28 @@ pub fn run_schedule(campaign_seed: u64, index: u64, chaos: &ChaosConfig) -> Sche
     outcome
 }
 
+/// Run one schedule once and hand back the run record itself — for
+/// callers that feed chaos runs into further analysis (e.g. the live-view
+/// equivalence oracle, which replays a faulted run's event stream through
+/// the incremental engine and compares against the post-hoc kernels).
+pub fn run_schedule_data(
+    campaign_seed: u64,
+    index: u64,
+    chaos: &ChaosConfig,
+) -> Result<RunData, String> {
+    let seed = schedule_seed(campaign_seed, index);
+    let faults = chaos.generate(seed);
+    let cfg = SimConfig {
+        campaign_seed: seed,
+        run: RunId(index as u32),
+        faults,
+        invariant_checks: true,
+        ..Default::default()
+    };
+    let cluster = SimCluster::new(cfg).map_err(|e| e.to_string())?;
+    cluster.run(chaos_workflow(seed)).map_err(|e| e.to_string())
+}
+
 /// Run a whole campaign of `schedules` schedules.
 pub fn run_campaign(campaign_seed: u64, schedules: u64, chaos: &ChaosConfig) -> CampaignReport {
     let mut report = CampaignReport { campaign_seed, schedules, passed: 0, failures: Vec::new() };

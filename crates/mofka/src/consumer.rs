@@ -377,7 +377,14 @@ impl Consumer {
         Ok(self.buffer.drain(..take).collect())
     }
 
+    /// Discarded-claim diagnostics are opt-in via `DTF_MOFKA_VERBOSE`:
+    /// drop-time discards are expected for mid-run subscribers (live-view
+    /// feeds detach while producers are still appending), so the default
+    /// is the silent counter behind [`Consumer::discarded_claims`].
     fn log_discard(&self, total: u64) {
+        if std::env::var_os("DTF_MOFKA_VERBOSE").is_none() {
+            return;
+        }
         eprintln!(
             "mofka: consumer (group {:?}, topic {:?}) dropped with {total} \
              claimed-but-undelivered events; the group's offsets have moved \

@@ -1,0 +1,194 @@
+//! Multi-topic consumer-group feeds — the subscription plumbing the live
+//! analysis engine sits on.
+//!
+//! A [`GroupFeed`] bundles one consumer per topic under a single consumer
+//! group and exposes one nonblocking [`GroupFeed::poll`] across all of
+//! them, so a subscriber ingests "whatever arrived since last time" in one
+//! call. On a real-time service the feed also holds the shard plane's
+//! [`Activity`] signal: [`GroupFeed::wait_activity`] sleeps until a shard
+//! worker applies a new append batch (or a timeout elapses) instead of
+//! spinning on empty claims — many concurrent feeds can park on the same
+//! condvar without ever touching the ingest path. Virtual-time services
+//! have no plane (and no concurrent appends); there `wait_activity`
+//! returns immediately and callers drive the feed synchronously, which is
+//! what keeps simulated runs deterministic.
+
+use std::sync::Arc;
+
+use dtf_core::error::Result;
+
+use crate::consumer::{Consumer, ConsumerConfig};
+use crate::event::StoredEvent;
+use crate::service::MofkaService;
+use crate::shard::Activity;
+
+/// One batch of events pulled from one topic of the feed.
+#[derive(Debug)]
+pub struct FeedBatch {
+    /// Index into the topic list the feed was built with.
+    pub topic: usize,
+    pub events: Vec<StoredEvent>,
+}
+
+/// A consumer group spanning several topics, polled as one stream.
+#[derive(Debug)]
+pub struct GroupFeed {
+    topics: Vec<String>,
+    consumers: Vec<Consumer>,
+    /// Shard-plane append signal (real-time services only).
+    activity: Option<Arc<Activity>>,
+    /// Last activity sequence this feed acted on.
+    seen: u64,
+}
+
+impl GroupFeed {
+    pub(crate) fn new(
+        svc: &MofkaService,
+        topics: &[&str],
+        cfg: ConsumerConfig,
+        pipeline_depth: Option<usize>,
+    ) -> Result<Self> {
+        let mut consumers = Vec::with_capacity(topics.len());
+        for t in topics {
+            consumers.push(match pipeline_depth {
+                Some(depth) => svc.consumer_pipelined(t, cfg.clone(), depth)?,
+                None => svc.consumer(t, cfg.clone())?,
+            });
+        }
+        let activity = svc.plane().map(|p| p.activity());
+        let seen = activity.as_ref().map_or(0, |a| a.seq());
+        Ok(Self {
+            topics: topics.iter().map(|t| t.to_string()).collect(),
+            consumers,
+            activity,
+            seen,
+        })
+    }
+
+    /// Topic names, in the index order [`FeedBatch::topic`] refers to.
+    pub fn topics(&self) -> &[String] {
+        &self.topics
+    }
+
+    /// Pull up to `max_per_topic` events from every topic. Nonblocking:
+    /// topics with nothing available contribute no batch, and an empty
+    /// result means the whole feed is (currently) drained.
+    pub fn poll(&mut self, max_per_topic: usize) -> Result<Vec<FeedBatch>> {
+        if let Some(a) = &self.activity {
+            // remember where the plane was *before* reading, so appends
+            // racing this poll re-trigger the next wait instead of being
+            // slept past
+            self.seen = a.seq();
+        }
+        let mut out = Vec::new();
+        for (i, c) in self.consumers.iter_mut().enumerate() {
+            let events = c.pull(max_per_topic)?;
+            if !events.is_empty() {
+                out.push(FeedBatch { topic: i, events });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sleep until the shard plane applies an append the feed has not yet
+    /// polled past, or `timeout` elapses. Returns whether new activity was
+    /// observed. Without a plane (virtual-time service) this returns
+    /// `false` immediately — poll synchronously instead.
+    pub fn wait_activity(&mut self, timeout: std::time::Duration) -> bool {
+        let Some(a) = &self.activity else {
+            return false;
+        };
+        a.wait_past(self.seen, timeout) > self.seen
+    }
+
+    /// Sum of claimed-but-undelivered events across the feed's consumers
+    /// (populated at drop for pipelined feeds; see
+    /// [`Consumer::discarded_claims`]).
+    pub fn discarded_claims(&self) -> u64 {
+        self.consumers.iter().map(|c| c.discarded_claims().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bedrock::BedrockConfig;
+    use crate::event::{Event, Metadata};
+    use crate::producer::ProducerConfig;
+    use serde_json::json;
+
+    fn ev(i: u64) -> Event {
+        Event::new(Metadata::Json(json!({ "i": i })), bytes::Bytes::new())
+    }
+
+    #[test]
+    fn feed_polls_across_topics_under_one_group() {
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        let mut p1 = svc.producer("task-done", ProducerConfig::default()).unwrap();
+        let mut p2 = svc.producer("comm-events", ProducerConfig::default()).unwrap();
+        for i in 0..10 {
+            p1.push(ev(i)).unwrap();
+        }
+        for i in 0..5 {
+            p2.push(ev(i)).unwrap();
+        }
+        drop((p1, p2));
+        let cfg = ConsumerConfig { group: "feed-test".into(), prefetch: 64 };
+        let mut feed = GroupFeed::new(&svc, &["task-done", "comm-events"], cfg, None).unwrap();
+        let mut got = [0usize; 2];
+        loop {
+            let batches = feed.poll(3).unwrap();
+            if batches.is_empty() {
+                break;
+            }
+            for b in batches {
+                got[b.topic] += b.events.len();
+            }
+        }
+        assert_eq!(got, [10, 5]);
+        assert_eq!(feed.topics(), &["task-done".to_string(), "comm-events".to_string()]);
+        // a second feed under another group sees everything again
+        let cfg2 = ConsumerConfig { group: "feed-test-2".into(), prefetch: 64 };
+        let mut feed2 = GroupFeed::new(&svc, &["task-done"], cfg2, None).unwrap();
+        let mut total = 0;
+        loop {
+            let n: usize = feed2.poll(64).unwrap().iter().map(|b| b.events.len()).sum();
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn wait_activity_is_immediate_without_a_plane() {
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        let cfg = ConsumerConfig { group: "vt".into(), prefetch: 16 };
+        let mut feed = GroupFeed::new(&svc, &["logs"], cfg, None).unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(!feed.wait_activity(std::time::Duration::from_secs(5)));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1), "no plane: no blocking");
+    }
+
+    #[test]
+    fn wait_activity_wakes_on_plane_append() {
+        let svc_cfg = crate::ServiceConfig {
+            mode: crate::ServiceMode::RealTime { shards: 2 },
+            ..Default::default()
+        };
+        let svc = BedrockConfig::wms_default().bootstrap_with(&svc_cfg).unwrap();
+        let cfg = ConsumerConfig { group: "rt".into(), prefetch: 16 };
+        let mut feed = GroupFeed::new(&svc, &["task-done"], cfg, None).unwrap();
+        assert!(!feed.wait_activity(std::time::Duration::from_millis(50)), "idle plane");
+        let mut p = svc.producer("task-done", ProducerConfig::default()).unwrap();
+        p.push(ev(1)).unwrap();
+        p.sync().unwrap();
+        assert!(feed.wait_activity(std::time::Duration::from_secs(10)), "append wakes the feed");
+        let n: usize = feed.poll(16).unwrap().iter().map(|b| b.events.len()).sum();
+        assert_eq!(n, 1);
+        // polling advances the seen watermark: quiet plane, no new wake
+        assert!(!feed.wait_activity(std::time::Duration::from_millis(50)));
+        svc.shutdown().unwrap();
+    }
+}

@@ -28,6 +28,7 @@
 pub mod bedrock;
 pub mod consumer;
 pub mod event;
+pub mod feed;
 pub mod producer;
 pub mod service;
 pub mod shard;
@@ -38,7 +39,8 @@ pub mod yokan;
 
 pub use consumer::{Consumer, ConsumerConfig, DiscardedClaims};
 pub use event::{Event, EventId, Metadata, StoredEvent};
+pub use feed::{FeedBatch, GroupFeed};
 pub use producer::{Producer, ProducerConfig};
 pub use service::{MofkaService, ServiceConfig, ServiceMode, ServiceRecovery};
-pub use shard::DataPlane;
+pub use shard::{Activity, DataPlane};
 pub use topic::TopicConfig;

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use dtf_core::error::{DtfError, Result};
 
 use crate::consumer::{Consumer, ConsumerConfig};
+use crate::feed::GroupFeed;
 use crate::producer::{Producer, ProducerConfig};
 use crate::shard::DataPlane;
 use crate::topic::{Topic, TopicConfig};
@@ -341,6 +342,27 @@ impl MofkaService {
             ));
         }
         Consumer::pipelined(self.topic(topic)?, self.yokan.clone(), cfg, depth)
+    }
+
+    /// Open a [`crate::feed::GroupFeed`]: one consumer per listed topic,
+    /// all under `cfg.group`, polled as a single stream. On a real-time
+    /// service the feed can additionally park on the shard plane's
+    /// activity signal between polls; on virtual-time services it is a
+    /// plain synchronous multi-topic drain (available in every mode).
+    pub fn group_feed(&self, topics: &[&str], cfg: ConsumerConfig) -> Result<GroupFeed> {
+        GroupFeed::new(self, topics, cfg, None)
+    }
+
+    /// Like [`Self::group_feed`], but each topic's consumer claims on a
+    /// background prefetch pipeline `depth` batches ahead. Real-time mode
+    /// only, for the same reason as [`Self::consumer_pipelined`].
+    pub fn group_feed_pipelined(
+        &self,
+        topics: &[&str],
+        cfg: ConsumerConfig,
+        depth: usize,
+    ) -> Result<GroupFeed> {
+        GroupFeed::new(self, topics, cfg, Some(depth))
     }
 
     /// The concurrent data plane, if this service runs one.

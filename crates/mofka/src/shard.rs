@@ -86,6 +86,52 @@ struct ShardState {
     error: Option<String>,
 }
 
+/// Append-activity signal shared by every shard of one plane: a sequence
+/// number bumped after each applied append batch, with a condvar so
+/// subscription feeds ([`crate::feed::GroupFeed`]) can sleep until new
+/// events land instead of spinning on empty claims. Readers remember the
+/// last sequence they acted on and wait for it to move.
+#[derive(Default)]
+pub struct Activity {
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for Activity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Activity").field("seq", &self.seq()).finish()
+    }
+}
+
+impl Activity {
+    /// Current activity sequence (monotone; bumped per applied batch).
+    pub fn seq(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    fn bump(&self) {
+        *self.seq.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until the sequence moves past `seen` or `timeout` elapses;
+    /// returns the latest sequence either way.
+    pub fn wait_past(&self, seen: u64, timeout: std::time::Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut seq = self.seq.lock();
+        while *seq <= seen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if self.cv.wait_for(&mut seq, deadline - now).timed_out() {
+                break;
+            }
+        }
+        *seq
+    }
+}
+
 /// One shard: a FIFO job queue plus the condvars that coordinate its
 /// worker (when spawned) and producer backpressure.
 #[derive(Default)]
@@ -95,9 +141,14 @@ struct Shard {
     ready: Condvar,
     /// Signaled when the worker pops a job (space for blocked producers).
     space: Condvar,
+    /// Plane-wide append signal (shared by all shards of one plane).
+    activity: Arc<Activity>,
 }
 
 impl Shard {
+    fn with_activity(activity: Arc<Activity>) -> Self {
+        Self { activity, ..Default::default() }
+    }
     /// Enqueue a job. `bounded` engages producer backpressure (spawned
     /// planes only); a stopping shard accepts no new jobs.
     fn push(&self, job: Job, bounded: bool) -> Result<()> {
@@ -138,6 +189,9 @@ impl Shard {
             Job::Append { topic, partition, events } => {
                 if let Err(e) = topic.append_batch(partition, events) {
                     self.state.lock().error.get_or_insert(e.to_string());
+                } else {
+                    // wake subscription feeds sleeping on plane activity
+                    self.activity.bump();
                 }
             }
             Job::Barrier(ack) => {
@@ -199,6 +253,8 @@ pub struct DataPlane {
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Whether `push` applies backpressure (spawned planes only).
     bounded: bool,
+    /// Plane-wide append signal, shared with subscription feeds.
+    activity: Arc<Activity>,
 }
 
 impl std::fmt::Debug for DataPlane {
@@ -220,7 +276,9 @@ impl DataPlane {
         } else {
             shards
         };
-        let shards: Vec<Arc<Shard>> = (0..n).map(|_| Arc::new(Shard::default())).collect();
+        let activity = Arc::new(Activity::default());
+        let shards: Vec<Arc<Shard>> =
+            (0..n).map(|_| Arc::new(Shard::with_activity(activity.clone()))).collect();
         let workers = shards
             .iter()
             .map(|s| {
@@ -231,7 +289,7 @@ impl DataPlane {
                     .expect("spawn shard worker")
             })
             .collect();
-        Arc::new(Self { shards, workers: Mutex::new(workers), bounded: true })
+        Arc::new(Self { shards, workers: Mutex::new(workers), bounded: true, activity })
     }
 
     /// A plane with no worker threads: jobs queue until the caller
@@ -239,15 +297,23 @@ impl DataPlane {
     /// interleaving-test mode.
     pub fn manual(shards: usize) -> Arc<Self> {
         assert!(shards >= 1, "a plane needs at least one shard");
+        let activity = Arc::new(Activity::default());
         Arc::new(Self {
-            shards: (0..shards).map(|_| Arc::new(Shard::default())).collect(),
+            shards: (0..shards).map(|_| Arc::new(Shard::with_activity(activity.clone()))).collect(),
             workers: Mutex::new(Vec::new()),
             bounded: false,
+            activity,
         })
     }
 
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The plane's append-activity signal: bumped after every applied
+    /// append batch, waitable by subscription feeds.
+    pub fn activity(&self) -> Arc<Activity> {
+        self.activity.clone()
     }
 
     /// The shard owning `(topic, partition)`. FNV over the topic name,

@@ -13,6 +13,7 @@ use std::path::Path;
 use dtf_mofka::ServiceRecovery;
 use dtf_wms::rundata::RunData;
 
+use crate::live::{query_rundata, ViewQuery, ViewResult};
 use crate::views::RunViews;
 
 /// Reconstruct a run record from a store directory (read-only; see
@@ -38,6 +39,14 @@ impl ArchivedRun {
     /// Build the fused analysis views over the archived record.
     pub fn views(&self) -> RunViews<'_> {
         RunViews::new(&self.data)
+    }
+
+    /// Answer a [`ViewQuery`] from the archive — the cold half of the
+    /// hot/cold split: the same query against [`crate::live::LiveViews`]
+    /// serves the active run, this serves history, and finalized live
+    /// answers are value-identical to the archived ones.
+    pub fn query(&self, q: &ViewQuery) -> ViewResult {
+        query_rundata(&self.data, q)
     }
 
     /// Whether recovery had to repair anything on the way in (torn tails

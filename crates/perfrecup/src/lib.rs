@@ -25,6 +25,11 @@
 //! * [`export`] — FAIR archival export of a run (CSV views + JSON manifests).
 //! * [`archive`] — post-hoc entry point: reopen a persisted store
 //!   directory (dtf-store backed) and analyze it like a live run.
+//! * [`live`] — online incremental view maintenance: a Mofka consumer
+//!   group keeping the category / utilization / phase views fresh in O(Δ)
+//!   per batch, with versioned snapshot subscriptions for concurrent
+//!   readers and a [`live::ViewQuery`] answered identically by live state
+//!   and archives.
 
 pub mod archive;
 pub mod category;
@@ -33,6 +38,7 @@ pub mod export;
 pub mod frame;
 pub mod io_timeline;
 pub mod lineage;
+pub mod live;
 pub mod parallel_coords;
 pub mod phases;
 pub mod schedule_order;
@@ -43,4 +49,5 @@ pub mod warnings_dist;
 pub mod zoom;
 
 pub use frame::DataFrame;
+pub use live::{LiveConfig, LiveViews, ViewQuery, ViewResult, ViewSnapshot, ViewSubscription};
 pub use views::RunViews;

@@ -1,0 +1,927 @@
+//! Online incremental view maintenance: the live counterpart of the
+//! post-hoc analyses, updated in O(Δ) per consumed batch.
+//!
+//! [`LiveViews`] attaches to a Mofka service as its own consumer group
+//! (one [`dtf_mofka::GroupFeed`] over the standard WMS topics) and keeps
+//! *delta state* for the equivalence-gated views — per-category statistics
+//! ([`crate::category::per_category`]), per-worker utilization
+//! ([`crate::utilization::per_worker`]), and the phase totals
+//! ([`crate::phases::PhaseSample`]) — so a refresh after Δ new events
+//! costs O(Δ), not O(everything seen).
+//!
+//! ## Exact equivalence with the post-hoc kernels
+//!
+//! The post-hoc kernels iterate event vectors in a pinned sort order
+//! (task-done by `(stop, start)`, drain order breaking ties), and their
+//! floating-point accumulations are order-sensitive. To be *value-identical*
+//! — bit-for-bit, not merely within epsilon — the engine does not merge
+//! float partials out of arrival order. Instead each group (task category,
+//! worker) keeps its raw samples in a `BTreeMap` keyed by the post-hoc sort
+//! key extended with the event's `(partition, offset)` id, and a snapshot
+//! replays only the *dirty* groups' arithmetic in that canonical order.
+//! Ingest stays O(Δ log n); snapshot cost is proportional to the groups
+//! the delta actually touched. Integer accumulations (phase `Dur` sums,
+//! I/O byte/op counters) are order-insensitive and update in place.
+//!
+//! The `(partition, offset)` tiebreak equals the drain order of
+//! `RunData::drain_from_mofka` as long as no partition holds more than one
+//! prefetch window (4096 events) — true for every test and chaos schedule
+//! in this repo; ties across that boundary would still be value-equal for
+//! any tie among *identical* events.
+//!
+//! Darshan log sets only exist once a run shuts down, so the I/O half of
+//! the fused task↔I/O join ([`RunViews::task_io`]) arrives as one final
+//! Δ-batch through [`LiveViews::finalize`]; equivalence is asserted on
+//! finalized snapshots. Mid-run snapshots use a quantized time horizon for
+//! utilization bins (so clean workers stay cached as the run grows) and
+//! the latest event time as the provisional wall clock.
+//!
+//! ## Subscriptions
+//!
+//! [`LiveViews::subscribe`] hands out versioned snapshot handles: every
+//! [`LiveViews::publish`] swaps one `Arc<ViewSnapshot>` under a mutex and
+//! notifies a condvar, so any number of concurrent readers poll or block
+//! ([`ViewSubscription::wait_newer`]) without ever touching ingest state.
+//! On a real-time service the engine can also park on the shard plane's
+//! append signal ([`LiveViews::wait_activity`]) between pumps.
+//!
+//! [`ViewQuery`] unifies hot and cold: the same query answers from live
+//! delta state for an active run and from [`crate::archive::ArchivedRun`]
+//! (or any drained [`RunData`]) for history.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use dtf_core::error::DtfError;
+use dtf_core::events::{
+    CommEvent, IoOp, IoRecord, LogEntry, ProvEvent, TaskDoneEvent, TaskMetaEvent, TransitionEvent,
+    WarningEvent, WorkerTransitionEvent,
+};
+use dtf_core::ids::{TaskPrefix, ThreadId, WorkerId};
+use dtf_core::stats::Welford;
+use dtf_core::time::{Dur, Time};
+use dtf_darshan::log::LogSet;
+use dtf_mofka::{ConsumerConfig, Event, GroupFeed, Metadata, MofkaService, ProducerConfig};
+use dtf_wms::plugins::{MofkaPlugin, WmsPlugin};
+use dtf_wms::RunData;
+
+use crate::category::CategoryStats;
+use crate::phases::PhaseSample;
+use crate::utilization::{per_worker, WorkerUtilization};
+
+/// The topics a live engine subscribes to, in feed index order.
+pub const LIVE_TOPICS: [&str; 8] = [
+    "task-meta",
+    "task-transitions",
+    "worker-transitions",
+    "task-done",
+    "comm-events",
+    "warnings",
+    "logs",
+    "io-records",
+];
+
+/// Post-hoc sort key + event-id tiebreak; BTreeMap order over these keys
+/// is exactly the order the post-hoc kernels iterate in.
+type OrdKey = (Time, Time, u32, u64);
+
+/// How a live engine attaches to a service.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Consumer group (one group per live engine; a second engine under a
+    /// different group sees the full stream independently).
+    pub group: String,
+    /// Utilization bins maintained incrementally.
+    pub bins: usize,
+    /// Thread cap per worker for the utilization view.
+    pub threads_per_worker: u32,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self { group: "live".into(), bins: 20, threads_per_worker: 1 }
+    }
+}
+
+/// Ingest counters, by topic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveProgress {
+    pub meta: u64,
+    pub transitions: u64,
+    pub worker_transitions: u64,
+    pub task_done: u64,
+    pub comms: u64,
+    pub warnings: u64,
+    pub logs: u64,
+    pub io_records: u64,
+}
+
+impl LiveProgress {
+    pub fn total(&self) -> u64 {
+        self.meta
+            + self.transitions
+            + self.worker_transitions
+            + self.task_done
+            + self.comms
+            + self.warnings
+            + self.logs
+            + self.io_records
+    }
+}
+
+/// One immutable published view state. Readers hold it by `Arc`; a new
+/// publish never mutates an outstanding snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewSnapshot {
+    /// Monotone publish counter (0 = nothing published yet).
+    pub version: u64,
+    /// Whether [`LiveViews::finalize`] has run; only finalized snapshots
+    /// are equivalence-gated against the post-hoc kernels.
+    pub finalized: bool,
+    pub progress: LiveProgress,
+    /// Per-category statistics, sorted like `per_category` (mean duration
+    /// desc, then category).
+    pub categories: Vec<CategoryStats>,
+    /// Per-worker utilization, sorted by worker id. Mid-run bins span a
+    /// quantized horizon; finalized bins span the exact wall time.
+    pub utilization: Vec<WorkerUtilization>,
+    /// Phase totals; `io_s` is 0 until finalize delivers the Darshan logs,
+    /// `wall_s` is the latest event time until finalize pins it.
+    pub phases: PhaseSample,
+    /// Fraction of Darshan records attributed to a task (`None` before
+    /// finalize; cf. `RunViews::io_attribution_rate`).
+    pub attribution_rate: Option<f64>,
+}
+
+impl ViewSnapshot {
+    fn empty() -> Self {
+        Self {
+            version: 0,
+            finalized: false,
+            progress: LiveProgress::default(),
+            categories: Vec::new(),
+            utilization: Vec::new(),
+            phases: PhaseSample { wall_s: 0.0, io_s: 0.0, comm_s: 0.0, compute_s: 0.0 },
+            attribution_rate: None,
+        }
+    }
+}
+
+/// Shared publish slot: latest snapshot + wakeup for blocked subscribers.
+#[derive(Debug)]
+struct Published {
+    snap: Mutex<Arc<ViewSnapshot>>,
+    cv: Condvar,
+}
+
+/// A subscriber handle. Cheap to clone and fully decoupled from ingest:
+/// reading (or blocking on) snapshots never contends with `pump`.
+#[derive(Debug, Clone)]
+pub struct ViewSubscription {
+    shared: Arc<Published>,
+}
+
+impl ViewSubscription {
+    /// The latest published snapshot.
+    pub fn latest(&self) -> Arc<ViewSnapshot> {
+        self.shared.snap.lock().expect("publish slot poisoned").clone()
+    }
+
+    /// Block until a snapshot newer than `seen` is published or `timeout`
+    /// elapses; returns the newest snapshot either way.
+    pub fn wait_newer(&self, seen: u64, timeout: Duration) -> Arc<ViewSnapshot> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.shared.snap.lock().expect("publish slot poisoned");
+        while guard.version <= seen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, t) =
+                self.shared.cv.wait_timeout(guard, deadline - now).expect("publish slot poisoned");
+            guard = g;
+            if t.timed_out() {
+                break;
+            }
+        }
+        guard.clone()
+    }
+}
+
+/// One query shape answered identically by live state and archives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ViewQuery {
+    Categories,
+    Utilization { bins: usize, threads_per_worker: u32 },
+    Phases,
+}
+
+/// A query answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ViewResult {
+    Categories(Vec<CategoryStats>),
+    Utilization(Vec<WorkerUtilization>),
+    Phases(PhaseSample),
+}
+
+/// Phase totals of a drained run — the cold-path `Phases` answer, and the
+/// oracle the live engine's integer accumulators are checked against.
+pub fn phase_sample(data: &RunData) -> PhaseSample {
+    PhaseSample {
+        wall_s: data.wall_time.as_secs_f64(),
+        io_s: data.io_time().as_secs_f64(),
+        comm_s: data.comm_time().as_secs_f64(),
+        compute_s: data.compute_time().as_secs_f64(),
+    }
+}
+
+/// Answer a [`ViewQuery`] from a drained run record (the cold path; see
+/// [`crate::archive::ArchivedRun::query`]).
+pub fn query_rundata(data: &RunData, q: &ViewQuery) -> ViewResult {
+    match q {
+        ViewQuery::Categories => ViewResult::Categories(crate::category::per_category(data)),
+        ViewQuery::Utilization { bins, threads_per_worker } => {
+            ViewResult::Utilization(per_worker(data, *bins, *threads_per_worker))
+        }
+        ViewQuery::Phases => ViewResult::Phases(phase_sample(data)),
+    }
+}
+
+/// Everything the run hands over when it ends: the sources that only
+/// exist at shutdown, ingested as the final Δ-batch.
+#[derive(Debug, Clone)]
+pub struct RunFinal {
+    pub darshan: LogSet,
+    pub wall_time: Dur,
+}
+
+#[derive(Default)]
+struct CatState {
+    /// Raw samples in post-hoc iteration order: `(stop, start, part, off)`
+    /// → `(duration_s, nbytes)`.
+    samples: BTreeMap<OrdKey, (f64, f64)>,
+    threads: HashSet<u64>,
+    workers: HashSet<String>,
+    io_ops: u64,
+    io_bytes: u64,
+}
+
+#[derive(Default)]
+struct WorkerState {
+    /// Execution intervals in post-hoc iteration order: `(stop, start,
+    /// part, off)` → `(start_s, stop_s)`.
+    intervals: BTreeMap<OrdKey, (f64, f64)>,
+}
+
+/// The incremental view-maintenance engine. See the module docs.
+pub struct LiveViews {
+    feed: GroupFeed,
+    cfg: LiveConfig,
+
+    // ---- delta state ----
+    cats: HashMap<TaskPrefix, CatState>,
+    cat_cache: HashMap<TaskPrefix, CategoryStats>,
+    dirty_cats: HashSet<TaskPrefix>,
+    workers: BTreeMap<WorkerId, WorkerState>,
+    busy_cache: HashMap<WorkerId, Vec<f64>>,
+    dirty_workers: HashSet<WorkerId>,
+    /// Horizon the cached busy bins were computed over.
+    horizon: f64,
+    /// Per-thread task intervals for the I/O join, in the `task_io` scan
+    /// order: `(start, stop, part, off)` → category.
+    by_thread: HashMap<ThreadId, BTreeMap<OrdKey, TaskPrefix>>,
+    compute: Dur,
+    comm: Dur,
+    io: Dur,
+    /// Latest event timestamp seen (provisional wall clock).
+    max_t: Time,
+    progress: LiveProgress,
+    wall: Option<Dur>,
+    attribution: Option<(u64, u64)>, // (matched, total) darshan records
+    finalized: bool,
+
+    // ---- publication ----
+    published: Arc<Published>,
+    version: u64,
+}
+
+impl LiveViews {
+    /// Attach to `svc` as consumer group `cfg.group` over [`LIVE_TOPICS`].
+    pub fn attach(svc: &MofkaService, cfg: LiveConfig) -> dtf_core::Result<Self> {
+        let feed = svc.group_feed(
+            &LIVE_TOPICS,
+            // prefetch matches the post-hoc drain so the (partition,
+            // offset) tiebreak discussion in the module docs carries over
+            ConsumerConfig { group: cfg.group.clone(), prefetch: 4096 },
+        )?;
+        Ok(Self {
+            feed,
+            cfg,
+            cats: HashMap::new(),
+            cat_cache: HashMap::new(),
+            dirty_cats: HashSet::new(),
+            workers: BTreeMap::new(),
+            busy_cache: HashMap::new(),
+            dirty_workers: HashSet::new(),
+            horizon: 0.0,
+            by_thread: HashMap::new(),
+            compute: Dur::ZERO,
+            comm: Dur::ZERO,
+            io: Dur::ZERO,
+            max_t: Time::ZERO,
+            progress: LiveProgress::default(),
+            wall: None,
+            attribution: None,
+            finalized: false,
+            published: Arc::new(Published {
+                snap: Mutex::new(Arc::new(ViewSnapshot::empty())),
+                cv: Condvar::new(),
+            }),
+            version: 0,
+        })
+    }
+
+    /// A new subscriber handle (any number may exist concurrently; handles
+    /// stay valid for the engine's lifetime and beyond).
+    pub fn subscribe(&self) -> ViewSubscription {
+        ViewSubscription { shared: self.published.clone() }
+    }
+
+    /// Park on the shard plane's append signal (real-time services); see
+    /// [`GroupFeed::wait_activity`].
+    pub fn wait_activity(&mut self, timeout: Duration) -> bool {
+        self.feed.wait_activity(timeout)
+    }
+
+    /// One poll pass over the feed: ingest whatever arrived, up to
+    /// `max_per_topic` events per topic. Returns events ingested. O(Δ).
+    pub fn pump(&mut self, max_per_topic: usize) -> dtf_core::Result<u64> {
+        let batches = self.feed.poll(max_per_topic)?;
+        let mut n = 0u64;
+        for b in batches {
+            for stored in b.events {
+                self.apply(b.topic, stored)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Pump until the feed runs dry. Returns events ingested.
+    pub fn pump_all(&mut self) -> dtf_core::Result<u64> {
+        let mut total = 0;
+        loop {
+            let n = self.pump(4096)?;
+            if n == 0 {
+                return Ok(total);
+            }
+            total += n;
+        }
+    }
+
+    fn apply(&mut self, topic: usize, stored: dtf_mofka::StoredEvent) -> dtf_core::Result<()> {
+        fn parse<T: ProvEvent + serde::Deserialize>(
+            stored: dtf_mofka::StoredEvent,
+        ) -> dtf_core::Result<(u32, u64, T)> {
+            let (p, o) = (stored.id.partition, stored.id.offset);
+            let ev = match stored.event.metadata {
+                Metadata::Typed(rec) => {
+                    let rec = Arc::try_unwrap(rec).unwrap_or_else(|a| (*a).clone());
+                    T::from_record(rec).ok_or_else(|| {
+                        DtfError::IllegalState("live topic carried a wrong-family record".into())
+                    })?
+                }
+                Metadata::Json(v) => serde_json::from_value(v)?,
+            };
+            Ok((p, o, ev))
+        }
+        match topic {
+            0 => {
+                let (_, _, e): (_, _, TaskMetaEvent) = parse(stored)?;
+                self.progress.meta += 1;
+                self.max_t = self.max_t.max(e.submitted);
+            }
+            1 => {
+                let (_, _, e): (_, _, TransitionEvent) = parse(stored)?;
+                self.progress.transitions += 1;
+                self.max_t = self.max_t.max(e.time);
+            }
+            2 => {
+                let (_, _, e): (_, _, WorkerTransitionEvent) = parse(stored)?;
+                self.progress.worker_transitions += 1;
+                self.max_t = self.max_t.max(e.time);
+            }
+            3 => {
+                let (p, o, e): (_, _, TaskDoneEvent) = parse(stored)?;
+                self.ingest_task_done(p, o, e);
+            }
+            4 => {
+                let (_, _, e): (_, _, CommEvent) = parse(stored)?;
+                self.progress.comms += 1;
+                self.comm += e.duration();
+                self.max_t = self.max_t.max(e.stop);
+            }
+            5 => {
+                let (_, _, e): (_, _, WarningEvent) = parse(stored)?;
+                self.progress.warnings += 1;
+                self.max_t = self.max_t.max(e.time);
+            }
+            6 => {
+                let (_, _, e): (_, _, LogEntry) = parse(stored)?;
+                self.progress.logs += 1;
+                self.max_t = self.max_t.max(e.time);
+            }
+            7 => {
+                let (_, _, e): (_, _, IoRecord) = parse(stored)?;
+                self.progress.io_records += 1;
+                self.max_t = self.max_t.max(e.stop);
+            }
+            other => {
+                return Err(DtfError::IllegalState(format!("unknown live feed topic {other}")))
+            }
+        }
+        Ok(())
+    }
+
+    fn ingest_task_done(&mut self, part: u32, off: u64, e: TaskDoneEvent) {
+        self.progress.task_done += 1;
+        self.max_t = self.max_t.max(e.stop);
+        self.compute += e.duration();
+        let key: OrdKey = (e.stop, e.start, part, off);
+        let cat = self.cats.entry(e.key.prefix.clone()).or_default();
+        cat.samples.insert(key, (e.duration().as_secs_f64(), e.nbytes as f64));
+        cat.threads.insert(e.thread.0);
+        cat.workers.insert(e.worker.address());
+        self.dirty_cats.insert(e.key.prefix.clone());
+        self.workers
+            .entry(e.worker)
+            .or_default()
+            .intervals
+            .insert(key, (e.start.as_secs_f64(), e.stop.as_secs_f64()));
+        self.dirty_workers.insert(e.worker);
+        self.by_thread
+            .entry(e.thread)
+            .or_default()
+            .insert((e.start, e.stop, part, off), e.key.prefix);
+    }
+
+    /// Ingest the shutdown-only sources (Darshan logs, exact wall time) as
+    /// the final Δ-batch, drain the feed, and publish the finalized
+    /// snapshot — the one the equivalence oracle compares to the post-hoc
+    /// kernels.
+    pub fn finalize(&mut self, fin: RunFinal) -> dtf_core::Result<Arc<ViewSnapshot>> {
+        self.pump_all()?;
+        // the fused task↔I/O join, incremental edition: each Darshan
+        // record resolves against the per-thread interval index in the
+        // exact scan order task_io uses (last interval starting at or
+        // before t, latest first)
+        let (mut matched, mut total) = (0u64, 0u64);
+        for rec in fin.darshan.all_records() {
+            total += 1;
+            let t = Time::from_secs_f64(rec.start.as_secs_f64());
+            let found = self.by_thread.get(&rec.thread).and_then(|intervals| {
+                intervals
+                    .range(..=(t, Time(u64::MAX), u32::MAX, u64::MAX))
+                    .rev()
+                    .find(|((_, stop, _, _), _)| *stop >= t)
+                    .map(|(_, prefix)| prefix.clone())
+            });
+            if let Some(prefix) = found {
+                matched += 1;
+                if matches!(rec.op, IoOp::Read | IoOp::Write) {
+                    if let Some(cat) = self.cats.get_mut(&prefix) {
+                        cat.io_ops += 1;
+                        cat.io_bytes += rec.size;
+                        self.dirty_cats.insert(prefix);
+                    }
+                }
+            }
+        }
+        self.attribution = Some((matched, total));
+        self.io = fin.darshan.total_io_time();
+        self.wall = Some(fin.wall_time);
+        // exact wall time moves every bin edge: recompute all workers once
+        self.dirty_workers.extend(self.workers.keys().copied());
+        self.finalized = true;
+        Ok(self.publish())
+    }
+
+    /// Refresh the dirty groups and publish a new snapshot. Cost is
+    /// proportional to the groups touched since the last publish (plus the
+    /// O(C log C) output sort), not to the events seen.
+    pub fn publish(&mut self) -> Arc<ViewSnapshot> {
+        self.refresh_categories();
+        self.refresh_utilization();
+        self.version += 1;
+        let snap =
+            Arc::new(ViewSnapshot {
+                version: self.version,
+                finalized: self.finalized,
+                progress: self.progress,
+                categories: self.sorted_categories(),
+                utilization: self.sorted_utilization(),
+                phases: self.current_phases(),
+                attribution_rate: self.attribution.map(|(m, t)| {
+                    if t == 0 {
+                        0.0
+                    } else {
+                        m as f64 / t as f64
+                    }
+                }),
+            });
+        let mut slot = self.published.snap.lock().expect("publish slot poisoned");
+        *slot = snap.clone();
+        self.published.cv.notify_all();
+        snap
+    }
+
+    /// Answer a [`ViewQuery`] from live state (the hot path). Queries with
+    /// non-configured utilization parameters recompute from the interval
+    /// stores instead of the bin cache.
+    pub fn query(&mut self, q: &ViewQuery) -> ViewResult {
+        match q {
+            ViewQuery::Categories => {
+                self.refresh_categories();
+                ViewResult::Categories(self.sorted_categories())
+            }
+            ViewQuery::Utilization { bins, threads_per_worker }
+                if *bins == self.cfg.bins && *threads_per_worker == self.cfg.threads_per_worker =>
+            {
+                self.refresh_utilization();
+                ViewResult::Utilization(self.sorted_utilization())
+            }
+            ViewQuery::Utilization { bins, threads_per_worker } => {
+                let horizon = self.effective_horizon();
+                let out = self
+                    .workers
+                    .iter()
+                    .map(|(worker, st)| WorkerUtilization {
+                        worker: *worker,
+                        busy: Self::bins_for(&st.intervals, *bins, horizon, *threads_per_worker),
+                    })
+                    .collect();
+                ViewResult::Utilization(out)
+            }
+            ViewQuery::Phases => ViewResult::Phases(self.current_phases()),
+        }
+    }
+
+    fn current_phases(&self) -> PhaseSample {
+        PhaseSample {
+            wall_s: self.wall.map_or_else(|| self.max_t.as_secs_f64(), |w| w.as_secs_f64()),
+            io_s: self.io.as_secs_f64(),
+            comm_s: self.comm.as_secs_f64(),
+            compute_s: self.compute.as_secs_f64(),
+        }
+    }
+
+    fn refresh_categories(&mut self) {
+        for prefix in std::mem::take(&mut self.dirty_cats) {
+            let st = &self.cats[&prefix];
+            // replay in canonical order: bit-identical to per_category's
+            // pass over the (stop, start)-sorted task vector
+            let mut duration = Welford::new();
+            let mut nbytes = Welford::new();
+            for (d, n) in st.samples.values() {
+                duration.push(*d);
+                nbytes.push(*n);
+            }
+            self.cat_cache.insert(
+                prefix.clone(),
+                CategoryStats {
+                    category: prefix.as_str().to_string(),
+                    tasks: st.samples.len(),
+                    duration: duration.summary(),
+                    output_nbytes: nbytes.summary(),
+                    threads: st.threads.len(),
+                    workers: st.workers.len(),
+                    io_ops: st.io_ops,
+                    io_bytes: st.io_bytes,
+                },
+            );
+        }
+    }
+
+    fn sorted_categories(&self) -> Vec<CategoryStats> {
+        let mut out: Vec<CategoryStats> = self.cat_cache.values().cloned().collect();
+        out.sort_by(|a, b| {
+            b.duration
+                .mean
+                .partial_cmp(&a.duration.mean)
+                .expect("finite means")
+                .then(a.category.cmp(&b.category))
+        });
+        out
+    }
+
+    /// Horizon the utilization bins currently span: the exact wall time
+    /// once finalized, otherwise the latest event time rounded up to a
+    /// power of two so bin edges (and the clean workers' cached bins) stay
+    /// put as the run grows.
+    fn effective_horizon(&self) -> f64 {
+        match self.wall {
+            Some(w) => w.as_secs_f64().max(1e-9),
+            None => {
+                let t = self.max_t.as_secs_f64().max(1.0);
+                let mut h = 1.0f64;
+                while h < t {
+                    h *= 2.0;
+                }
+                h
+            }
+        }
+    }
+
+    fn bins_for(
+        intervals: &BTreeMap<OrdKey, (f64, f64)>,
+        bins: usize,
+        horizon: f64,
+        threads_per_worker: u32,
+    ) -> Vec<f64> {
+        // mirror per_worker's arithmetic exactly, including its add order
+        let w = horizon / bins as f64;
+        let mut busy = vec![0.0; bins];
+        for (s, e) in intervals.values() {
+            let first = ((s / w) as usize).min(bins - 1);
+            let last = ((e / w) as usize).min(bins - 1);
+            for (bin, slot) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let b0 = bin as f64 * w;
+                let b1 = b0 + w;
+                *slot += (e.min(b1) - s.max(b0)).max(0.0);
+            }
+        }
+        let cap = w * threads_per_worker as f64;
+        busy.into_iter().map(|b| (b / cap).min(1.0)).collect()
+    }
+
+    fn refresh_utilization(&mut self) {
+        let horizon = self.effective_horizon();
+        if horizon != self.horizon {
+            // bin edges moved: every cached worker is stale
+            self.dirty_workers.extend(self.workers.keys().copied());
+            self.horizon = horizon;
+        }
+        for worker in std::mem::take(&mut self.dirty_workers) {
+            let st = &self.workers[&worker];
+            self.busy_cache.insert(
+                worker,
+                Self::bins_for(&st.intervals, self.cfg.bins, horizon, self.cfg.threads_per_worker),
+            );
+        }
+    }
+
+    fn sorted_utilization(&self) -> Vec<WorkerUtilization> {
+        // self.workers is a BTreeMap: iteration is already worker order
+        self.workers
+            .keys()
+            .map(|w| WorkerUtilization { worker: *w, busy: self.busy_cache[w].clone() })
+            .collect()
+    }
+
+    /// Events claimed but never delivered by this engine's feed.
+    pub fn discarded_claims(&self) -> u64 {
+        self.feed.discarded_claims()
+    }
+
+    /// Latest published version (0 until the first publish).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub fn progress(&self) -> LiveProgress {
+        self.progress
+    }
+}
+
+/// Push every event of a drained run record back into `svc`'s topics with
+/// the production partitioning (task-scoped topics by task key — the same
+/// placement `MofkaPlugin` gave the original run). This is the replay
+/// harness the equivalence tests and the view bench feed live engines
+/// with: drain a simulated run once, republish it into a fresh service,
+/// and pump it through [`LiveViews`] in whatever chunking the test wants.
+pub fn republish(data: &RunData, svc: &MofkaService) -> dtf_core::Result<()> {
+    let mut plugin = MofkaPlugin::new(svc, ProducerConfig::default())?;
+    for e in &data.meta {
+        plugin.on_task_meta(e);
+    }
+    for e in &data.transitions {
+        plugin.on_transition(e);
+    }
+    for e in &data.worker_transitions {
+        plugin.on_worker_transition(e);
+    }
+    for e in &data.task_done {
+        plugin.on_task_done(e);
+    }
+    for e in &data.comms {
+        plugin.on_comm(e);
+    }
+    for e in &data.warnings {
+        plugin.on_warning(e);
+    }
+    for e in &data.logs {
+        plugin.on_log(e);
+    }
+    plugin.flush();
+    if !data.online_io.is_empty() {
+        let mut producer = svc.producer("io-records", ProducerConfig::default())?;
+        for r in &data.online_io {
+            producer.push(Event::typed(r.clone()))?;
+        }
+        producer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::per_category;
+    use dtf_core::ids::{GraphId, RunId};
+    use dtf_mofka::bedrock::BedrockConfig;
+    use dtf_wms::sim::{SimCluster, SimConfig, SimWorkflow, SubmitPolicy};
+    use dtf_wms::{GraphBuilder, IoCall, SimAction};
+
+    fn sim_run(seed: u64) -> RunData {
+        let mut b = GraphBuilder::new(GraphId(0));
+        let tok = b.new_token();
+        for i in 0..8u32 {
+            let load = b.add_sim(
+                "load",
+                tok,
+                i,
+                vec![],
+                SimAction {
+                    compute: Dur::from_millis_f64(20.0),
+                    io: vec![IoCall::read(dtf_core::ids::FileId(0), i as u64 * 4096, 4096)],
+                    output_nbytes: 1 << 16,
+                    stall_rate: 0.0,
+                },
+            );
+            b.add_sim(
+                "train",
+                tok,
+                i,
+                vec![load],
+                SimAction::compute_only(Dur::from_millis_f64(120.0), 1 << 20),
+            );
+        }
+        let wf = SimWorkflow {
+            name: "live-test".into(),
+            graphs: vec![b.build(&Default::default()).unwrap()],
+            submit: SubmitPolicy::AllAtOnce,
+            startup: Dur::from_secs_f64(0.5),
+            inter_graph: Dur::ZERO,
+            shutdown: Dur::ZERO,
+            dataset: vec![("/f".into(), 1 << 20, 1)],
+        };
+        SimCluster::new(SimConfig { campaign_seed: seed, run: RunId(0), ..Default::default() })
+            .unwrap()
+            .run(wf)
+            .unwrap()
+    }
+
+    /// Drain `svc` (fresh group) exactly as the post-hoc analysis would,
+    /// reusing the non-Mofka half of `orig`.
+    fn drain_again(svc: &MofkaService, orig: &RunData, group_tag: u64) -> RunData {
+        RunData::drain_from_mofka(
+            svc,
+            RunId(group_tag as u32 + 100),
+            orig.workflow.clone(),
+            orig.chart.clone(),
+            orig.darshan.clone(),
+            orig.wall_time,
+            orig.start_order.clone(),
+            orig.steals,
+        )
+        .unwrap()
+    }
+
+    /// The equivalence oracle: a live engine pumped in small chunks ends
+    /// bit-identical to the post-hoc kernels over the same drained events.
+    #[test]
+    fn live_views_equal_post_hoc_kernels() {
+        let data = sim_run(7);
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        republish(&data, &svc).unwrap();
+        let cfg = LiveConfig { group: "live-eq".into(), bins: 16, threads_per_worker: 1 };
+        let mut live = LiveViews::attach(&svc, cfg).unwrap();
+        // pump in deliberately small chunks to exercise incremental paths
+        while live.pump(3).unwrap() > 0 {
+            live.publish();
+        }
+        let snap = live
+            .finalize(RunFinal { darshan: data.darshan.clone(), wall_time: data.wall_time })
+            .unwrap();
+        let oracle = drain_again(&svc, &data, 1);
+        assert_eq!(snap.categories, per_category(&oracle), "categories bit-identical");
+        assert_eq!(snap.utilization, per_worker(&oracle, 16, 1), "utilization bit-identical");
+        assert_eq!(snap.phases, phase_sample(&oracle), "phases bit-identical");
+        assert_eq!(snap.attribution_rate, Some(1.0), "thread ids present: full attribution");
+        assert!(snap.finalized);
+        assert_eq!(snap.progress.task_done, oracle.task_done.len() as u64);
+    }
+
+    #[test]
+    fn view_query_unifies_hot_and_cold() {
+        let data = sim_run(9);
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        republish(&data, &svc).unwrap();
+        let mut live = LiveViews::attach(&svc, LiveConfig::default()).unwrap();
+        live.pump_all().unwrap();
+        live.finalize(RunFinal { darshan: data.darshan.clone(), wall_time: data.wall_time })
+            .unwrap();
+        let oracle = drain_again(&svc, &data, 2);
+        for q in [
+            ViewQuery::Categories,
+            ViewQuery::Utilization { bins: 20, threads_per_worker: 1 },
+            // non-configured bins: answered from the interval stores
+            ViewQuery::Utilization { bins: 7, threads_per_worker: 2 },
+            ViewQuery::Phases,
+        ] {
+            assert_eq!(live.query(&q), query_rundata(&oracle, &q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn subscribers_see_versioned_snapshots() {
+        let data = sim_run(11);
+        let svc = BedrockConfig::wms_default().bootstrap().unwrap();
+        republish(&data, &svc).unwrap();
+        let mut live = LiveViews::attach(&svc, LiveConfig::default()).unwrap();
+        let sub = live.subscribe();
+        assert_eq!(sub.latest().version, 0, "nothing published yet");
+        live.pump(5).unwrap();
+        let s1 = live.publish();
+        assert_eq!(sub.latest().version, s1.version);
+        live.pump_all().unwrap();
+        let s2 = live.publish();
+        assert!(s2.version > s1.version);
+        // wait_newer returns immediately when a newer snapshot exists
+        let got = sub.wait_newer(s1.version, Duration::from_secs(5));
+        assert_eq!(got.version, s2.version);
+        // and times out (returning the latest) when nothing newer comes
+        let got = sub.wait_newer(s2.version, Duration::from_millis(20));
+        assert_eq!(got.version, s2.version);
+    }
+
+    /// Concurrent subscriptions off the real-time shard plane: a producer
+    /// thread streams events while the engine pumps on plane activity and
+    /// several subscriber threads block for fresh versions.
+    #[test]
+    fn concurrent_subscriptions_on_realtime_plane() {
+        use dtf_core::ids::{NodeId, TaskKey, WorkerId};
+        let svc_cfg = dtf_mofka::ServiceConfig {
+            mode: dtf_mofka::ServiceMode::RealTime { shards: 2 },
+            ..Default::default()
+        };
+        let svc = BedrockConfig::wms_default().bootstrap_with(&svc_cfg).unwrap();
+        let mut live =
+            LiveViews::attach(&svc, LiveConfig { group: "rt-subs".into(), ..Default::default() })
+                .unwrap();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let sub = live.subscribe();
+                std::thread::spawn(move || {
+                    let snap = sub.wait_newer(0, Duration::from_secs(30));
+                    (snap.version, snap.progress.task_done)
+                })
+            })
+            .collect();
+        let mut producer = svc.producer("task-done", ProducerConfig::default()).unwrap();
+        let n_events = 64u64;
+        for i in 0..n_events {
+            producer
+                .push(Event::typed(TaskDoneEvent {
+                    key: TaskKey::new("t", 0, i as u32),
+                    graph: GraphId(0),
+                    worker: WorkerId::new(NodeId(0), (i % 4) as u32),
+                    thread: ThreadId(i % 4),
+                    start: Time(i * 1_000_000),
+                    stop: Time((i + 1) * 1_000_000),
+                    nbytes: 64,
+                }))
+                .unwrap();
+        }
+        producer.flush().unwrap();
+        svc.sync().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while live.progress().task_done < n_events {
+            if live.pump(4096).unwrap() == 0 {
+                live.wait_activity(Duration::from_millis(50));
+            }
+            assert!(std::time::Instant::now() < deadline, "ingest stalled");
+        }
+        live.publish();
+        for r in readers {
+            let (version, seen) = r.join().unwrap();
+            assert!(version >= 1);
+            assert!(seen > 0, "subscribers observed live progress");
+        }
+        assert_eq!(live.progress().task_done, n_events);
+        svc.shutdown().unwrap();
+    }
+}
