@@ -52,6 +52,18 @@
 //!                    a full recompute, or if Δ-refresh wall regressed >20%
 //!                    against the committed BENCH_repro.json `views`
 //!                    section; exit 2 on a pre-schema-7 baseline)
+//!   proxy-bench     (out-of-band proxy-plane ablation on a data-heavy
+//!                    workflow: same seed with the plane off and on, gated
+//!                    event-for-event identical; reports the scheduler-
+//!                    mediated byte reduction and the resolver fast-path
+//!                    latency; prints the `proxy` section and refreshes it
+//!                    inside BENCH_repro.json when present, bumping the
+//!                    document to schema 8)
+//!   proxy-check     (re-measure and gate: exits nonzero if the plane
+//!                    perturbed the schedule, if the scheduler-byte
+//!                    reduction is below 5x or regressed >20% against the
+//!                    committed `proxy` section, or if resolve latency
+//!                    regressed >20%; exit 2 on a pre-schema-8 baseline)
 //!   recovery-smoke  (--seed N: run a persistent seeded campaign, verify a
 //!                    fresh-process archive reopen reproduces the export
 //!                    bundle byte-for-byte, then damage store copies under
@@ -116,6 +128,8 @@ fn main() {
         "stress-check" => std::process::exit(stress_check()),
         "view-bench" => std::process::exit(view_bench()),
         "view-check" => std::process::exit(view_check()),
+        "proxy-bench" => std::process::exit(proxy_bench()),
+        "proxy-check" => std::process::exit(proxy_check()),
         "recovery-smoke" => std::process::exit(recovery_smoke(seed)),
         _ => {}
     }
@@ -763,6 +777,149 @@ fn view_check() -> i32 {
     }
 }
 
+/// Measure the proxy-plane ablation alone, print the `proxy` section, and
+/// — when a committed artifact is present — refresh that section in
+/// place, bumping the document to schema 8 so `proxy-check` can gate
+/// against it.
+fn proxy_bench() -> i32 {
+    let b = dtf_bench::proxy::proxy_bench();
+    println!(
+        "proxy plane: in-band {:.1} MiB -> {:.3} MiB over {} transfers ({:.0}x reduction)",
+        b.in_band_bytes_off as f64 / (1024.0 * 1024.0),
+        b.in_band_bytes_on as f64 / (1024.0 * 1024.0),
+        b.transfers,
+        b.scheduler_bytes_reduction
+    );
+    println!(
+        "  {} tasks, {} published / {} resolved, {:.1} MiB payloads over a {:.1} MiB threshold",
+        b.tasks,
+        b.published,
+        b.resolved,
+        b.payload_bytes as f64 / (1024.0 * 1024.0),
+        b.threshold_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  resolver fast path: {:.0} ns/resolve over {} fresh resolves, sim wall {:.1}s, \
+         identical: {}",
+        b.resolve_ns, b.resolves, b.sim_wall_s, b.identical
+    );
+    if !b.identical {
+        eprintln!("proxy-bench: FAIL — the plane perturbed the schedule");
+        return 1;
+    }
+    let section = serde_json::to_value(&b).expect("section serializes");
+    println!("{}", serde_json::to_string_pretty(&section).expect("section serializes"));
+    // refresh the committed artifact's proxy section in place, leaving
+    // every other section at its committed baseline
+    if let Ok(s) = std::fs::read_to_string("BENCH_repro.json") {
+        match serde_json::from_str::<serde_json::Value>(&s) {
+            Ok(serde_json::Value::Object(mut doc)) => {
+                doc.insert("proxy".to_string(), section);
+                // the proxy section is what schema 8 adds, so refreshing it
+                // into an older artifact upgrades the document
+                let schema = doc.get("schema").and_then(|v| v.as_u64()).unwrap_or(0);
+                doc.insert("schema".to_string(), serde_json::json!(schema.max(8)));
+                let pretty = serde_json::to_string_pretty(&serde_json::Value::Object(doc))
+                    .expect("doc serializes");
+                match std::fs::write("BENCH_repro.json", pretty) {
+                    Ok(()) => println!("refreshed proxy section of BENCH_repro.json"),
+                    Err(e) => {
+                        eprintln!("proxy-bench: cannot rewrite BENCH_repro.json: {e}");
+                        return 1;
+                    }
+                }
+            }
+            Ok(_) => {
+                eprintln!("proxy-bench: BENCH_repro.json is not a JSON object, leaving it");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("proxy-bench: BENCH_repro.json is not valid JSON, leaving it: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// CI gate for the proxy plane: re-measure and require (a) the plane-on
+/// run to be event-for-event identical to plane-off, (b) a scheduler-byte
+/// reduction of at least 5x that also hasn't dropped >20% against the
+/// committed `BENCH_repro.json`, and (c) no >20% regression of the
+/// resolver fast-path latency. Exit 2 if the baseline lacks the schema-8
+/// fields, so the gate can never silently pass.
+fn proxy_check() -> i32 {
+    const ALLOWED_REGRESSION: f64 = 0.20;
+    const REDUCTION_FLOOR: f64 = 5.0;
+    let baseline = match std::fs::read_to_string("BENCH_repro.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("proxy-check: cannot read BENCH_repro.json: {e}");
+            return 2;
+        }
+    };
+    let doc: serde_json::Value = match serde_json::from_str(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("proxy-check: BENCH_repro.json is not valid JSON: {e}");
+            return 2;
+        }
+    };
+    let Some(expected_reduction) = doc["proxy"]["scheduler_bytes_reduction"].as_f64() else {
+        eprintln!(
+            "proxy-check: BENCH_repro.json has no proxy.scheduler_bytes_reduction (schema < 8?)"
+        );
+        return 2;
+    };
+    let Some(expected_resolve) = doc["proxy"]["resolve_ns"].as_f64() else {
+        eprintln!("proxy-check: BENCH_repro.json has no proxy.resolve_ns");
+        return 2;
+    };
+    if doc["proxy"]["identical"].as_bool() != Some(true) {
+        eprintln!("proxy-check: committed proxy baseline was not schedule-identical");
+        return 2;
+    }
+    let b = dtf_bench::proxy::proxy_bench();
+    let mut failed = false;
+    if !b.identical {
+        eprintln!("proxy-check: FAIL — the plane perturbed the schedule");
+        failed = true;
+    }
+    // the reduction is a ratio: higher is better, so the gate is a floor —
+    // the absolute 5x acceptance bar and the 20%-of-baseline band
+    let floor = REDUCTION_FLOOR.max(expected_reduction * (1.0 - ALLOWED_REGRESSION));
+    println!(
+        "proxy scheduler-byte reduction: measured {:.1}x, baseline {:.1}x (floor {:.1}x)",
+        b.scheduler_bytes_reduction, expected_reduction, floor
+    );
+    if b.scheduler_bytes_reduction < floor {
+        eprintln!(
+            "proxy-check: FAIL — scheduler-byte reduction fell below the {:.1}x floor",
+            floor
+        );
+        failed = true;
+    }
+    // resolve latency is a wall time: lower is better, so a ceiling
+    let ceiling = expected_resolve * (1.0 + ALLOWED_REGRESSION);
+    println!(
+        "proxy resolve latency: measured {:.0} ns, baseline {:.0} (ceiling {:.0})",
+        b.resolve_ns, expected_resolve, ceiling
+    );
+    if b.resolve_ns > ceiling {
+        eprintln!(
+            "proxy-check: FAIL — resolve latency regressed more than {:.0}%",
+            ALLOWED_REGRESSION * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        1
+    } else {
+        println!("proxy-check: OK");
+        0
+    }
+}
+
 /// End-to-end recovery smoke: a persistent seeded campaign, a
 /// fresh-process archive reopen gated byte-for-byte against the live
 /// export bundle, then seeded crash faults on store copies judged by the
@@ -945,7 +1102,7 @@ ablation-stealing|ablation-dxt-buffer|ablation-dxt-threads|\\
 ablation-schedule-order|ablation-mofka-batch|overhead|\\
 chaos|chaos-replay|bench|provenance-bench|provenance-check|\\
 store-bench|store-check|stress-bench|stress-check|\\
-view-bench|view-check|recovery-smoke|all> \\
+view-bench|view-check|proxy-bench|proxy-check|recovery-smoke|all> \\
 [--seed N] [--runs N] [--schedules K] [--index I] [--jobs J]"
     );
     std::process::exit(2)

@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod liveviews;
 pub mod perf;
 pub mod provenance;
+pub mod proxy;
 pub mod storage;
 pub mod stress;
 
@@ -19,5 +20,6 @@ pub use experiments::{fig3, fig4, fig5, fig6, fig7, fig8, table1};
 pub use liveviews::{view_bench, ViewBench};
 pub use perf::{bench_artifact, bench_report, BenchReport};
 pub use provenance::{provenance_pipeline, ProvenancePipeline};
+pub use proxy::{proxy_bench, ProxyBench};
 pub use storage::{storage_bench, StorageBench};
 pub use stress::{stress_bench, StressBench, StressConfig, StressOutcome};

@@ -43,6 +43,9 @@ pub struct BenchReport {
     /// Incremental live-view maintenance vs full recompute, with the
     /// live/post-hoc equivalence verdict (schema 7).
     pub views: crate::liveviews::ViewBench,
+    /// Out-of-band proxy-plane ablation: scheduler-mediated byte reduction
+    /// on a data-heavy workflow plus resolver fast-path latency (schema 8).
+    pub proxy: crate::proxy::ProxyBench,
     pub campaigns: Vec<CampaignBench>,
     /// Peak resident set size in bytes (`VmHWM`), `None` where unexposed.
     pub peak_rss_bytes: Option<u64>,
@@ -220,10 +223,12 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
     );
     let views = crate::liveviews::view_bench();
     assert!(views.equivalent, "live views diverged from the post-hoc kernels");
+    let proxy = crate::proxy::proxy_bench();
+    assert!(proxy.identical, "proxy plane perturbed the schedule");
     let campaigns =
         Workload::ALL.iter().map(|&w| campaign_bench(w, seed, runs, parallel_jobs)).collect();
     BenchReport {
-        schema: 7,
+        schema: 8,
         seed,
         cores,
         parallel_jobs,
@@ -233,6 +238,7 @@ pub fn bench_report(seed: u64, runs: u32, jobs: Option<usize>) -> BenchReport {
         storage,
         stress: stress.bench,
         views,
+        proxy,
         campaigns,
         peak_rss_bytes: peak_rss_bytes(),
     }
@@ -320,6 +326,18 @@ pub fn bench_artifact(seed: u64, runs: u32, jobs: Option<usize>) -> (String, Str
         report.views.speedup,
         report.views.events,
         report.views.equivalent
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "proxy plane: in-band {:.1} MiB -> {:.3} MiB ({:.0}x reduction, {} transfers, \
+         resolve {:.0}ns, identical: {})",
+        report.proxy.in_band_bytes_off as f64 / (1024.0 * 1024.0),
+        report.proxy.in_band_bytes_on as f64 / (1024.0 * 1024.0),
+        report.proxy.scheduler_bytes_reduction,
+        report.proxy.transfers,
+        report.proxy.resolve_ns,
+        report.proxy.identical
     )
     .unwrap();
     for c in &report.campaigns {

@@ -38,9 +38,9 @@ pub mod runner;
 pub mod schedule;
 
 pub use crash::{copy_store, recovery_oracle, CrashFault, CrashKind, CrashTarget};
-pub use oracle::check_run;
+pub use oracle::{check_proxy_plane, check_run};
 pub use runner::{
-    run_campaign, run_schedule, run_schedule_data, schedule_seed, transition_log, CampaignReport,
-    ScheduleOutcome,
+    extended_proxy_config, run_campaign, run_campaign_extended, run_schedule, run_schedule_data,
+    run_schedule_extended, schedule_seed, transition_log, CampaignReport, ScheduleOutcome,
 };
 pub use schedule::{ChaosConfig, STALLABLE_TOPICS};

@@ -24,6 +24,7 @@ pub fn check_run(data: &RunData) -> Vec<String> {
     v.extend(check_lineage(data));
     v.extend(check_steal_accounting(data));
     v.extend(check_darshan_join(data));
+    v.extend(check_proxy_plane(data));
     v
 }
 
@@ -219,6 +220,86 @@ pub fn check_lineage(data: &RunData) -> Vec<String> {
     v
 }
 
+/// Proxy-plane oracle over the drained `proxy-events` stream:
+/// - *lineage completeness*: every proxy record's key joins a task-meta
+///   record, so proxied outputs never escape the lineage graph;
+/// - *publish/resolve pairing*: every non-publish record (resolve, evict,
+///   republish, re-source, orphan) has a publish record for its key at or
+///   before its own time, and each key is published exactly once
+///   (re-publications are distinct `republished` records);
+/// - *exactly-once resolution*: no `(key, worker)` pair resolves twice,
+///   however many duplicated or delayed fetch completions raced in;
+/// - *generation coherence*: every resolution's generation was actually
+///   minted by some publish / republish / re-source record of that key.
+pub fn check_proxy_plane(data: &RunData) -> Vec<String> {
+    use dtf_core::events::ProxyAction;
+    let mut v = Vec::new();
+    let known: HashSet<&TaskKey> = data.meta.iter().map(|m| &m.key).collect();
+    let mut published_at: HashMap<&TaskKey, Time> = HashMap::new();
+    let mut publishes: HashMap<&TaskKey, usize> = HashMap::new();
+    let mut gens: HashMap<&TaskKey, HashSet<u32>> = HashMap::new();
+    for p in &data.proxies {
+        match p.action {
+            ProxyAction::Published => {
+                *publishes.entry(&p.key).or_default() += 1;
+                let at = published_at.entry(&p.key).or_insert(p.time);
+                *at = (*at).min(p.time);
+                gens.entry(&p.key).or_default().insert(p.generation);
+            }
+            ProxyAction::Republished | ProxyAction::Resourced => {
+                gens.entry(&p.key).or_default().insert(p.generation);
+            }
+            _ => {}
+        }
+    }
+    for (key, n) in &publishes {
+        if *n != 1 {
+            v.push(format!("{key}: {n} proxy publish records (want exactly 1)"));
+        }
+    }
+    let mut resolved: HashSet<(&TaskKey, dtf_core::ids::WorkerId)> = HashSet::new();
+    for p in &data.proxies {
+        if !known.contains(&p.key) {
+            v.push(format!("{}: proxy record for task with no task-meta record", p.key));
+        }
+        if p.action != ProxyAction::Published {
+            match published_at.get(&p.key) {
+                Some(t0) if *t0 <= p.time => {}
+                Some(_) => v.push(format!(
+                    "{}: proxy {} at {} precedes its publish",
+                    p.key,
+                    p.action.as_str(),
+                    p.time
+                )),
+                None => {
+                    v.push(format!("{}: proxy {} with no publish record", p.key, p.action.as_str()))
+                }
+            }
+        }
+        if p.action == ProxyAction::Resolved {
+            match p.worker {
+                Some(w) => {
+                    if !resolved.insert((&p.key, w)) {
+                        v.push(format!(
+                            "{}: resolved more than once on {w} (exactly-once violated)",
+                            p.key
+                        ));
+                    }
+                }
+                None => v.push(format!("{}: resolution without a resolving worker", p.key)),
+            }
+            let minted = gens.get(&p.key).map(|g| g.contains(&p.generation)).unwrap_or(false);
+            if !minted {
+                v.push(format!(
+                    "{}: resolved generation {} was never minted by a publish",
+                    p.key, p.generation
+                ));
+            }
+        }
+    }
+    v
+}
+
 /// The run-level steal counter equals the number of work-stolen stimuli in
 /// the transition stream.
 pub fn check_steal_accounting(data: &RunData) -> Vec<String> {
@@ -347,6 +428,7 @@ mod tests {
             comms: vec![],
             warnings: vec![],
             logs: vec![],
+            proxies: vec![],
             darshan: Default::default(),
             online_io: vec![],
             wall_time: dtf_core::time::Dur::ZERO,
@@ -413,6 +495,45 @@ mod tests {
         assert_eq!(check_steal_accounting(&data).len(), 1);
         data.steals = 0;
         assert!(check_steal_accounting(&data).is_empty());
+    }
+
+    #[test]
+    fn proxy_plane_oracle_detects_violations() {
+        use dtf_core::events::{ProxyAction, ProxyEvent};
+        let w = |n| dtf_core::ids::WorkerId::new(dtf_core::ids::NodeId(n), 0);
+        let pe = |action, key: &TaskKey, generation, worker, t| ProxyEvent {
+            action,
+            key: key.clone(),
+            graph: GraphId(0),
+            size: 1 << 20,
+            owner: w(0),
+            checksum: 7,
+            generation,
+            worker,
+            time: Time(t),
+        };
+        let a = TaskKey::new("a", 0, 0);
+        let ghost = TaskKey::new("ghost", 0, 0);
+        let mut data = empty_run();
+        data.meta = vec![meta(&a, vec![])];
+        data.proxies = vec![
+            pe(ProxyAction::Published, &a, 0, None, 1),
+            pe(ProxyAction::Resolved, &a, 0, Some(w(1)), 2),
+        ];
+        assert!(check_proxy_plane(&data).is_empty(), "{:?}", check_proxy_plane(&data));
+        // duplicate resolution of the same (key, worker) pair
+        data.proxies.push(pe(ProxyAction::Resolved, &a, 0, Some(w(1)), 3));
+        assert!(check_proxy_plane(&data).iter().any(|m| m.contains("exactly-once")));
+        data.proxies.pop();
+        // resolve without a publish, for a key outside the lineage
+        data.proxies.push(pe(ProxyAction::Resolved, &ghost, 0, Some(w(2)), 3));
+        let v = check_proxy_plane(&data);
+        assert!(v.iter().any(|m| m.contains("no publish record")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("no task-meta record")), "{v:?}");
+        data.proxies.pop();
+        // a generation no publish ever minted
+        data.proxies.push(pe(ProxyAction::Resolved, &a, 5, Some(w(3)), 4));
+        assert!(check_proxy_plane(&data).iter().any(|m| m.contains("never minted")));
     }
 
     #[test]

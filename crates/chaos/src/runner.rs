@@ -16,6 +16,7 @@ use dtf_core::fault::FaultSchedule;
 use dtf_core::ids::{FileId, GraphId, RunId};
 use dtf_core::rngx::RunRng;
 use dtf_core::time::Dur;
+use dtf_proxystore::ProxyConfig;
 use dtf_wms::sim::{SimCluster, SimConfig, SimWorkflow, SubmitPolicy};
 use dtf_wms::{GraphBuilder, IoCall, RunData, SimAction};
 
@@ -193,6 +194,36 @@ impl CampaignReport {
 pub fn run_schedule(campaign_seed: u64, index: u64, chaos: &ChaosConfig) -> ScheduleOutcome {
     let seed = schedule_seed(campaign_seed, index);
     let faults = chaos.generate(seed);
+    run_schedule_faults(seed, index, faults, ProxyConfig::default())
+}
+
+/// Proxy-plane configuration extended campaigns run under: enabled, with a
+/// 1 MiB threshold so the mid-size chaos-workflow outputs ride out-of-band
+/// and a small resolver-cache budget so evictions actually happen.
+pub fn extended_proxy_config() -> ProxyConfig {
+    ProxyConfig { enabled: true, threshold: 1 << 20, resolver_cache_bytes: 32 << 20 }
+}
+
+/// Run one schedule of an *extended* campaign: the fault stream additionally
+/// carries stragglers, hot-spot placement bias, dangling proxy blobs, and
+/// slow resolvers, and the run executes with the proxy plane enabled so the
+/// proxy faults have a surface to land on.
+pub fn run_schedule_extended(
+    campaign_seed: u64,
+    index: u64,
+    chaos: &ChaosConfig,
+) -> ScheduleOutcome {
+    let seed = schedule_seed(campaign_seed, index);
+    let faults = chaos.generate_extended(seed);
+    run_schedule_faults(seed, index, faults, extended_proxy_config())
+}
+
+fn run_schedule_faults(
+    seed: u64,
+    index: u64,
+    faults: FaultSchedule,
+    proxy: ProxyConfig,
+) -> ScheduleOutcome {
     let mut outcome = ScheduleOutcome {
         index,
         seed,
@@ -208,6 +239,7 @@ pub fn run_schedule(campaign_seed: u64, index: u64, chaos: &ChaosConfig) -> Sche
             run: RunId(index as u32),
             faults: faults.clone(),
             invariant_checks: true,
+            proxy: proxy.clone(),
             ..Default::default()
         };
         let cluster = SimCluster::new(cfg).map_err(|e| e.to_string())?;
@@ -251,6 +283,24 @@ pub fn run_campaign(campaign_seed: u64, schedules: u64, chaos: &ChaosConfig) -> 
     let mut report = CampaignReport { campaign_seed, schedules, passed: 0, failures: Vec::new() };
     for index in 0..schedules {
         let outcome = run_schedule(campaign_seed, index, chaos);
+        if outcome.passed() {
+            report.passed += 1;
+        } else {
+            report.failures.push(outcome);
+        }
+    }
+    report
+}
+
+/// Run a whole campaign over the extended fault stream (proxy plane on).
+pub fn run_campaign_extended(
+    campaign_seed: u64,
+    schedules: u64,
+    chaos: &ChaosConfig,
+) -> CampaignReport {
+    let mut report = CampaignReport { campaign_seed, schedules, passed: 0, failures: Vec::new() };
+    for index in 0..schedules {
+        let outcome = run_schedule_extended(campaign_seed, index, chaos);
         if outcome.passed() {
             report.passed += 1;
         } else {
@@ -305,6 +355,94 @@ mod tests {
         assert!(outcome.schedule.is_empty());
         assert!(outcome.passed(), "{}", outcome.describe());
         assert!(outcome.tasks_completed >= 6);
+    }
+
+    #[test]
+    fn extended_campaign_with_proxy_plane_is_clean() {
+        // extended fault stream (stragglers, hot spot, dangling proxies,
+        // slow resolvers) with the proxy plane enabled: every schedule must
+        // hold determinism, the scheduler model, exactly-once resolution,
+        // and lineage completeness
+        let report = run_campaign_extended(0xFEED, 3, &ChaosConfig::default());
+        assert!(
+            report.ok(),
+            "{}",
+            report.failures.iter().map(|f| f.describe()).collect::<Vec<_>>().join("\n")
+        );
+        assert_eq!(report.passed, 3);
+    }
+
+    #[test]
+    fn extended_run_actually_emits_proxy_lifecycle() {
+        // drive one run directly so we can inspect the drained stream
+        let seed = schedule_seed(0xFEED, 0);
+        let cfg = SimConfig {
+            campaign_seed: seed,
+            run: RunId(0),
+            faults: ChaosConfig::default().generate_extended(seed),
+            invariant_checks: true,
+            proxy: extended_proxy_config(),
+            ..Default::default()
+        };
+        let data = SimCluster::new(cfg).unwrap().run(chaos_workflow(seed)).unwrap();
+        use dtf_core::events::ProxyAction;
+        let n_pub = data.proxies.iter().filter(|p| p.action == ProxyAction::Published).count();
+        let n_res = data.proxies.iter().filter(|p| p.action == ProxyAction::Resolved).count();
+        assert!(n_pub > 0, "chaos workflow outputs above 1 MiB must publish");
+        assert!(n_res > 0, "remote dependents must resolve");
+        assert!(oracle::check_proxy_plane(&data).is_empty());
+    }
+
+    #[test]
+    fn straggler_and_hotspot_fixed_seed_regression() {
+        use dtf_core::fault::{HotspotFault, StragglerFault};
+        use dtf_core::time::Time;
+        // hand-written skew: worker 1 is both a placement hot spot (looks
+        // 20x cheaper) and an 8x straggler for the whole run
+        let faults = FaultSchedule {
+            stragglers: vec![StragglerFault {
+                worker: 1,
+                factor: 8.0,
+                start: Time::ZERO,
+                stop: Time::from_secs_f64(1e6),
+            }],
+            hotspot: Some(HotspotFault { worker: 1, weight: 0.05 }),
+            ..Default::default()
+        };
+        let cfg = SimConfig {
+            campaign_seed: 0xBEEF,
+            run: RunId(0),
+            faults,
+            invariant_checks: true,
+            ..Default::default()
+        };
+        let a = SimCluster::new(cfg.clone()).unwrap().run(chaos_workflow(0xBEEF)).unwrap();
+        let b = SimCluster::new(cfg).unwrap().run(chaos_workflow(0xBEEF)).unwrap();
+        assert_eq!(transition_log(&a), transition_log(&b), "skewed runs must replay");
+        assert!(oracle::check_run(&a).is_empty(), "{:?}", oracle::check_run(&a));
+        // against the unperturbed baseline of the same seed, the skew must
+        // actually bite: load concentrates and the critical path stretches
+        let base_cfg = SimConfig { campaign_seed: 0xBEEF, run: RunId(0), ..Default::default() };
+        let base = SimCluster::new(base_cfg).unwrap().run(chaos_workflow(0xBEEF)).unwrap();
+        let max_share = |d: &RunData| {
+            let mut per: std::collections::HashMap<_, usize> = Default::default();
+            for t in &d.task_done {
+                *per.entry(t.worker).or_default() += 1;
+            }
+            per.values().copied().max().unwrap_or(0)
+        };
+        assert!(
+            max_share(&a) > max_share(&base),
+            "hot spot must concentrate load: skewed {} vs baseline {}",
+            max_share(&a),
+            max_share(&base)
+        );
+        assert!(
+            a.wall_time > base.wall_time,
+            "an 8x straggler on the hot worker must stretch the run: {} vs {}",
+            a.wall_time,
+            base.wall_time
+        );
     }
 
     #[test]

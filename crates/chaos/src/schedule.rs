@@ -10,7 +10,8 @@
 use rand::Rng;
 
 use dtf_core::fault::{
-    FaultSchedule, FetchFault, HeartbeatDrop, InterferenceBurst, MofkaStall, WorkerDeath,
+    DanglingProxy, FaultSchedule, FetchFault, HeartbeatDrop, HotspotFault, InterferenceBurst,
+    MofkaStall, SlowResolve, StragglerFault, WorkerDeath,
 };
 use dtf_core::ids::RunId;
 use dtf_core::rngx::RunRng;
@@ -150,6 +151,64 @@ impl ChaosConfig {
 
         s
     }
+
+    /// Generate the extended schedule for `seed`: the frozen base stream
+    /// plus the proxy-plane and load-skew fault families (stragglers,
+    /// hot-spot placement bias, dangling proxy blobs, slow resolvers).
+    ///
+    /// The extension draws from its own labelled RNG stream, so for any
+    /// seed the base faults of [`Self::generate`] are byte-identical with
+    /// and without the extension — archived base campaigns replay
+    /// unchanged.
+    pub fn generate_extended(&self, seed: u64) -> FaultSchedule {
+        let mut s = self.generate(seed);
+        let rr = RunRng::new(seed, RunId(0));
+        let mut rng = rr.stream("fault-schedule-ext");
+        let horizon = self.horizon.as_secs_f64();
+
+        // straggler windows: seeded per-worker compute slowdown
+        let n = rng.gen_range(0..=2u32);
+        for _ in 0..n {
+            let worker = rng.gen_range(0..self.workers.max(1));
+            let factor = 2.0 + 8.0 * rng.gen::<f64>();
+            let start = Time::from_secs_f64(horizon * 0.6 * rng.gen::<f64>());
+            let stop = start + Dur::from_secs_f64(2.0 + 10.0 * rng.gen::<f64>());
+            s.stragglers.push(StragglerFault { worker, factor, start, stop });
+        }
+        s.stragglers.sort_by_key(|f| (f.start, f.worker));
+
+        // skewed placement: one hot spot at most
+        if rng.gen::<f64>() < 0.5 {
+            let worker = rng.gen_range(0..self.workers.max(1));
+            let weight = 0.05 + 0.4 * rng.gen::<f64>();
+            s.hotspot = Some(HotspotFault { worker, weight });
+        }
+
+        // dangling proxy blobs, keyed on publish order, distinct indices
+        let n = rng.gen_range(0..=3u32);
+        let mut used = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let index = rng.gen_range(0..24u64);
+            if used.insert(index) {
+                s.dangling_proxies.push(DanglingProxy { index });
+            }
+        }
+        s.dangling_proxies.sort_by_key(|d| d.index);
+
+        // slow resolvers, keyed on resolve order, distinct indices
+        let n = rng.gen_range(0..=3u32);
+        let mut used = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let index = rng.gen_range(0..48u64);
+            let extra_delay = Dur::from_secs_f64(0.2 + 3.0 * rng.gen::<f64>());
+            if used.insert(index) {
+                s.slow_resolves.push(SlowResolve { index, extra_delay });
+            }
+        }
+        s.slow_resolves.sort_by_key(|f| f.index);
+
+        s
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +267,44 @@ mod tests {
             // schedules roundtrip through their archive format
             assert_eq!(FaultSchedule::from_json(&s.to_json()).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn extension_never_perturbs_the_base_schedule() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..64 {
+            let base = cfg.generate(seed);
+            let ext = cfg.generate_extended(seed);
+            // deterministic
+            assert_eq!(ext, cfg.generate_extended(seed));
+            // the base families are byte-identical with and without the
+            // extension — archived base campaigns replay unchanged
+            assert_eq!(base.deaths, ext.deaths, "seed {seed}");
+            assert_eq!(base.fetch_faults, ext.fetch_faults, "seed {seed}");
+            assert_eq!(base.heartbeat_drops, ext.heartbeat_drops, "seed {seed}");
+            assert_eq!(base.mofka_stalls, ext.mofka_stalls, "seed {seed}");
+            assert_eq!(base.pfs_bursts, ext.pfs_bursts, "seed {seed}");
+            // extended schedules roundtrip through the archive format
+            assert_eq!(FaultSchedule::from_json(&ext.to_json()).unwrap(), ext);
+            assert!(ext.stragglers.iter().all(|f| f.factor > 1.0 && f.stop > f.start));
+            if let Some(h) = &ext.hotspot {
+                assert!(h.weight > 0.0 && h.weight < 1.0 && h.worker < cfg.workers);
+            }
+        }
+    }
+
+    #[test]
+    fn extension_produces_each_new_fault_kind() {
+        let cfg = ChaosConfig::default();
+        let (mut st, mut hs, mut dp, mut sr) = (0, 0, 0, 0);
+        for seed in 0..128 {
+            let s = cfg.generate_extended(seed);
+            st += s.stragglers.len();
+            hs += usize::from(s.hotspot.is_some());
+            dp += s.dangling_proxies.len();
+            sr += s.slow_resolves.len();
+        }
+        assert!(st > 0 && hs > 0 && dp > 0 && sr > 0, "({st},{hs},{dp},{sr})");
     }
 
     #[test]

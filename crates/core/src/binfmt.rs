@@ -34,9 +34,9 @@
 
 use crate::error::{DtfError, Result};
 use crate::events::{
-    CommEvent, IoOp, IoRecord, Location, LogEntry, LogLevel, LogSource, ProvRecord, Stimulus,
-    TaskDoneEvent, TaskMetaEvent, TaskState, TransitionEvent, WarningEvent, WarningKind,
-    WorkerTaskState, WorkerTransitionEvent,
+    CommEvent, IoOp, IoRecord, Location, LogEntry, LogLevel, LogSource, ProvRecord, ProxyAction,
+    ProxyEvent, Stimulus, TaskDoneEvent, TaskMetaEvent, TaskState, TransitionEvent, WarningEvent,
+    WarningKind, WorkerTaskState, WorkerTransitionEvent,
 };
 use crate::ids::{ClientId, FileId, GraphId, NodeId, TaskKey, TaskPrefix, ThreadId, WorkerId};
 use crate::time::{Dur, Time};
@@ -50,6 +50,9 @@ pub const TAG_COMM: u8 = 4;
 pub const TAG_WARNING: u8 = 5;
 pub const TAG_LOG: u8 = 6;
 pub const TAG_IO: u8 = 7;
+/// Appended by PR 10 (proxy data plane); pre-proxy stores simply never
+/// contain it, so old segments keep decoding unchanged.
+pub const TAG_PROXY: u8 = 8;
 
 fn bad(what: impl Into<String>) -> DtfError {
     DtfError::Serde(format!("binary record: {}", what.into()))
@@ -306,6 +309,29 @@ fn log_level_from(b: u8) -> Result<LogLevel> {
     })
 }
 
+fn proxy_action_tag(a: ProxyAction) -> u8 {
+    match a {
+        ProxyAction::Published => 0,
+        ProxyAction::Republished => 1,
+        ProxyAction::Resolved => 2,
+        ProxyAction::Evicted => 3,
+        ProxyAction::Resourced => 4,
+        ProxyAction::Orphaned => 5,
+    }
+}
+
+fn proxy_action_from(b: u8) -> Result<ProxyAction> {
+    Ok(match b {
+        0 => ProxyAction::Published,
+        1 => ProxyAction::Republished,
+        2 => ProxyAction::Resolved,
+        3 => ProxyAction::Evicted,
+        4 => ProxyAction::Resourced,
+        5 => ProxyAction::Orphaned,
+        t => return Err(bad(format!("unknown proxy action {t}"))),
+    })
+}
+
 // ---------------------------------------------------------------- records
 
 impl ProvRecord {
@@ -408,6 +434,24 @@ impl ProvRecord {
                 put_varint(out, e.size);
                 put_varint(out, e.start.0);
                 put_varint(out, e.stop.0);
+            }
+            ProvRecord::Proxy(e) => {
+                out.push(TAG_PROXY);
+                out.push(proxy_action_tag(e.action));
+                put_key(out, &e.key);
+                put_varint(out, e.graph.0 as u64);
+                put_varint(out, e.size);
+                put_worker(out, &e.owner);
+                put_varint(out, e.checksum);
+                put_varint(out, e.generation as u64);
+                match &e.worker {
+                    None => out.push(0),
+                    Some(w) => {
+                        out.push(1);
+                        put_worker(out, w);
+                    }
+                }
+                put_varint(out, e.time.0);
             }
         }
     }
@@ -515,6 +559,21 @@ impl ProvRecord {
                 start: Time(r.varint()?),
                 stop: Time(r.varint()?),
             }),
+            TAG_PROXY => ProvRecord::Proxy(ProxyEvent {
+                action: proxy_action_from(r.u8()?)?,
+                key: r.key()?,
+                graph: GraphId(r.varint_u32()?),
+                size: r.varint()?,
+                owner: r.worker()?,
+                checksum: r.varint()?,
+                generation: r.varint_u32()?,
+                worker: match r.u8()? {
+                    0 => None,
+                    1 => Some(r.worker()?),
+                    t => return Err(bad(format!("unknown option tag {t}"))),
+                },
+                time: Time(r.varint()?),
+            }),
             t => return Err(bad(format!("unknown family tag {t}"))),
         };
         r.finish()?;
@@ -618,6 +677,28 @@ mod tests {
                 size: 4096,
                 start: Time(100),
                 stop: Time(200),
+            }),
+            ProvRecord::Proxy(ProxyEvent {
+                action: ProxyAction::Published,
+                key: TaskKey::new("load-image", 42, 1000),
+                graph: GraphId(7),
+                size: 1 << 28,
+                owner: w,
+                checksum: u64::MAX,
+                generation: 0,
+                worker: None,
+                time: Time(314),
+            }),
+            ProvRecord::Proxy(ProxyEvent {
+                action: ProxyAction::Resolved,
+                key: key(),
+                graph: GraphId(0),
+                size: 0,
+                owner: w2,
+                checksum: 0,
+                generation: 12,
+                worker: Some(w),
+                time: Time(u64::MAX),
             }),
         ]
     }

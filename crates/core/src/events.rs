@@ -537,6 +537,95 @@ impl Tabular for WarningEvent {
     }
 }
 
+/// Lifecycle step of an out-of-band proxy (the ProxyStore-style data
+/// plane): large task outputs are published to the blob plane and move
+/// peer-to-peer, with only a small typed reference travelling through the
+/// scheduler. Each step is recorded so lineage over the out-of-band path
+/// stays as complete as the in-band one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProxyAction {
+    /// Output crossed the threshold; manifest written to the blob plane.
+    Published,
+    /// Manifest re-written (generation bump) after the previous blob was
+    /// found dangling while a live owner could repair it.
+    Republished,
+    /// A dependent materialized the payload on first use.
+    Resolved,
+    /// Resolver-cache entry dropped to stay within the byte budget.
+    Evicted,
+    /// Ownership moved to a surviving replica after the owner died.
+    Resourced,
+    /// Owner died before any resolve and no replica survives; dependents
+    /// fall back to the recompute path.
+    Orphaned,
+}
+
+impl ProxyAction {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ProxyAction::Published => "published",
+            ProxyAction::Republished => "republished",
+            ProxyAction::Resolved => "resolved",
+            ProxyAction::Evicted => "evicted",
+            ProxyAction::Resourced => "resourced",
+            ProxyAction::Orphaned => "orphaned",
+        }
+    }
+}
+
+/// One proxy-plane lifecycle record (topic `proxy-events`). `owner` is
+/// the worker holding the payload when the record was emitted; `worker`
+/// is the counterparty where the action has one (the resolving dependent
+/// worker, the cache doing the eviction), `None` for publish/orphan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProxyEvent {
+    pub action: ProxyAction,
+    /// Task whose output the proxy stands for.
+    pub key: TaskKey,
+    pub graph: GraphId,
+    /// Payload size in bytes (what stays out-of-band).
+    pub size: u64,
+    pub owner: WorkerId,
+    /// Content checksum carried by the `ProxyRef` (verified on resolve).
+    pub checksum: u64,
+    /// Manifest generation; bumped by every republish/re-source.
+    pub generation: u32,
+    pub worker: Option<WorkerId>,
+    pub time: Time,
+}
+
+impl Tabular for ProxyEvent {
+    fn schema() -> Vec<&'static str> {
+        vec![
+            "action",
+            "key",
+            "prefix",
+            "graph",
+            "size",
+            "owner",
+            "checksum",
+            "generation",
+            "worker",
+            "time_s",
+        ]
+    }
+
+    fn row(&self) -> Vec<Value> {
+        vec![
+            Value::Str(self.action.as_str().to_string()),
+            Value::Str(self.key.to_string()),
+            Value::Str(self.key.prefix.as_str().to_string()),
+            Value::U64(self.graph.0 as u64),
+            Value::U64(self.size),
+            Value::Str(self.owner.address()),
+            Value::U64(self.checksum),
+            Value::U64(self.generation as u64),
+            Value::Str(self.worker.map(|w| w.address()).unwrap_or_else(|| "-".into())),
+            Value::F64(self.time.as_secs_f64()),
+        ]
+    }
+}
+
 // ---------------------------------------------------------------------------
 // ProvRecord: the typed union the provenance pipeline carries end to end.
 // ---------------------------------------------------------------------------
@@ -557,6 +646,7 @@ pub enum ProvRecord {
     Warning(WarningEvent),
     Log(LogEntry),
     Io(IoRecord),
+    Proxy(ProxyEvent),
 }
 
 impl ProvRecord {
@@ -572,6 +662,7 @@ impl ProvRecord {
             ProvRecord::Warning(e) => e.to_content(),
             ProvRecord::Log(e) => e.to_content(),
             ProvRecord::Io(e) => e.to_content(),
+            ProvRecord::Proxy(e) => e.to_content(),
         }
     }
 
@@ -585,6 +676,7 @@ impl ProvRecord {
             ProvRecord::WorkerTransition(e) => Some(&e.key),
             ProvRecord::TaskDone(e) => Some(&e.key),
             ProvRecord::Comm(e) => Some(&e.key),
+            ProvRecord::Proxy(e) => Some(&e.key),
             ProvRecord::Warning(_) | ProvRecord::Log(_) | ProvRecord::Io(_) => None,
         }
     }
@@ -614,6 +706,7 @@ impl ProvRecord {
             ProvRecord::Warning(e) => wire::warning(e),
             ProvRecord::Log(e) => wire::log(e),
             ProvRecord::Io(e) => wire::io(e),
+            ProvRecord::Proxy(e) => wire::proxy(e),
         }
     }
 }
@@ -661,6 +754,7 @@ impl_prov_event!(
     WarningEvent => Warning,
     LogEntry => Log,
     IoRecord => Io,
+    ProxyEvent => Proxy,
 );
 
 /// Exact compact-JSON byte lengths for every record family, mirroring the
@@ -812,6 +906,20 @@ mod wire {
         ])
     }
 
+    pub(super) fn proxy(e: &ProxyEvent) -> usize {
+        obj(&[
+            kv("action", unit(&e.action)),
+            kv("checksum", digits(e.checksum)),
+            kv("generation", digits(e.generation as u64)),
+            kv("graph", digits(e.graph.0 as u64)),
+            kv("key", task_key(&e.key)),
+            kv("owner", worker(&e.owner)),
+            kv("size", digits(e.size)),
+            kv("time", digits(e.time.0)),
+            kv("worker", e.worker.as_ref().map_or("null".len(), worker)),
+        ])
+    }
+
     pub(super) fn io(e: &IoRecord) -> usize {
         obj(&[
             kv("file", digits(e.file.0)),
@@ -919,6 +1027,19 @@ mod tests {
             duration: Dur(100),
         };
         assert_eq!(w.row().len(), WarningEvent::schema().len());
+
+        let p = ProxyEvent {
+            action: ProxyAction::Evicted,
+            key: key(),
+            graph: GraphId(0),
+            size: 1 << 20,
+            owner: a,
+            checksum: 7,
+            generation: 1,
+            worker: Some(a),
+            time: Time(11),
+        };
+        assert_eq!(p.row().len(), ProxyEvent::schema().len());
     }
 
     #[test]
@@ -1034,6 +1155,28 @@ mod tests {
                 size: 4096,
                 start: Time(100),
                 stop: Time(200),
+            }),
+            ProvRecord::Proxy(ProxyEvent {
+                action: ProxyAction::Published,
+                key: TaskKey::new("load-image", 42, 1000),
+                graph: GraphId(7),
+                size: 1 << 28,
+                owner: w,
+                checksum: u64::MAX,
+                generation: 0,
+                worker: None,
+                time: Time(314),
+            }),
+            ProvRecord::Proxy(ProxyEvent {
+                action: ProxyAction::Resolved,
+                key: key(),
+                graph: GraphId(0),
+                size: 0,
+                owner: w2,
+                checksum: 0,
+                generation: 12,
+                worker: Some(w),
+                time: Time(u64::MAX),
             }),
         ]
     }

@@ -68,8 +68,51 @@ pub struct InterferenceBurst {
     pub factor: f64,
 }
 
+/// Slow every compute worker `ordinal` performs in `[start, stop)` by
+/// `factor` (≥ 1.0) — a straggler. Plain data, not an RNG draw, so a
+/// straggling run replays byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerFault {
+    pub worker: u32,
+    pub factor: f64,
+    pub start: Time,
+    pub stop: Time,
+}
+
+/// Bias placement toward worker `ordinal`: its occupancy/transfer score is
+/// multiplied by `weight` (< 1.0 makes it look artificially cheap, so the
+/// scheduler piles work onto it — a hot spot).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotspotFault {
+    pub worker: u32,
+    pub weight: f64,
+}
+
+/// Make the blob behind the `index`-th *published* proxy manifest dangle
+/// (counted in publish order from 0): the first resolve finds the payload
+/// missing from the plane and must repair or surface `IllegalState` with
+/// the proxy key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DanglingProxy {
+    pub index: u64,
+}
+
+/// Stretch the `index`-th proxy resolve (counted in resolve order from 0)
+/// by `extra_delay` — a slow resolver. Exactly-once resolution must hold
+/// regardless of how late the materialization lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowResolve {
+    pub index: u64,
+    pub extra_delay: Dur,
+}
+
 /// One run's complete fault schedule. The empty (default) schedule is a
 /// no-op: a run with it is bit-identical to a run without one.
+///
+/// The proxy-plane and load-skew fields (stragglers, hotspot,
+/// dangling_proxies, slow_resolves) were appended after the original
+/// schema froze; they carry serde defaults so archived pre-proxy
+/// schedules still parse.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultSchedule {
     /// Seed the schedule was generated from (0 for hand-written schedules).
@@ -79,6 +122,14 @@ pub struct FaultSchedule {
     pub heartbeat_drops: Vec<HeartbeatDrop>,
     pub mofka_stalls: Vec<MofkaStall>,
     pub pfs_bursts: Vec<InterferenceBurst>,
+    #[serde(default = "Default::default")]
+    pub stragglers: Vec<StragglerFault>,
+    #[serde(default = "Default::default")]
+    pub hotspot: Option<HotspotFault>,
+    #[serde(default = "Default::default")]
+    pub dangling_proxies: Vec<DanglingProxy>,
+    #[serde(default = "Default::default")]
+    pub slow_resolves: Vec<SlowResolve>,
 }
 
 impl FaultSchedule {
@@ -89,6 +140,10 @@ impl FaultSchedule {
             && self.heartbeat_drops.is_empty()
             && self.mofka_stalls.is_empty()
             && self.pfs_bursts.is_empty()
+            && self.stragglers.is_empty()
+            && self.hotspot.is_none()
+            && self.dangling_proxies.is_empty()
+            && self.slow_resolves.is_empty()
     }
 
     /// Total number of scheduled perturbations.
@@ -98,6 +153,10 @@ impl FaultSchedule {
             + self.heartbeat_drops.len()
             + self.mofka_stalls.len()
             + self.pfs_bursts.len()
+            + self.stragglers.len()
+            + usize::from(self.hotspot.is_some())
+            + self.dangling_proxies.len()
+            + self.slow_resolves.len()
     }
 
     /// The fault (if any) registered for the `index`-th issued fetch.
@@ -108,6 +167,26 @@ impl FaultSchedule {
     /// Whether a heartbeat from worker `ordinal` at `now` is suppressed.
     pub fn heartbeat_dropped(&self, worker: u32, now: Time) -> bool {
         self.heartbeat_drops.iter().any(|d| d.worker == worker && d.start <= now && now < d.stop)
+    }
+
+    /// Combined straggler slowdown for worker `ordinal` at `now`
+    /// (overlapping windows multiply; 1.0 when unperturbed).
+    pub fn straggler_factor(&self, worker: u32, now: Time) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.worker == worker && s.start <= now && now < s.stop)
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Whether the `index`-th published proxy's blob should dangle.
+    pub fn dangling_proxy(&self, index: u64) -> bool {
+        self.dangling_proxies.iter().any(|d| d.index == index)
+    }
+
+    /// The slow-resolver fault (if any) for the `index`-th proxy resolve.
+    pub fn slow_resolve(&self, index: u64) -> Option<&SlowResolve> {
+        self.slow_resolves.iter().find(|s| s.index == index)
     }
 
     /// Archive the schedule (pretty JSON).
@@ -149,8 +228,7 @@ mod tests {
                 start: Time::from_secs_f64(1.0),
                 stop: Time::from_secs_f64(5.0),
             }],
-            mofka_stalls: vec![],
-            pfs_bursts: vec![],
+            ..Default::default()
         };
         assert_eq!(s.len(), 3);
         assert!(s.fetch_fault(3).unwrap().duplicate);
@@ -175,9 +253,61 @@ mod tests {
                 stop: Time(9),
             }],
             pfs_bursts: vec![InterferenceBurst { start: Time(0), stop: Time(3), factor: 4.0 }],
+            stragglers: vec![StragglerFault {
+                worker: 3,
+                factor: 2.5,
+                start: Time(0),
+                stop: Time(9),
+            }],
+            hotspot: Some(HotspotFault { worker: 1, weight: 0.25 }),
+            dangling_proxies: vec![DanglingProxy { index: 2 }],
+            slow_resolves: vec![SlowResolve { index: 0, extra_delay: Dur(7) }],
         };
         let back = FaultSchedule::from_json(&s.to_json()).unwrap();
         assert_eq!(s, back);
         assert!(FaultSchedule::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn pre_proxy_schedules_still_parse() {
+        // an archived schedule from before the proxy/skew fields existed
+        let old = r#"{
+            "seed": 9,
+            "deaths": [{"worker": 1, "time": 2000000}],
+            "fetch_faults": [],
+            "heartbeat_drops": [],
+            "mofka_stalls": [],
+            "pfs_bursts": []
+        }"#;
+        let s = FaultSchedule::from_json(old).unwrap();
+        assert_eq!(s.seed, 9);
+        assert!(s.stragglers.is_empty() && s.hotspot.is_none());
+        assert!(s.dangling_proxies.is_empty() && s.slow_resolves.is_empty());
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn proxy_and_skew_helpers() {
+        let s = FaultSchedule {
+            stragglers: vec![
+                StragglerFault { worker: 2, factor: 2.0, start: Time(0), stop: Time(10) },
+                StragglerFault { worker: 2, factor: 3.0, start: Time(5), stop: Time(15) },
+            ],
+            hotspot: Some(HotspotFault { worker: 0, weight: 0.5 }),
+            dangling_proxies: vec![DanglingProxy { index: 1 }],
+            slow_resolves: vec![SlowResolve { index: 4, extra_delay: Dur(33) }],
+            ..Default::default()
+        };
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.straggler_factor(2, Time(3)), 2.0);
+        assert_eq!(s.straggler_factor(2, Time(7)), 6.0, "overlapping windows multiply");
+        assert_eq!(s.straggler_factor(2, Time(12)), 3.0);
+        assert_eq!(s.straggler_factor(1, Time(3)), 1.0);
+        assert_eq!(s.straggler_factor(2, Time(15)), 1.0, "stop is exclusive");
+        assert!(s.dangling_proxy(1) && !s.dangling_proxy(0));
+        assert_eq!(s.slow_resolve(4).unwrap().extra_delay, Dur(33));
+        assert!(s.slow_resolve(3).is_none());
     }
 }

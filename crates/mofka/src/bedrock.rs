@@ -39,6 +39,7 @@ impl BedrockConfig {
                 TopicSpec { name: "task-done".into(), partitions: 4 },
                 TopicSpec { name: "comm-events".into(), partitions: 4 },
                 TopicSpec { name: "io-records".into(), partitions: 4 },
+                TopicSpec { name: "proxy-events".into(), partitions: 4 },
                 TopicSpec { name: "warnings".into(), partitions: 1 },
                 TopicSpec { name: "logs".into(), partitions: 1 },
             ],

@@ -173,6 +173,7 @@ pub(crate) mod tests_support {
             comms: vec![],
             warnings: vec![],
             logs: vec![],
+            proxies: vec![],
             online_io: vec![],
             darshan: LogSet::new(vec![DarshanLog {
                 header: LogHeader {

@@ -12,6 +12,8 @@
 //!   phase detection (Fig. 4).
 //! * [`comm_scatter`] — communication duration vs. message size, intra- vs
 //!   inter-node (Fig. 5).
+//! * [`data_movement`] — in-band (scheduler-mediated) vs. out-of-band
+//!   (proxy blob plane) byte attribution per transfer.
 //! * [`parallel_coords`] — elapsed / category / thread / output size /
 //!   duration coordinates per task (Fig. 6).
 //! * [`warnings_dist`] — warning distribution over time and its
@@ -34,6 +36,7 @@
 pub mod archive;
 pub mod category;
 pub mod comm_scatter;
+pub mod data_movement;
 pub mod export;
 pub mod frame;
 pub mod io_timeline;

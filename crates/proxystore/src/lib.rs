@@ -1,0 +1,625 @@
+//! ProxyStore-analog out-of-band data plane for large task outputs.
+//!
+//! Task outputs whose size crosses [`ProxyConfig::threshold`] are *published*
+//! to a store-backed blob plane (reusing the Warabi blob abstraction from
+//! `dtf-mofka`, and through it the `dtf-store` segmented log when durable):
+//! a small typed [`ProxyRef`] — key, size, owner, checksum, generation —
+//! travels through the scheduler, the Mofka provenance stream, and dependent
+//! tasks instead of the payload. Dependents *resolve* the proxy lazily on
+//! first use through a per-worker resolver cache with a byte budget;
+//! resolution is exactly-once per `(key, worker)` pair no matter how many
+//! duplicated or delayed fetch completions race in.
+//!
+//! The plane is an accounting / provenance / persistence overlay: it never
+//! changes what the scheduler decides, so a simulated run with the plane
+//! disabled is byte-identical to the same run with it enabled. What changes
+//! is *attribution* — with the plane on, only `ProxyRef::wire_size()` bytes
+//! per proxied dependency are scheduler-mediated (in-band); the payload
+//! moves peer-to-peer out-of-band.
+//!
+//! Failure handling (see DESIGN.md §18 for the full state machine):
+//! - a *dangling* manifest blob (lost to truncation or fault injection) is
+//!   repaired by republishing from the live owner with a generation bump;
+//! - if the owner is dead but a resolved replica survives, ownership
+//!   *re-sources* to the smallest surviving replica (repairing the blob too
+//!   when it dangles);
+//! - if the owner is dead and no replica survives a dangling blob, the
+//!   proxy is *orphaned* and resolution surfaces
+//!   [`DtfError::IllegalState`] naming the proxy key — dependents fall back
+//!   to the scheduler's recompute path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dtf_core::error::{DtfError, Result};
+use dtf_core::events::{ProxyAction, ProxyEvent};
+use dtf_core::ids::{GraphId, TaskKey, WorkerId};
+use dtf_core::time::Time;
+use dtf_mofka::warabi::{BlobId, Warabi};
+
+/// Data-plane configuration, embedded in the simulator config as a
+/// serde-defaulted field so pre-proxy config documents parse unchanged.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProxyConfig {
+    /// Master switch. Off (the default) short-circuits every hook.
+    #[serde(default = "Default::default")]
+    pub enabled: bool,
+    /// Outputs of at least this many bytes are proxied.
+    #[serde(default = "default_threshold")]
+    pub threshold: u64,
+    /// Per-worker resolver-cache byte budget (LRU eviction beyond it).
+    #[serde(default = "default_cache_bytes")]
+    pub resolver_cache_bytes: u64,
+}
+
+fn default_threshold() -> u64 {
+    4 << 20
+}
+
+fn default_cache_bytes() -> u64 {
+    256 << 20
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            threshold: default_threshold(),
+            resolver_cache_bytes: default_cache_bytes(),
+        }
+    }
+}
+
+/// The typed reference that travels in place of the payload.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProxyRef {
+    pub key: TaskKey,
+    pub graph: GraphId,
+    /// Payload size in bytes (stays out-of-band).
+    pub size: u64,
+    /// Worker whose memory holds the authoritative payload copy.
+    pub owner: WorkerId,
+    /// FNV-1a content fingerprint, verified on resolve.
+    pub checksum: u64,
+    /// Manifest generation; bumped by every republish / re-source.
+    pub generation: u32,
+}
+
+impl ProxyRef {
+    /// Bytes this reference occupies on the wire — the scheduler-mediated
+    /// (in-band) cost of a proxied dependency. The payload's `size` bytes
+    /// move out-of-band.
+    pub fn wire_size(&self) -> u64 {
+        serde_json::to_string(self).expect("proxy ref serializes").len() as u64
+    }
+}
+
+/// Deterministic FNV-1a fingerprint of a proxied payload's identity.
+pub fn payload_checksum(key: &TaskKey, size: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_string().bytes().chain(size.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What a [`ProxyPlane::resolve`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveOutcome {
+    /// First resolution for this `(key, worker)` pair: the payload
+    /// materialized into the worker's resolver cache.
+    Fresh,
+    /// The pair had already resolved — duplicated fetch completions and
+    /// replayed lifecycles dedup here (exactly-once).
+    Deduped,
+}
+
+/// Running totals the ablation bench and the data-movement view read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaneStats {
+    pub published: u64,
+    pub republished: u64,
+    pub resolved: u64,
+    pub deduped: u64,
+    pub evicted: u64,
+    pub resourced: u64,
+    pub orphaned: u64,
+    /// Scheduler-mediated bytes for proxied dependencies (`ProxyRef` wire
+    /// size per resolve).
+    pub in_band_bytes: u64,
+    /// Peer-to-peer payload bytes that left the scheduler path.
+    pub out_of_band_bytes: u64,
+}
+
+#[derive(Debug)]
+struct DirEntry {
+    r: ProxyRef,
+    blob: BlobId,
+    /// Workers holding a resolved (cached) copy of the payload.
+    replicas: BTreeSet<WorkerId>,
+}
+
+#[derive(Debug, Default)]
+struct WorkerCache {
+    /// key → (payload size, LRU clock at last touch).
+    entries: BTreeMap<TaskKey, (u64, u64)>,
+    bytes: u64,
+}
+
+/// The out-of-band data plane: blob-backed manifests plus per-worker
+/// resolver caches. Deterministic — all iteration is over ordered maps and
+/// every decision is a pure function of the call sequence.
+pub struct ProxyPlane {
+    cfg: ProxyConfig,
+    store: Warabi,
+    dir: BTreeMap<TaskKey, DirEntry>,
+    /// Exactly-once ledger: pairs that have resolved.
+    resolved: BTreeSet<(TaskKey, WorkerId)>,
+    caches: BTreeMap<WorkerId, WorkerCache>,
+    /// Blob ids whose payload is gone (fault injection or real loss).
+    dangling: BTreeSet<BlobId>,
+    dead: BTreeSet<WorkerId>,
+    publish_seq: u64,
+    resolve_seq: u64,
+    lru_clock: u64,
+    stats: PlaneStats,
+}
+
+impl ProxyPlane {
+    /// In-memory plane (simulated runs).
+    pub fn new(cfg: ProxyConfig) -> Self {
+        Self::with_store(cfg, Warabi::new())
+    }
+
+    /// Durable plane: manifests persist through the dtf-store segmented log
+    /// and survive the process.
+    pub fn durable(cfg: ProxyConfig, dir: &std::path::Path) -> Result<Self> {
+        let (store, _report) = Warabi::durable(dir)?;
+        Ok(Self::with_store(cfg, store))
+    }
+
+    pub fn with_store(cfg: ProxyConfig, store: Warabi) -> Self {
+        Self {
+            cfg,
+            store,
+            dir: BTreeMap::new(),
+            resolved: BTreeSet::new(),
+            caches: BTreeMap::new(),
+            dangling: BTreeSet::new(),
+            dead: BTreeSet::new(),
+            publish_seq: 0,
+            resolve_seq: 0,
+            lru_clock: 0,
+            stats: PlaneStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ProxyConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &PlaneStats {
+        &self.stats
+    }
+
+    /// Whether an output of `nbytes` takes the out-of-band path.
+    pub fn should_proxy(&self, nbytes: u64) -> bool {
+        self.cfg.enabled && nbytes >= self.cfg.threshold
+    }
+
+    /// Published manifests so far — the index the `DanglingProxy` fault
+    /// schedule keys on (next publish gets this index).
+    pub fn publish_count(&self) -> u64 {
+        self.publish_seq
+    }
+
+    /// Resolves attempted so far — the index `SlowResolve` faults key on.
+    pub fn resolve_count(&self) -> u64 {
+        self.resolve_seq
+    }
+
+    pub fn proxy_ref(&self, key: &TaskKey) -> Option<&ProxyRef> {
+        self.dir.get(key).map(|e| &e.r)
+    }
+
+    fn write_manifest(store: &Warabi, r: &ProxyRef) -> BlobId {
+        store.put(serde_json::to_vec(r).expect("manifest serializes"))
+    }
+
+    fn event(
+        r: &ProxyRef,
+        action: ProxyAction,
+        worker: Option<WorkerId>,
+        time: Time,
+    ) -> ProxyEvent {
+        ProxyEvent {
+            action,
+            key: r.key.clone(),
+            graph: r.graph,
+            size: r.size,
+            owner: r.owner,
+            checksum: r.checksum,
+            generation: r.generation,
+            worker,
+            time,
+        }
+    }
+
+    /// Publish a finished task's output. A re-publication of a known key
+    /// (the task recomputed after its output was lost) bumps the generation
+    /// and moves ownership to the new completing worker.
+    pub fn publish(
+        &mut self,
+        key: &TaskKey,
+        graph: GraphId,
+        owner: WorkerId,
+        size: u64,
+        now: Time,
+    ) -> (ProxyRef, ProxyEvent) {
+        self.publish_seq += 1;
+        if let Some(entry) = self.dir.get_mut(key) {
+            entry.r.generation += 1;
+            entry.r.owner = owner;
+            entry.r.size = size;
+            entry.r.checksum = payload_checksum(key, size);
+            self.dangling.remove(&entry.blob);
+            entry.blob = Self::write_manifest(&self.store, &entry.r);
+            self.stats.republished += 1;
+            let ev = Self::event(&entry.r, ProxyAction::Republished, None, now);
+            return (entry.r.clone(), ev);
+        }
+        let r = ProxyRef {
+            key: key.clone(),
+            graph,
+            size,
+            owner,
+            checksum: payload_checksum(key, size),
+            generation: 0,
+        };
+        let blob = Self::write_manifest(&self.store, &r);
+        self.dir.insert(key.clone(), DirEntry { r: r.clone(), blob, replicas: BTreeSet::new() });
+        self.stats.published += 1;
+        let ev = Self::event(&self.dir[key].r, ProxyAction::Published, None, now);
+        (r, ev)
+    }
+
+    /// Fault injection: make the manifest blob behind `key` dangle, as if
+    /// the store lost the payload. Returns false for unknown keys.
+    pub fn damage(&mut self, key: &TaskKey) -> bool {
+        match self.dir.get(key) {
+            Some(e) => {
+                self.dangling.insert(e.blob);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resolve `key` for dependent worker `to`. Exactly-once per
+    /// `(key, to)`: duplicated completions return [`ResolveOutcome::Deduped`]
+    /// with no events. A dangling blob is repaired from the live owner
+    /// (generation bump); with the owner dead the error names the proxy key.
+    pub fn resolve(
+        &mut self,
+        key: &TaskKey,
+        to: WorkerId,
+        now: Time,
+    ) -> Result<(ResolveOutcome, Vec<ProxyEvent>)> {
+        self.resolve_seq += 1;
+        if self.resolved.contains(&(key.clone(), to)) {
+            self.stats.deduped += 1;
+            return Ok((ResolveOutcome::Deduped, Vec::new()));
+        }
+        let entry = self
+            .dir
+            .get_mut(key)
+            .ok_or_else(|| DtfError::IllegalState(format!("resolve of unpublished proxy {key}")))?;
+        let mut events = Vec::new();
+        if self.dangling.contains(&entry.blob) || self.store.get(entry.blob).is_none() {
+            if !self.dead.contains(&entry.r.owner) {
+                // repair: the owner still holds the payload; republish
+                entry.r.generation += 1;
+                entry.r.checksum = payload_checksum(key, entry.r.size);
+                self.dangling.remove(&entry.blob);
+                entry.blob = Self::write_manifest(&self.store, &entry.r);
+                self.stats.republished += 1;
+                events.push(Self::event(&entry.r, ProxyAction::Republished, None, now));
+            } else {
+                return Err(DtfError::IllegalState(format!(
+                    "dangling proxy {key}: blob {} missing and owner {} dead",
+                    entry.blob,
+                    entry.r.owner.address(),
+                )));
+            }
+        }
+        let expect = payload_checksum(key, entry.r.size);
+        if entry.r.checksum != expect {
+            return Err(DtfError::IllegalState(format!(
+                "proxy {key} checksum mismatch: manifest {:#x}, payload {expect:#x}",
+                entry.r.checksum
+            )));
+        }
+        entry.replicas.insert(to);
+        let r = entry.r.clone();
+        self.resolved.insert((key.clone(), to));
+        self.stats.resolved += 1;
+        self.stats.in_band_bytes += r.wire_size();
+        self.stats.out_of_band_bytes += r.size;
+        events.push(Self::event(&r, ProxyAction::Resolved, Some(to), now));
+        // admit into the resolver cache, evicting LRU entries beyond budget
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let cache = self.caches.entry(to).or_default();
+        cache.entries.insert(key.clone(), (r.size, clock));
+        cache.bytes += r.size;
+        while cache.bytes > self.cfg.resolver_cache_bytes && cache.entries.len() > 1 {
+            // least-recently-used victim, excluding the entry just admitted
+            let victim = cache
+                .entries
+                .iter()
+                .filter(|(k, _)| *k != key)
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(k, (sz, _))| (k.clone(), *sz))
+                .expect("len > 1 guarantees a victim");
+            cache.entries.remove(&victim.0);
+            cache.bytes -= victim.1;
+            if let Some(e) = self.dir.get_mut(&victim.0) {
+                e.replicas.remove(&to);
+                self.stats.evicted += 1;
+                events.push(Self::event(&e.r, ProxyAction::Evicted, Some(to), now));
+            }
+        }
+        Ok((ResolveOutcome::Fresh, events))
+    }
+
+    /// The owner-death half of the re-source protocol. Entries owned by the
+    /// dead worker re-source to their smallest surviving replica; a dangling
+    /// blob with no surviving replica orphans the proxy (dependents fall
+    /// back to the scheduler's recompute path).
+    pub fn worker_died(&mut self, worker: WorkerId, now: Time) -> Vec<ProxyEvent> {
+        self.dead.insert(worker);
+        let mut events = Vec::new();
+        // the dead worker's resolver cache (and replica claims) vanish
+        self.caches.remove(&worker);
+        let keys: Vec<TaskKey> = self.dir.keys().cloned().collect();
+        for key in keys {
+            let entry = self.dir.get_mut(&key).expect("key just listed");
+            entry.replicas.remove(&worker);
+            if entry.r.owner != worker {
+                continue;
+            }
+            let heir = entry.replicas.iter().next().copied();
+            match heir {
+                Some(new_owner) => {
+                    entry.r.owner = new_owner;
+                    entry.r.generation += 1;
+                    entry.r.checksum = payload_checksum(&key, entry.r.size);
+                    if self.dangling.contains(&entry.blob) || self.store.get(entry.blob).is_none() {
+                        // the heir's cached copy also repairs the blob
+                        self.dangling.remove(&entry.blob);
+                        entry.blob = Self::write_manifest(&self.store, &entry.r);
+                    }
+                    self.stats.resourced += 1;
+                    events.push(Self::event(&entry.r, ProxyAction::Resourced, Some(worker), now));
+                }
+                None => {
+                    if self.dangling.contains(&entry.blob) || self.store.get(entry.blob).is_none() {
+                        self.stats.orphaned += 1;
+                        events.push(Self::event(&entry.r, ProxyAction::Orphaned, None, now));
+                        let blob = entry.blob;
+                        self.dangling.remove(&blob);
+                        self.dir.remove(&key);
+                    }
+                    // healthy blob: the plane itself still serves resolves
+                }
+            }
+        }
+        events
+    }
+
+    /// Bytes a dependency transfer puts on the scheduler-mediated path:
+    /// the `ProxyRef` wire size when `key` is proxied, else the payload.
+    pub fn in_band_bytes(&self, key: &TaskKey, nbytes: u64) -> u64 {
+        match self.dir.get(key) {
+            Some(e) => e.r.wire_size(),
+            None => nbytes,
+        }
+    }
+
+    /// Number of live manifests.
+    pub fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_empty()
+    }
+
+    /// Total manifest bytes in the blob plane (durability cost).
+    pub fn manifest_bytes(&self) -> usize {
+        self.store.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtf_core::ids::NodeId;
+
+    fn key(i: u32) -> TaskKey {
+        TaskKey::new("blob-task", 7, i)
+    }
+
+    fn wid(n: u32) -> WorkerId {
+        WorkerId::new(NodeId(n), 0)
+    }
+
+    fn plane(threshold: u64, cache: u64) -> ProxyPlane {
+        ProxyPlane::new(ProxyConfig { enabled: true, threshold, resolver_cache_bytes: cache })
+    }
+
+    #[test]
+    fn publish_then_resolve_round_trip() {
+        let mut p = plane(1 << 20, u64::MAX);
+        assert!(p.should_proxy(1 << 20));
+        assert!(!p.should_proxy((1 << 20) - 1));
+        let (r, ev) = p.publish(&key(0), GraphId(3), wid(1), 8 << 20, Time::from_secs_f64(1.0));
+        assert_eq!(ev.action, ProxyAction::Published);
+        assert_eq!(r.generation, 0);
+        assert_eq!(r.checksum, payload_checksum(&key(0), 8 << 20));
+        assert!(r.wire_size() < 256, "refs must be small: {}", r.wire_size());
+        let (out, evs) = p.resolve(&key(0), wid(2), Time::from_secs_f64(2.0)).unwrap();
+        assert_eq!(out, ResolveOutcome::Fresh);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].action, ProxyAction::Resolved);
+        assert_eq!(evs[0].worker, Some(wid(2)));
+        assert_eq!(p.stats().resolved, 1);
+        assert_eq!(p.stats().out_of_band_bytes, 8 << 20);
+        assert!(p.stats().in_band_bytes < 256);
+    }
+
+    #[test]
+    fn resolution_is_exactly_once_per_worker() {
+        let mut p = plane(0, u64::MAX);
+        p.publish(&key(0), GraphId(0), wid(1), 1000, Time::ZERO);
+        let t = Time::from_secs_f64(1.0);
+        assert_eq!(p.resolve(&key(0), wid(2), t).unwrap().0, ResolveOutcome::Fresh);
+        // duplicated fetch completion replays the resolve: deduped, no events
+        let (out, evs) = p.resolve(&key(0), wid(2), t).unwrap();
+        assert_eq!(out, ResolveOutcome::Deduped);
+        assert!(evs.is_empty());
+        // a different dependent still resolves fresh
+        assert_eq!(p.resolve(&key(0), wid(3), t).unwrap().0, ResolveOutcome::Fresh);
+        assert_eq!(p.stats().resolved, 2);
+        assert_eq!(p.stats().deduped, 1);
+    }
+
+    #[test]
+    fn dangling_blob_repairs_from_live_owner() {
+        let mut p = plane(0, u64::MAX);
+        p.publish(&key(0), GraphId(0), wid(1), 4096, Time::ZERO);
+        assert!(p.damage(&key(0)));
+        let (out, evs) = p.resolve(&key(0), wid(2), Time::from_secs_f64(1.0)).unwrap();
+        assert_eq!(out, ResolveOutcome::Fresh);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].action, ProxyAction::Republished);
+        assert_eq!(evs[0].generation, 1);
+        assert_eq!(evs[1].action, ProxyAction::Resolved);
+        assert_eq!(evs[1].generation, 1);
+        // repaired: the next dependent resolves without another republish
+        let (_, evs) = p.resolve(&key(0), wid(3), Time::from_secs_f64(2.0)).unwrap();
+        assert_eq!(evs.len(), 1);
+    }
+
+    #[test]
+    fn dangling_blob_with_dead_owner_is_illegal_state_naming_the_key() {
+        let mut p = plane(0, u64::MAX);
+        p.publish(&key(9), GraphId(0), wid(1), 4096, Time::ZERO);
+        p.damage(&key(9));
+        let evs = p.worker_died(wid(1), Time::from_secs_f64(0.5));
+        // no replica survived the dangling blob: orphaned
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].action, ProxyAction::Orphaned);
+        let err = p.resolve(&key(9), wid(2), Time::from_secs_f64(1.0)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(&key(9).to_string()), "error must name the proxy key: {msg}");
+        assert!(msg.to_lowercase().contains("proxy"), "error should say what dangled: {msg}");
+    }
+
+    #[test]
+    fn owner_death_resources_to_surviving_replica() {
+        let mut p = plane(0, u64::MAX);
+        p.publish(&key(0), GraphId(0), wid(1), 4096, Time::ZERO);
+        p.resolve(&key(0), wid(2), Time::from_secs_f64(1.0)).unwrap();
+        p.resolve(&key(0), wid(3), Time::from_secs_f64(1.5)).unwrap();
+        let evs = p.worker_died(wid(1), Time::from_secs_f64(2.0));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].action, ProxyAction::Resourced);
+        // deterministic heir: smallest surviving replica id
+        assert_eq!(evs[0].owner, wid(2));
+        assert_eq!(evs[0].worker, Some(wid(1)));
+        assert_eq!(evs[0].generation, 1);
+        assert_eq!(p.proxy_ref(&key(0)).unwrap().owner, wid(2));
+        // even with the blob damaged, the heir's copy repairs it
+        p.damage(&key(0));
+        let evs = p.worker_died(wid(2), Time::from_secs_f64(3.0));
+        assert_eq!(evs[0].action, ProxyAction::Resourced);
+        assert_eq!(evs[0].owner, wid(3));
+        let (out, _) = p.resolve(&key(0), wid(4), Time::from_secs_f64(4.0)).unwrap();
+        assert_eq!(out, ResolveOutcome::Fresh);
+    }
+
+    #[test]
+    fn resolver_cache_evicts_least_recently_used() {
+        // budget fits two 1000-byte payloads
+        let mut p = plane(0, 2000);
+        for i in 0..3 {
+            p.publish(&key(i), GraphId(0), wid(1), 1000, Time::ZERO);
+        }
+        let t = Time::from_secs_f64(1.0);
+        p.resolve(&key(0), wid(2), t).unwrap();
+        p.resolve(&key(1), wid(2), t).unwrap();
+        // third admission evicts key(0), the least recently used
+        let (_, evs) = p.resolve(&key(2), wid(2), t).unwrap();
+        let evicted: Vec<_> = evs.iter().filter(|e| e.action == ProxyAction::Evicted).collect();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, key(0));
+        assert_eq!(p.stats().evicted, 1);
+        // key(0) is no longer a replica on wid(2): owner death has no heir
+        p.damage(&key(0));
+        let evs = p.worker_died(wid(1), Time::from_secs_f64(2.0));
+        assert!(evs.iter().any(|e| e.action == ProxyAction::Orphaned && e.key == key(0)));
+        // keys 1 and 2 re-source to the surviving cached replica wid(2)
+        assert_eq!(evs.iter().filter(|e| e.action == ProxyAction::Resourced).count(), 2);
+    }
+
+    #[test]
+    fn republish_after_recompute_bumps_generation() {
+        let mut p = plane(0, u64::MAX);
+        let (r0, _) = p.publish(&key(0), GraphId(0), wid(1), 1000, Time::ZERO);
+        // worker died, task recomputed elsewhere, output published again
+        let (r1, ev) = p.publish(&key(0), GraphId(0), wid(2), 1000, Time::from_secs_f64(5.0));
+        assert_eq!(ev.action, ProxyAction::Republished);
+        assert_eq!(r1.generation, r0.generation + 1);
+        assert_eq!(r1.owner, wid(2));
+        assert_eq!(p.publish_count(), 2);
+    }
+
+    #[test]
+    fn in_band_attribution_uses_ref_size_only_for_proxied_keys() {
+        let mut p = plane(1 << 20, u64::MAX);
+        p.publish(&key(0), GraphId(0), wid(1), 16 << 20, Time::ZERO);
+        let wire = p.proxy_ref(&key(0)).unwrap().wire_size();
+        assert_eq!(p.in_band_bytes(&key(0), 16 << 20), wire);
+        // unproxied keys pay their full payload in-band
+        assert_eq!(p.in_band_bytes(&key(1), 12345), 12345);
+    }
+
+    #[test]
+    fn durable_plane_persists_manifests() {
+        let dir = std::env::temp_dir().join(format!("dtf-proxy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut p = ProxyPlane::durable(ProxyConfig::default(), &dir).unwrap();
+            p.publish(&key(0), GraphId(0), wid(1), 4096, Time::ZERO);
+            assert!(p.manifest_bytes() > 0);
+        }
+        let p = ProxyPlane::durable(ProxyConfig::default(), &dir).unwrap();
+        // manifests survived the process through the dtf-store log
+        assert!(p.manifest_bytes() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_defaults_and_json_roundtrip() {
+        let d = ProxyConfig::default();
+        assert!(!d.enabled);
+        assert_eq!(d.threshold, 4 << 20);
+        // a pre-proxy (empty) document parses to the defaults
+        let parsed: ProxyConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(parsed, d);
+        let on = ProxyConfig { enabled: true, threshold: 123, resolver_cache_bytes: 456 };
+        let back: ProxyConfig = serde_json::from_str(&serde_json::to_string(&on).unwrap()).unwrap();
+        assert_eq!(back, on);
+    }
+}

@@ -15,8 +15,8 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 use dtf_core::events::{
-    CommEvent, LogEntry, ProvRecord, TaskDoneEvent, TaskMetaEvent, TransitionEvent, WarningEvent,
-    WorkerTransitionEvent,
+    CommEvent, LogEntry, ProvRecord, ProxyEvent, TaskDoneEvent, TaskMetaEvent, TransitionEvent,
+    WarningEvent, WorkerTransitionEvent,
 };
 use dtf_mofka::producer::{PartitionStrategy, ProducerConfig};
 use dtf_mofka::{Event, MofkaService, Producer};
@@ -36,6 +36,8 @@ pub trait WmsPlugin: Send {
     fn on_comm(&mut self, _event: &CommEvent) {}
     fn on_warning(&mut self, _event: &WarningEvent) {}
     fn on_log(&mut self, _entry: &LogEntry) {}
+    /// Proxy-plane lifecycle records (publish/resolve/evict/re-source).
+    fn on_proxy(&mut self, _event: &ProxyEvent) {}
     /// Flush any buffered telemetry (end of run).
     fn flush(&mut self) {}
 }
@@ -57,6 +59,7 @@ pub struct CollectedEvents {
     pub comms: Vec<CommEvent>,
     pub warnings: Vec<WarningEvent>,
     pub logs: Vec<LogEntry>,
+    pub proxies: Vec<ProxyEvent>,
 }
 
 impl CollectorPlugin {
@@ -102,6 +105,10 @@ impl WmsPlugin for CollectorPlugin {
     fn on_log(&mut self, entry: &LogEntry) {
         self.inner.lock().logs.push(entry.clone());
     }
+
+    fn on_proxy(&mut self, event: &ProxyEvent) {
+        self.inner.lock().proxies.push(event.clone());
+    }
 }
 
 /// Streams every record into Mofka topics (created by
@@ -114,11 +121,12 @@ pub struct MofkaPlugin {
     comms: Producer,
     warnings: Producer,
     logs: Producer,
+    proxies: Producer,
 }
 
 impl MofkaPlugin {
     /// Topic names used by the plugin.
-    pub const TOPICS: [&'static str; 7] = [
+    pub const TOPICS: [&'static str; 8] = [
         "task-meta",
         "task-transitions",
         "worker-transitions",
@@ -126,6 +134,7 @@ impl MofkaPlugin {
         "comm-events",
         "warnings",
         "logs",
+        "proxy-events",
     ];
 
     pub fn new(service: &MofkaService, producer_cfg: ProducerConfig) -> dtf_core::Result<Self> {
@@ -141,6 +150,7 @@ impl MofkaPlugin {
             worker_transitions: service.producer("worker-transitions", by_key(&producer_cfg))?,
             task_done: service.producer("task-done", by_key(&producer_cfg))?,
             comms: service.producer("comm-events", by_key(&producer_cfg))?,
+            proxies: service.producer("proxy-events", by_key(&producer_cfg))?,
             warnings: service.producer("warnings", producer_cfg.clone())?,
             logs: service.producer("logs", producer_cfg)?,
         })
@@ -185,12 +195,17 @@ impl WmsPlugin for MofkaPlugin {
         Self::push(&mut self.logs, entry);
     }
 
+    fn on_proxy(&mut self, event: &ProxyEvent) {
+        Self::push(&mut self.proxies, event);
+    }
+
     fn flush(&mut self) {
         let _ = self.meta.flush();
         let _ = self.transitions.flush();
         let _ = self.worker_transitions.flush();
         let _ = self.task_done.flush();
         let _ = self.comms.flush();
+        let _ = self.proxies.flush();
         let _ = self.warnings.flush();
         let _ = self.logs.flush();
     }
@@ -256,6 +271,12 @@ impl WmsPlugin for PluginSet {
     fn on_log(&mut self, entry: &LogEntry) {
         for p in &mut self.plugins {
             p.on_log(entry);
+        }
+    }
+
+    fn on_proxy(&mut self, event: &ProxyEvent) {
+        for p in &mut self.plugins {
+            p.on_proxy(event);
         }
     }
 

@@ -19,8 +19,8 @@ use std::path::Path;
 
 use dtf_core::error::DtfError;
 use dtf_core::events::{
-    CommEvent, IoRecord, LogEntry, ProvEvent, TaskDoneEvent, TaskMetaEvent, TransitionEvent,
-    WarningEvent, WorkerTransitionEvent,
+    CommEvent, IoRecord, LogEntry, ProvEvent, ProxyEvent, TaskDoneEvent, TaskMetaEvent,
+    TransitionEvent, WarningEvent, WorkerTransitionEvent,
 };
 use dtf_core::ids::{RunId, TaskKey};
 use dtf_core::provenance::ProvenanceChart;
@@ -57,6 +57,10 @@ pub struct RunData {
     pub comms: Vec<CommEvent>,
     pub warnings: Vec<WarningEvent>,
     pub logs: Vec<LogEntry>,
+    /// Proxy-plane lifecycle records (empty when the out-of-band data
+    /// plane is disabled — the default).
+    #[serde(default = "Default::default")]
+    pub proxies: Vec<ProxyEvent>,
     pub darshan: LogSet,
     /// I/O records streamed online through Mofka (empty unless the run was
     /// configured with `online_darshan`; never subject to DXT truncation).
@@ -151,6 +155,13 @@ impl RunData {
         let mut warnings: Vec<WarningEvent> = drain(svc, "warnings", group)?;
         let mut logs: Vec<LogEntry> = drain(svc, "logs", group)?;
         let mut online_io: Vec<IoRecord> = drain(svc, "io-records", group)?;
+        // archives written before the proxy plane existed have no
+        // proxy-events topic; treat that exactly like an empty one
+        let mut proxies: Vec<ProxyEvent> = match drain(svc, "proxy-events", group) {
+            Ok(v) => v,
+            Err(DtfError::NotFound(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
         meta.sort_by_key(|e| (e.submitted, e.key.clone()));
         transitions.sort_by_key(|e| e.time);
         worker_transitions.sort_by_key(|e| (e.time, e.key.clone()));
@@ -159,6 +170,7 @@ impl RunData {
         warnings.sort_by_key(|e| e.time);
         logs.sort_by_key(|e| e.time);
         online_io.sort_by_key(|e| (e.start, e.thread));
+        proxies.sort_by_key(|e| (e.time, e.key.clone(), e.generation));
         Ok(Self {
             run,
             workflow,
@@ -170,6 +182,7 @@ impl RunData {
             comms,
             warnings,
             logs,
+            proxies,
             darshan,
             online_io,
             wall_time,

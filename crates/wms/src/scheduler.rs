@@ -45,6 +45,12 @@ pub struct SchedulerConfig {
     /// Bandwidth assumed when pricing missing dependency transfers, B/s
     /// (Dask's `scheduler.bandwidth`, set to the Slingshot-class 1 GB/s).
     pub assumed_bandwidth: f64,
+    /// Skewed-placement fault injection: multiply one worker's placement
+    /// score by a weight (< 1.0 makes it look artificially cheap, piling
+    /// work onto it). `None` (the default) changes nothing, so pre-fault
+    /// config documents parse and schedule identically.
+    #[serde(default = "Default::default")]
+    pub hotspot: Option<dtf_core::fault::HotspotFault>,
 }
 
 impl Default for SchedulerConfig {
@@ -55,6 +61,7 @@ impl Default for SchedulerConfig {
             steal_backlog_per_thread: 1.0,
             est_task_duration_s: 0.5,
             assumed_bandwidth: 400e6,
+            hotspot: None,
         }
     }
 }
@@ -391,8 +398,13 @@ impl Scheduler {
                 .sum();
             // threads drain occupancy in parallel
             let backlog = w.occupancy() as f64 / w.threads.max(1) as f64;
-            let score = backlog * self.cfg.est_task_duration_s
+            let mut score = backlog * self.cfg.est_task_duration_s
                 + missing_bytes as f64 / self.cfg.assumed_bandwidth;
+            if let Some(h) = &self.cfg.hotspot {
+                if h.worker as usize == i {
+                    score *= h.weight;
+                }
+            }
             if score < best_score {
                 best_score = score;
                 best_idx = Some(i);

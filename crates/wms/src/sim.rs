@@ -35,6 +35,7 @@ use dtf_mofka::ssg::SsgGroup;
 use dtf_mofka::MofkaService;
 use dtf_platform::job::{AllocPolicy, JobRequest, JobScheduler};
 use dtf_platform::{ClusterTopology, LoadProcess, NetworkConfig, NetworkModel, Pfs, PfsConfig};
+use dtf_proxystore::{ProxyConfig, ProxyPlane};
 
 use crate::graph::{Payload, SimAction, TaskGraph};
 use crate::plugins::{MofkaPlugin, PluginSet, WmsPlugin};
@@ -120,6 +121,12 @@ pub struct SimConfig {
     /// can be reopened with `RunData::open_archive`.
     #[serde(default = "Default::default")]
     pub persist_dir: Option<String>,
+    /// Out-of-band proxy data plane for large task outputs. Disabled by
+    /// default; enabling it never changes the schedule — only byte
+    /// attribution (in-band refs vs out-of-band payloads) and the
+    /// provenance stream gain records.
+    #[serde(default = "Default::default")]
+    pub proxy: ProxyConfig,
 }
 
 impl Default for SimConfig {
@@ -144,6 +151,7 @@ impl Default for SimConfig {
             faults: FaultSchedule::default(),
             invariant_checks: false,
             persist_dir: None,
+            proxy: ProxyConfig::default(),
         }
     }
 }
@@ -163,14 +171,42 @@ impl SimConfig {
 #[derive(Debug)]
 enum Ev {
     Submit(usize),
-    FetchDone { dep: TaskKey, from: WorkerId, to: WorkerId, nbytes: u64, start: Time },
-    TaskDone { key: TaskKey, worker: usize, slot: usize, start: Time, nbytes: u64 },
+    FetchDone {
+        dep: TaskKey,
+        from: WorkerId,
+        to: WorkerId,
+        nbytes: u64,
+        start: Time,
+    },
+    TaskDone {
+        key: TaskKey,
+        worker: usize,
+        slot: usize,
+        start: Time,
+        nbytes: u64,
+    },
     Rebalance,
-    Heartbeat { worker: usize },
+    Heartbeat {
+        worker: usize,
+    },
     FaultCheck,
-    Kill { worker: usize },
-    MofkaStall { topic: String, partition: u32 },
-    MofkaUnstall { topic: String, partition: u32 },
+    Kill {
+        worker: usize,
+    },
+    MofkaStall {
+        topic: String,
+        partition: u32,
+    },
+    MofkaUnstall {
+        topic: String,
+        partition: u32,
+    },
+    /// Deferred proxy resolution (slow-resolver fault): the transfer
+    /// finished earlier but the payload materializes only now.
+    ProxyResolve {
+        dep: TaskKey,
+        to: WorkerId,
+    },
 }
 
 struct Queued {
@@ -247,6 +283,11 @@ pub struct SimCluster {
     /// Dependency transfers issued so far, in issue order — the index the
     /// fault schedule's fetch faults key on.
     fetch_seq: u64,
+    /// Out-of-band data plane (no-op when disabled).
+    proxy: ProxyPlane,
+    /// Proxy resolutions attempted so far, in attempt order — the index
+    /// the fault schedule's slow-resolve faults key on.
+    proxy_resolve_seq: u64,
     // per-worker thread slots (None = free)
     slots: Vec<Vec<Option<TaskKey>>>,
     dead: Vec<bool>,
@@ -335,7 +376,13 @@ impl SimCluster {
             &mofka,
             ProducerConfig { batch_size: cfg.mofka_batch.max(1), ..Default::default() },
         )?));
-        let mut scheduler = Scheduler::new(cfg.scheduler.clone(), plugins);
+        // skewed-placement fault injection rides through the scheduler's
+        // own config surface
+        let mut sched_cfg = cfg.scheduler.clone();
+        if sched_cfg.hotspot.is_none() {
+            sched_cfg.hotspot = cfg.faults.hotspot;
+        }
+        let mut scheduler = Scheduler::new(sched_cfg, plugins);
         for w in &worker_ids {
             scheduler.add_worker(*w, cfg.wms.threads_per_worker);
         }
@@ -349,6 +396,7 @@ impl SimCluster {
             Jitter::none()
         };
         let widx_of = worker_ids.iter().enumerate().map(|(i, w)| (*w, i)).collect();
+        let proxy = ProxyPlane::new(cfg.proxy.clone());
         Ok(Self {
             ssg: SsgGroup::new("dask-workers", cfg.heartbeat_timeout),
             rng_io: rr.stream("io"),
@@ -369,6 +417,8 @@ impl SimCluster {
             seq: 0,
             now: Time::ZERO,
             fetch_seq: 0,
+            proxy,
+            proxy_resolve_seq: 0,
             slots,
             dead: vec![false; n_workers],
             last_done: Time::ZERO,
@@ -486,6 +536,27 @@ impl SimCluster {
                         start,
                         stop: self.now,
                     });
+                    // proxied dependency: the transfer moved out-of-band;
+                    // the payload must resolve before the dependent can use
+                    // it. A slow-resolver fault defers both the resolution
+                    // and the readiness signal.
+                    if self.proxy.proxy_ref(&dep).is_some() {
+                        let ridx = self.proxy_resolve_seq;
+                        self.proxy_resolve_seq += 1;
+                        if let Some(f) = self.cfg.faults.slow_resolve(ridx).copied() {
+                            self.push(self.now + f.extra_delay, Ev::ProxyResolve { dep, to });
+                            continue;
+                        }
+                        self.resolve_proxy(&dep, to);
+                    }
+                    self.scheduler.fetch_done(&dep, to, self.now);
+                    self.try_start_all();
+                }
+                Ev::ProxyResolve { dep, to } => {
+                    if self.dead[self.worker_index(to)] {
+                        continue;
+                    }
+                    self.resolve_proxy(&dep, to);
                     self.scheduler.fetch_done(&dep, to, self.now);
                     self.try_start_all();
                 }
@@ -499,6 +570,18 @@ impl SimCluster {
                     let thread = ThreadId::synth(wid, slot as u32);
                     let actions =
                         self.scheduler.task_finished(&key, wid, thread, start, self.now, nbytes);
+                    // outputs crossing the threshold publish to the proxy
+                    // plane before any dependent fetch completes
+                    if self.proxy.should_proxy(nbytes) {
+                        let graph =
+                            self.scheduler.task_graph(&key).unwrap_or(dtf_core::ids::GraphId(0));
+                        let pidx = self.proxy.publish_count();
+                        let (_r, ev) = self.proxy.publish(&key, graph, wid, nbytes, self.now);
+                        self.scheduler.plugins_mut().on_proxy(&ev);
+                        if self.cfg.faults.dangling_proxy(pidx) {
+                            self.proxy.damage(&key);
+                        }
+                    }
                     self.process_actions(actions);
                     self.last_done = self.now;
                     if completed_once.insert(key.clone()) {
@@ -568,6 +651,11 @@ impl SimCluster {
                             }
                             let wid = self.worker_ids[widx];
                             let actions = self.scheduler.worker_died(wid, self.now);
+                            // re-source or orphan the proxies the dead
+                            // worker owned
+                            for ev in self.proxy.worker_died(wid, self.now) {
+                                self.scheduler.plugins_mut().on_proxy(&ev);
+                            }
                             self.process_actions(actions);
                         }
                     }
@@ -669,6 +757,27 @@ impl SimCluster {
         }
     }
 
+    /// Resolve a proxied dependency for `to` and emit the plane's
+    /// lifecycle records. A plane-level failure (dangling blob whose owner
+    /// died) is surfaced as a log warning — by then the scheduler has
+    /// already re-planned the data via recompute, so the run proceeds.
+    fn resolve_proxy(&mut self, dep: &TaskKey, to: WorkerId) {
+        match self.proxy.resolve(dep, to, self.now) {
+            Ok((_outcome, events)) => {
+                for ev in events {
+                    self.scheduler.plugins_mut().on_proxy(&ev);
+                }
+            }
+            Err(e) => {
+                self.log(
+                    LogLevel::Warning,
+                    LogSource::Scheduler,
+                    format!("proxy resolution failed: {e}"),
+                );
+            }
+        }
+    }
+
     /// Start every startable task on every live worker.
     fn try_start_all(&mut self) {
         for widx in 0..self.worker_ids.len() {
@@ -735,12 +844,13 @@ impl SimCluster {
             }
         }
 
-        // --- compute, scaled by node profile and jitter
+        // --- compute, scaled by node profile, jitter, and any straggler
+        // windows covering the task start (the jitter draw always happens,
+        // keeping the RNG stream identical with and without fault schedules)
         let profile = self.topo.profile(wid.node);
-        let compute = action
-            .compute
-            .scale(profile.compute_factor)
-            .scale(self.compute_jitter.factor(&mut self.rng_compute));
+        let jitter = self.compute_jitter.factor(&mut self.rng_compute);
+        let straggle = self.cfg.faults.straggler_factor(widx as u32, start);
+        let compute = action.compute.scale(profile.compute_factor).scale(jitter).scale(straggle);
         elapsed += compute;
 
         // --- event-loop / GC stalls (Fig. 7 warning model)
@@ -1018,6 +1128,37 @@ mod tests {
         for w in &data.warnings {
             assert!(w.time.as_secs_f64() >= 1.0);
         }
+    }
+
+    #[test]
+    fn proxy_plane_is_schedule_neutral() {
+        // enabling the out-of-band plane must not move a single event:
+        // same wall time, same start order, same transfers — only the
+        // proxy lifecycle stream appears
+        let off_cfg = SimConfig { campaign_seed: 11, run: RunId(2), ..Default::default() };
+        let mut on_cfg = off_cfg.clone();
+        on_cfg.proxy =
+            ProxyConfig { enabled: true, threshold: 1 << 18, resolver_cache_bytes: 8 << 20 };
+        let off = SimCluster::new(off_cfg).unwrap().run(small_workflow(true)).unwrap();
+        let on = SimCluster::new(on_cfg).unwrap().run(small_workflow(true)).unwrap();
+        assert_eq!(off.wall_time, on.wall_time);
+        assert_eq!(off.start_order, on.start_order);
+        assert_eq!(
+            serde_json::to_string(&off.comms).unwrap(),
+            serde_json::to_string(&on.comms).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&off.transitions).unwrap(),
+            serde_json::to_string(&on.transitions).unwrap()
+        );
+        assert!(off.proxies.is_empty(), "disabled plane must stay silent");
+        // the 1 MiB load outputs crossed the 256 KiB threshold
+        use dtf_core::events::ProxyAction;
+        assert!(on.proxies.iter().any(|p| p.action == ProxyAction::Published));
+        assert!(
+            on.proxies.iter().all(|p| p.key.prefix == "load"),
+            "only above-threshold outputs publish"
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   (the storage layer behind Mofka's durable mode), with crash recovery.
 //! * [`darshan`] — I/O characterization (POSIX counters + DXT tracing).
 //! * [`wms`] — the Dask.distributed-analog workflow management system.
+//! * [`proxystore`] — ProxyStore-analog out-of-band data plane: task
+//!   outputs above a threshold publish blob-backed manifests and travel as
+//!   small typed `ProxyRef`s through the scheduler channel.
 //! * [`chaos`] — deterministic chaos harness: seeded fault schedules,
 //!   invariant oracles, replayable campaigns.
 //! * [`perfrecup`] — multi-source analysis and view engine.
@@ -24,6 +27,7 @@ pub use dtf_darshan as darshan;
 pub use dtf_mofka as mofka;
 pub use dtf_perfrecup as perfrecup;
 pub use dtf_platform as platform;
+pub use dtf_proxystore as proxystore;
 pub use dtf_store as store;
 pub use dtf_wms as wms;
 pub use dtf_workflows as workflows;

@@ -311,6 +311,7 @@ fn fault_schedule_strategy(horizon_s: f64) -> impl Strategy<Value = FaultSchedul
             heartbeat_drops,
             mofka_stalls,
             pfs_bursts,
+            ..Default::default()
         },
     )
 }
